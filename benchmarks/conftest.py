@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the experiment inside ``benchmark.pedantic`` (so pytest-benchmark
+reports the harness cost), prints the regenerated rows next to the
+paper's published values, and asserts the *shape* -- who wins, roughly
+by how much -- rather than absolute numbers (our substrate is a
+simulator, not the authors' testbed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+
+def print_rows(title: str, rows: Sequence[Dict], columns: Sequence[str],
+               paper_note: str = "") -> None:
+    """Print a regenerated figure's data series as an aligned table."""
+    print()
+    print(f"== {title} ==")
+    if paper_note:
+        print(f"   paper: {paper_note}")
+    widths = {c: max(len(c), 12) for c in columns}
+    print("   " + "  ".join(f"{c:>{widths[c]}s}" for c in columns))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>{widths[column]}.4f}")
+            else:
+                cells.append(f"{str(value):>{widths[column]}s}")
+        print("   " + "  ".join(cells))
+    print()
+
+
+def pairs_by(rows: Sequence[Dict], key_fields: Sequence[str]) -> Dict:
+    """Group coefficient/fspec row pairs by a composite key.
+
+    Missing key fields resolve to ""; rows from different sweeps must
+    therefore include at least one distinguishing field in the key.
+    """
+    grouped: Dict = {}
+    for row in rows:
+        key = tuple(row.get(f, "") for f in key_fields)
+        grouped.setdefault(key, {})[row["scheduler"]] = row
+    return grouped

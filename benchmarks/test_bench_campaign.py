@@ -1,0 +1,55 @@
+"""Extension benchmark: Monte-Carlo campaign with confidence intervals.
+
+The figure benchmarks run one seed each; this one runs the headline
+CoEfficient-vs-FSPEC comparison across several seeds and requires the
+95 % confidence intervals to *separate* -- the claim holds with error
+bars, not just on one draw.
+"""
+
+from benchmarks.conftest import print_rows
+from repro.experiments.campaign import compare_campaigns, run_campaign
+from repro.experiments.figures import (
+    dynamic_study_aperiodic,
+    dynamic_study_periodic,
+)
+from repro.flexray.params import paper_dynamic_preset
+
+_SEEDS = (11, 23, 37, 41, 59)
+
+
+def test_campaign_separation(benchmark):
+    kwargs = dict(
+        params=paper_dynamic_preset(25),
+        periodic=dynamic_study_periodic(),
+        aperiodic=dynamic_study_aperiodic(),
+        ber=1e-7,
+        duration_ms=600.0,
+        reliability_goal=1 - 1e-4,
+        metrics=["deadline_miss_ratio", "dynamic_latency_ms",
+                 "delivered_fraction"],
+    )
+
+    def run_both():
+        coefficient = run_campaign("coefficient", seeds=_SEEDS, **kwargs)
+        fspec = run_campaign("fspec", seeds=_SEEDS, **kwargs)
+        return coefficient, fspec
+
+    coefficient, fspec = benchmark.pedantic(run_both, rounds=1,
+                                            iterations=1)
+    rows = [coefficient.table_row(), fspec.table_row()]
+    print_rows("Extension -- 5-seed campaign at 25 minislots", rows,
+               ("scheduler", "seeds", "deadline_miss_ratio",
+                "deadline_miss_ratio_ci", "dynamic_latency_ms",
+                "dynamic_latency_ms_ci"),
+               paper_note="single-seed figures, now with error bars")
+
+    miss = compare_campaigns(coefficient, fspec, "deadline_miss_ratio")
+    latency = compare_campaigns(coefficient, fspec, "dynamic_latency_ms")
+    assert miss["separated"], (
+        f"miss-ratio CIs overlap: {miss}"
+    )
+    assert latency["separated"], (
+        f"dynamic-latency CIs overlap: {latency}"
+    )
+    assert miss["coefficient"] < miss["fspec"]
+    assert latency["coefficient"] < latency["fspec"]

@@ -1,0 +1,47 @@
+"""Figure 2: running time under BER = 1e-9 (the stricter reliability
+pairing).
+
+Paper result: the same ordering as Figure 1 with larger absolute times
+-- "the number of retransmitted segments increases and hence the overall
+transmission delays are larger, compared with BER = 1e-7".
+
+Shape asserted here: CoEfficient still wins every pairing, and FSPEC's
+completion times are at least as large as its Figure-1 times (its
+blanket redundancy doubles under the stricter regime).
+"""
+
+from benchmarks.conftest import pairs_by, print_rows
+from repro.experiments.figures import fig1_2_running_time
+
+_COLUMNS = ("figure", "workload", "scheduler", "messages",
+            "running_time_ms", "delivered", "produced")
+
+_KWARGS = dict(instance_limits=(10,), synthetic_counts=(20,),
+               static_slot_options=(80,))
+
+
+def test_fig2_running_time_ber9(benchmark):
+    rows = benchmark.pedantic(
+        fig1_2_running_time, kwargs=dict(ber=1e-9, **_KWARGS),
+        rounds=1, iterations=1,
+    )
+    print_rows("Figure 2 -- running time, BER = 1e-9 (strict goal)",
+               rows, _COLUMNS,
+               paper_note="same ordering as Fig. 1, larger delays")
+    for key, pair in pairs_by(rows, ("figure", "workload",
+                                     "messages")).items():
+        assert pair["coefficient"]["running_time_ms"] < \
+            pair["fspec"]["running_time_ms"], key
+
+    # The strict regime costs FSPEC at least as much as the relaxed one.
+    relaxed = fig1_2_running_time(ber=1e-7, **_KWARGS)
+    strict_fspec = {
+        (r["figure"], r["workload"]): r["running_time_ms"]
+        for r in rows if r["scheduler"] == "fspec"
+    }
+    relaxed_fspec = {
+        (r["figure"], r["workload"]): r["running_time_ms"]
+        for r in relaxed if r["scheduler"] == "fspec"
+    }
+    for key in strict_fspec:
+        assert strict_fspec[key] >= relaxed_fspec[key] * 0.99, key

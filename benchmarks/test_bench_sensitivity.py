@@ -1,0 +1,87 @@
+"""Extension benchmark: breakdown-load sensitivity.
+
+Not a paper figure -- this condenses Figures 3 and 5 into one number
+per scheduler: the largest aperiodic load multiplier each sustains with
+under 1 % missed deadlines on the paper's 50-minislot configuration.
+CoEfficient's cooperative capacity (dual-channel dynamic segments plus
+stolen static slack) must sustain a strictly higher factor than FSPEC's
+single dynamic channel.
+"""
+
+from benchmarks.conftest import print_rows
+from repro.analysis.sensitivity import aperiodic_breakdown_factor
+from repro.experiments.figures import (
+    dynamic_study_aperiodic,
+    dynamic_study_periodic,
+)
+from repro.flexray.params import paper_dynamic_preset
+
+
+def test_breakdown_factors(benchmark):
+    params = paper_dynamic_preset(50)
+    kwargs = dict(
+        params=params,
+        periodic=dynamic_study_periodic(),
+        aperiodic=dynamic_study_aperiodic(),
+        ber=1e-7,
+        duration_ms=400.0,
+        low=0.25, high=8.0, tolerance=0.15, miss_threshold=0.01,
+        max_evaluations=12,
+    )
+
+    def run_both():
+        coefficient = aperiodic_breakdown_factor("coefficient", **kwargs)
+        fspec = aperiodic_breakdown_factor("fspec", **kwargs)
+        return coefficient, fspec
+
+    coefficient, fspec = benchmark.pedantic(run_both, rounds=1,
+                                            iterations=1)
+    rows = [
+        {"scheduler": "coefficient", "breakdown_factor": coefficient.factor,
+         "miss_at_factor": coefficient.miss_at_factor,
+         "evaluations": coefficient.evaluations},
+        {"scheduler": "fspec", "breakdown_factor": fspec.factor,
+         "miss_at_factor": fspec.miss_at_factor,
+         "evaluations": fspec.evaluations},
+    ]
+    print_rows("Extension -- aperiodic breakdown load factors", rows,
+               ("scheduler", "breakdown_factor", "miss_at_factor",
+                "evaluations"),
+               paper_note="not in the paper; condenses Figs. 3/5")
+    assert coefficient.factor > fspec.factor * 1.2, (
+        f"CoEfficient breakdown {coefficient.factor:.2f} not clearly "
+        f"above FSPEC's {fspec.factor:.2f}"
+    )
+
+
+def test_utilization_sweep(benchmark):
+    """Extension: miss ratio vs controlled aperiodic utilization.
+
+    UUniFast-generated event sets make total load an input, giving the
+    clean schedulability-style curve the paper's minislot sweep only
+    implies.  CoEfficient must dominate FSPEC at every point and stay
+    near zero throughout the swept range.
+    """
+    from repro.experiments.figures import extension_utilization_sweep
+
+    rows = benchmark.pedantic(
+        extension_utilization_sweep,
+        kwargs=dict(duration_ms=500.0),
+        rounds=1, iterations=1,
+    )
+    print_rows("Extension -- miss ratio vs aperiodic utilization", rows,
+               ("target_utilization", "achieved_utilization", "scheduler",
+                "deadline_miss_ratio", "dynamic_latency_ms"),
+               paper_note="not in the paper; schedulability-style curve")
+    by_point = {}
+    for row in rows:
+        by_point.setdefault(row["target_utilization"], {})[
+            row["scheduler"]] = row
+    for point, pair in by_point.items():
+        assert pair["coefficient"]["deadline_miss_ratio"] <= \
+            pair["fspec"]["deadline_miss_ratio"] + 1e-9, point
+        assert pair["coefficient"]["dynamic_latency_ms"] <= \
+            pair["fspec"]["dynamic_latency_ms"], point
+    coefficient_max = max(r["deadline_miss_ratio"] for r in rows
+                          if r["scheduler"] == "coefficient")
+    assert coefficient_max < 0.02

@@ -1,0 +1,63 @@
+"""CoEfficient: cooperative and efficient real-time scheduling for
+FlexRay automotive communications.
+
+A from-scratch reproduction of Hua, Rao, Liu & Feng (ICDCS 2014): a
+cycle-accurate FlexRay cluster simulator (dual channels, TDMA static
+segment, FTDMA dynamic segment), a BER-based transient-fault model, the
+CoEfficient scheduler (cooperative dual-channel scheduling, selective
+slack stealing, differentiated retransmission against an IEC 61508
+reliability goal), and the FSPEC / static-only / dynamic-priority
+baselines it is evaluated against.
+
+Quickstart::
+
+    from repro import run_experiment, paper_dynamic_preset
+    from repro.workloads import synthetic_signals, sae_aperiodic_signals
+
+    result = run_experiment(
+        params=paper_dynamic_preset(minislots=100),
+        scheduler="coefficient",
+        periodic=synthetic_signals(20, max_size_bits=216),
+        aperiodic=sae_aperiodic_signals(),
+        ber=1e-7,
+        duration_ms=500.0,
+    )
+    print(result.row())
+"""
+
+from repro.core.coefficient import CoEfficientPolicy
+from repro.core.retransmission import plan_retransmissions
+from repro.experiments.runner import ExperimentResult, make_policy, run_experiment
+from repro.faults.ber import BitErrorRateModel, frame_failure_probability
+from repro.faults.iec61508 import SafetyIntegrityLevel, reliability_goal_for
+from repro.flexray.cluster import FlexRayCluster
+from repro.flexray.params import (
+    FlexRayParams,
+    paper_dynamic_preset,
+    paper_static_preset,
+)
+from repro.flexray.signal import Signal, SignalSet
+from repro.packing.frame_packing import derive_params_for, pack_signals
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitErrorRateModel",
+    "CoEfficientPolicy",
+    "ExperimentResult",
+    "FlexRayCluster",
+    "FlexRayParams",
+    "SafetyIntegrityLevel",
+    "Signal",
+    "SignalSet",
+    "__version__",
+    "derive_params_for",
+    "frame_failure_probability",
+    "make_policy",
+    "pack_signals",
+    "paper_dynamic_preset",
+    "paper_static_preset",
+    "plan_retransmissions",
+    "reliability_goal_for",
+    "run_experiment",
+]

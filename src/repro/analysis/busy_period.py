@@ -1,0 +1,74 @@
+"""Level-i busy-period computation.
+
+Section III-F of the paper: "For a level i busy period, it is a
+continuous time interval and we can place one or more tasks of priority
+level i or higher in the execution queue.  On the other hand, a level i
+idle period is a time interval [where] the corresponding execution queue
+is free of level i or higher priority tasks."
+
+The computations here are the classical fixed-priority recurrences
+(Lehoczky 1990): the synchronous level-i busy period is the fixed point
+of ``L = sum_{j <= i} ceil(L / T_j) * C_j`` started at the critical
+instant.  Tasks are given as ``(C, T)`` pairs in priority order (index 0
+= highest priority); all times share one unit (macroticks in this
+reproduction).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["synchronous_busy_period", "level_i_busy_period"]
+
+#: Iteration cap: a recurrence that has not converged after this many
+#: steps indicates utilization >= 1 (the busy period never ends).
+_MAX_ITERATIONS = 100_000
+
+
+def _validate_tasks(tasks: Sequence[Tuple[int, int]]) -> None:
+    for index, (execution, period) in enumerate(tasks):
+        if execution <= 0:
+            raise ValueError(f"task {index}: execution must be positive")
+        if period <= 0:
+            raise ValueError(f"task {index}: period must be positive")
+
+
+def level_i_busy_period(tasks: Sequence[Tuple[int, int]], level: int) -> int:
+    """Length of the synchronous level-``level`` busy period.
+
+    Args:
+        tasks: ``(C_j, T_j)`` in priority order (0 = highest).
+        level: Priority level i; tasks ``0..level`` participate.
+
+    Returns:
+        The busy-period length (same unit as the inputs).
+
+    Raises:
+        ValueError: On malformed tasks or an over-utilized level
+            (the recurrence diverges).
+    """
+    if not 0 <= level < len(tasks):
+        raise ValueError(f"level {level} out of range for {len(tasks)} tasks")
+    _validate_tasks(tasks)
+    involved = tasks[:level + 1]
+    utilization = sum(c / t for c, t in involved)
+    if utilization >= 1.0:
+        raise ValueError(
+            f"level-{level} utilization {utilization:.3f} >= 1; "
+            f"busy period unbounded"
+        )
+    length = sum(c for c, __ in involved)
+    for __ in range(_MAX_ITERATIONS):
+        demand = sum(math.ceil(length / t) * c for c, t in involved)
+        if demand == length:
+            return length
+        length = demand
+    raise RuntimeError("busy-period recurrence failed to converge")
+
+
+def synchronous_busy_period(tasks: Sequence[Tuple[int, int]]) -> int:
+    """The full (lowest-level) synchronous busy period of a task set."""
+    if not tasks:
+        return 0
+    return level_i_busy_period(tasks, len(tasks) - 1)

@@ -1,0 +1,146 @@
+"""Worst-case delay analysis for the FTDMA dynamic segment.
+
+The related-work line the paper cites as [10], [16] ("Message scheduling
+for the FlexRay protocol: the dynamic segment", "Schedulability analysis
+for the dynamic segment...") bounds how long an event-triggered message
+can wait under minislot-counting arbitration.  This module implements a
+conservative bound in their style:
+
+A message m needing ``c_m`` minislots transmits in the first cycle whose
+dynamic segment still has room after
+
+1. **higher-priority demand** -- every lower-frame-ID message that can be
+   pending takes its minislots first (worst case: all released together
+   with m and re-released at their minimum inter-arrival);
+2. **ID traversal** -- one idle minislot per higher-priority ID with no
+   pending message (the slot counter walks every ID);
+3. **fragmentation** -- up to ``c_m - 1`` minislots at the end of a cycle
+   are unusable for m (the frame must fit the remainder, else it waits a
+   full cycle).
+
+The bound is the smallest window of whole cycles in which cumulative
+usable capacity covers cumulative demand; ``None`` marks structural
+unschedulability (m never fits, e.g. ``c_m`` exceeds the segment).
+
+Cross-validation: the simulated per-ID FTDMA (the dynamic-priority
+baseline) must never exceed this bound in fault-free runs -- asserted in
+``tests/analysis/test_dynamic_response.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["DynamicMessageSpec", "dynamic_worst_case_delay_cycles",
+           "dynamic_segment_schedulable"]
+
+#: Safety cap on the window search.
+_MAX_WINDOW_CYCLES = 100_000
+
+
+@dataclass(frozen=True)
+class DynamicMessageSpec:
+    """One dynamic message for the analysis.
+
+    Attributes:
+        name: Identifier.
+        minislots: Minislots one transmission occupies (frame length in
+            minislots plus the dynamic-slot idle phase).
+        period_cycles: Minimum inter-arrival time in whole communication
+            cycles (>= 1; fractional inter-arrivals round *down*, which
+            over-approximates demand and keeps the bound safe).
+    """
+
+    name: str
+    minislots: int
+    period_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.minislots < 1:
+            raise ValueError(f"{self.name}: minislots must be >= 1")
+        if self.period_cycles < 1:
+            raise ValueError(f"{self.name}: period_cycles must be >= 1")
+
+
+def dynamic_worst_case_delay_cycles(
+    message: DynamicMessageSpec,
+    higher_priority: Sequence[DynamicMessageSpec],
+    segment_minislots: int,
+    latest_tx: Optional[int] = None,
+) -> Optional[int]:
+    """Worst-case cycles from release to the start of m's transmission.
+
+    Args:
+        message: The message under analysis.
+        higher_priority: Messages with lower frame IDs.
+        segment_minislots: gNumberOfMinislots.
+        latest_tx: pLatestTx (defaults to the whole segment).
+
+    Returns:
+        The smallest number of whole cycles m can be delayed (0 = it can
+        transmit in its release cycle even in the worst case), or
+        ``None`` if no window ever fits m.
+    """
+    if segment_minislots < 1:
+        return None
+    usable_per_cycle = min(segment_minislots,
+                           latest_tx if latest_tx else segment_minislots)
+
+    # m must fit a cycle at all: its own minislots plus the traversal of
+    # every higher-priority ID (one minislot each when idle).
+    traversal = len(higher_priority)
+    if message.minislots + traversal > usable_per_cycle:
+        return None
+
+    # Fragmentation loss per cycle: the worst suffix m cannot use.
+    fragmentation = message.minislots - 1
+
+    for window in range(1, _MAX_WINDOW_CYCLES + 1):
+        capacity = window * usable_per_cycle
+        demand = 0
+        for rival in higher_priority:
+            instances = math.ceil(window / rival.period_cycles)
+            # Each pending instance takes its minislots; an idle ID still
+            # costs one traversal minislot per cycle it is idle.
+            demand += instances * rival.minislots
+            idle_cycles = window - min(window, instances)
+            demand += idle_cycles
+        demand += window * 0  # m's own traversal position is counted below
+        # m transmits in the last cycle of the window: it needs its own
+        # minislots there, and every cycle may lose the fragmentation
+        # suffix to the doesn't-fit rule.
+        total_needed = demand + message.minislots + window * fragmentation
+        if capacity >= total_needed:
+            return window - 1
+    return None
+
+
+def dynamic_segment_schedulable(
+    messages: Sequence[DynamicMessageSpec],
+    segment_minislots: int,
+    deadlines_cycles: Sequence[int],
+    latest_tx: Optional[int] = None,
+) -> List[Tuple[str, Optional[int], bool]]:
+    """Bound every message of a priority-ordered set.
+
+    Args:
+        messages: Messages in frame-ID (priority) order, highest first.
+        segment_minislots: gNumberOfMinislots.
+        deadlines_cycles: Relative deadline of each message, in cycles.
+        latest_tx: pLatestTx.
+
+    Returns:
+        ``(name, worst_delay_cycles_or_None, meets_deadline)`` per
+        message.
+    """
+    if len(messages) != len(deadlines_cycles):
+        raise ValueError("need one deadline per message")
+    out: List[Tuple[str, Optional[int], bool]] = []
+    for index, message in enumerate(messages):
+        delay = dynamic_worst_case_delay_cycles(
+            message, messages[:index], segment_minislots, latest_tx)
+        meets = delay is not None and delay + 1 <= deadlines_cycles[index]
+        out.append((message.name, delay, meets))
+    return out

@@ -1,0 +1,184 @@
+"""Sensitivity analysis: breakdown load search.
+
+A classic schedulability-research instrument the paper's evaluation
+implies but never runs: scale the event-triggered load until a
+scheduler starts missing deadlines, and report the *breakdown factor* --
+the largest load multiplier it sustains.  Comparing breakdown factors
+condenses the whole Figure-3/5 story into one number per scheduler:
+CoEfficient's cooperative capacity (dual-channel dynamic + stolen
+static slack) sustains a strictly higher factor than FSPEC's single
+dynamic channel.
+
+The search is a standard monotone bisection over the load multiplier;
+load is scaled by dividing the aperiodic set's inter-arrival times (so
+a factor of 2.0 doubles the event rate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.flexray.params import FlexRayParams
+from repro.flexray.signal import Signal, SignalSet
+
+__all__ = ["scale_aperiodic_load", "bisect_breakdown",
+           "aperiodic_breakdown_factor", "BreakdownResult"]
+
+
+def scale_aperiodic_load(signals: SignalSet, factor: float) -> SignalSet:
+    """Scale an aperiodic set's event rate by ``factor``.
+
+    Inter-arrival times (and the period field carrying them) are divided
+    by the factor; deadlines and sizes are untouched, so a factor of 2
+    is "the same messages, twice as often".
+
+    Args:
+        signals: An aperiodic signal set.
+        factor: Rate multiplier (> 0).
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    scaled = []
+    for signal in signals:
+        if not signal.aperiodic:
+            raise ValueError(
+                f"{signal.name}: scale_aperiodic_load only scales "
+                f"aperiodic sets"
+            )
+        interarrival = (signal.min_interarrival_ms
+                        or signal.period_ms) / factor
+        scaled.append(dataclasses.replace(
+            signal,
+            period_ms=signal.period_ms / factor,
+            min_interarrival_ms=interarrival,
+        ))
+    return SignalSet(scaled, name=f"{signals.name}x{factor:g}")
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    """Outcome of a breakdown search.
+
+    Attributes:
+        factor: Largest sustained load multiplier found.
+        miss_at_factor: Miss ratio measured at that factor.
+        miss_above: Miss ratio just above (at ``factor * (1 + step)``).
+        evaluations: Simulation runs spent.
+    """
+
+    factor: float
+    miss_at_factor: float
+    miss_above: float
+    evaluations: int
+
+
+def bisect_breakdown(
+    miss_ratio_at: Callable[[float], float],
+    low: float = 0.5,
+    high: float = 8.0,
+    miss_threshold: float = 0.01,
+    tolerance: float = 0.05,
+    max_evaluations: int = 24,
+) -> BreakdownResult:
+    """Find the largest factor whose miss ratio stays under a threshold.
+
+    Assumes ``miss_ratio_at`` is (noisily) nondecreasing in the factor.
+
+    Args:
+        miss_ratio_at: Load factor -> measured miss ratio.
+        low: A factor assumed sustainable (checked; the search degrades
+            gracefully if not).
+        high: A factor assumed unsustainable (expanded once if not).
+        miss_threshold: "Sustained" means miss ratio <= this.
+        tolerance: Relative width at which bisection stops.
+        max_evaluations: Cap on simulation runs.
+
+    Returns:
+        A :class:`BreakdownResult`.
+    """
+    if not 0 < low < high:
+        raise ValueError("need 0 < low < high")
+    evaluations = 0
+
+    low_miss = miss_ratio_at(low)
+    evaluations += 1
+    if low_miss > miss_threshold:
+        return BreakdownResult(factor=low, miss_at_factor=low_miss,
+                               miss_above=low_miss,
+                               evaluations=evaluations)
+    high_miss = miss_ratio_at(high)
+    evaluations += 1
+    if high_miss <= miss_threshold:
+        # Even `high` is sustained; expand once and accept whatever holds.
+        high *= 2
+        high_miss = miss_ratio_at(high)
+        evaluations += 1
+        if high_miss <= miss_threshold:
+            return BreakdownResult(factor=high, miss_at_factor=high_miss,
+                                   miss_above=high_miss,
+                                   evaluations=evaluations)
+
+    best = low
+    best_miss = low_miss
+    while (high - best) / best > tolerance \
+            and evaluations < max_evaluations:
+        mid = math.sqrt(best * high)  # geometric midpoint for rates
+        mid_miss = miss_ratio_at(mid)
+        evaluations += 1
+        if mid_miss <= miss_threshold:
+            best, best_miss = mid, mid_miss
+        else:
+            high, high_miss = mid, mid_miss
+    return BreakdownResult(factor=best, miss_at_factor=best_miss,
+                           miss_above=high_miss, evaluations=evaluations)
+
+
+def aperiodic_breakdown_factor(
+    scheduler: str,
+    params: FlexRayParams,
+    periodic: SignalSet,
+    aperiodic: SignalSet,
+    ber: float = 1e-7,
+    reliability_goal: float = 1 - 1e-4,
+    duration_ms: float = 500.0,
+    seed: int = 42,
+    miss_threshold: float = 0.01,
+    **search_kwargs,
+) -> BreakdownResult:
+    """Breakdown factor of one scheduler on one workload.
+
+    Args:
+        scheduler: Registry name.
+        params: Cluster configuration.
+        periodic: Time-triggered workload (unscaled).
+        aperiodic: Event-triggered workload (scaled by the search).
+        ber: Bit error rate.
+        reliability_goal: rho (CoEfficient).
+        duration_ms: Horizon per evaluation.
+        seed: Experiment seed.
+        miss_threshold: Sustained-load criterion.
+        **search_kwargs: Forwarded to :func:`bisect_breakdown`.
+    """
+    # Imported lazily: the runner imports the policies, which import
+    # this package's siblings -- a module-level import would be circular.
+    from repro.experiments.runner import run_experiment
+
+    def miss_ratio_at(factor: float) -> float:
+        result = run_experiment(
+            params=params,
+            scheduler=scheduler,
+            periodic=periodic,
+            aperiodic=scale_aperiodic_load(aperiodic, factor),
+            ber=ber,
+            seed=seed,
+            duration_ms=duration_ms,
+            reliability_goal=reliability_goal,
+        )
+        return result.metrics.deadline_miss_ratio
+
+    return bisect_breakdown(miss_ratio_at,
+                            miss_threshold=miss_threshold,
+                            **search_kwargs)

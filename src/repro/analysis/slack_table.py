@@ -1,0 +1,120 @@
+"""Static idle-slot table: the FlexRay form of precomputed slack.
+
+Section III-F: "CoEfficient handles the hard periodic tasks by examining
+the selective slacks between the deadlines ... We further use a table to
+store and maintain the identified values.  A set of counters can be
+helpful to keep track of the selective slacks."
+
+In the table-driven static segment, the periodic schedule is fixed, so
+the *structural* slack -- slots where no assignment fires -- is exactly
+periodic with the schedule's repetition pattern (<= 64 cycles).  This
+table precomputes, per channel and per cycle-in-pattern, which slots are
+structurally idle; the online scheduler then answers "how much slack is
+guaranteed between now and a deadline?" with pure arithmetic, the fast
+path the paper's "fast and accurate slack computation" requires.
+
+(On top of structural slack the online scheduler also sees *dynamic*
+slack -- slots whose owner's buffer happens to be empty -- which is free
+extra and never needed for guarantees.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.flexray.channel import Channel
+from repro.flexray.cycle import CycleLayout
+from repro.flexray.params import FlexRayParams
+from repro.flexray.schedule import ScheduleTable
+
+__all__ = ["IdleSlotTable"]
+
+
+class IdleSlotTable:
+    """Precomputed structural idle slots of a static schedule.
+
+    Args:
+        table: The schedule to analyze.
+        channels: Channels to include.
+    """
+
+    def __init__(self, table: ScheduleTable,
+                 channels: Sequence[Channel]) -> None:
+        self._params = table.params
+        self._channels = list(channels)
+        self._pattern_length = self._compute_pattern_length(table)
+        # idle[channel][cycle_in_pattern] -> tuple of idle slot IDs
+        self._idle: Dict[Channel, List[Tuple[int, ...]]] = {}
+        total_slots = self._params.g_number_of_static_slots
+        for channel in self._channels:
+            per_cycle: List[Tuple[int, ...]] = []
+            for cycle in range(self._pattern_length):
+                idle = tuple(
+                    slot_id for slot_id in range(1, total_slots + 1)
+                    if table.lookup(channel, cycle, slot_id) is None
+                )
+                per_cycle.append(idle)
+            self._idle[channel] = per_cycle
+        self._idle_per_cycle_total = [
+            sum(len(self._idle[channel][cycle]) for channel in self._channels)
+            for cycle in range(self._pattern_length)
+        ]
+
+    @staticmethod
+    def _compute_pattern_length(table: ScheduleTable) -> int:
+        """LCM of all repetitions = the schedule's cycle pattern length."""
+        length = 1
+        for channel in (Channel.A, Channel.B):
+            for assignment in table.assignments(channel):
+                repetition = assignment.frame.cycle_repetition
+                length = length * repetition // math.gcd(length, repetition)
+        return length
+
+    @property
+    def pattern_length(self) -> int:
+        """Cycles after which the idle pattern repeats."""
+        return self._pattern_length
+
+    @property
+    def channels(self) -> List[Channel]:
+        """Channels included in this table."""
+        return list(self._channels)
+
+    def idle_slots(self, channel: Channel, cycle: int) -> Tuple[int, ...]:
+        """Structurally idle slot IDs of (channel, cycle)."""
+        if channel not in self._idle:
+            return ()
+        return self._idle[channel][cycle % self._pattern_length]
+
+    def idle_count(self, channel: Channel, cycle: int) -> int:
+        """Number of structurally idle slots of (channel, cycle)."""
+        return len(self.idle_slots(channel, cycle))
+
+    def idle_slots_between(self, start_cycle: int, end_cycle: int) -> int:
+        """Total structurally idle slots over cycles [start, end), all channels.
+
+        This is the guaranteed slack supply the hard-aperiodic acceptance
+        test (Section III-C) measures demand against.
+        """
+        if end_cycle < start_cycle:
+            raise ValueError(
+                f"empty cycle range [{start_cycle}, {end_cycle})"
+            )
+        total = 0
+        full_patterns, remainder = divmod(
+            end_cycle - start_cycle, self._pattern_length
+        )
+        if full_patterns:
+            total += full_patterns * sum(self._idle_per_cycle_total)
+        for offset in range(remainder):
+            cycle = (start_cycle + offset) % self._pattern_length
+            total += self._idle_per_cycle_total[cycle]
+        return total
+
+    def structural_utilization(self) -> float:
+        """Fraction of static (slot, cycle, channel) capacity in use."""
+        capacity = (self._params.g_number_of_static_slots
+                    * self._pattern_length * len(self._channels))
+        idle = sum(self._idle_per_cycle_total)
+        return 1.0 - idle / capacity if capacity else 0.0

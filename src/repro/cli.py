@@ -1,0 +1,289 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main entry points:
+
+- ``run`` -- one experiment: workload x scheduler x fault environment;
+- ``figures`` -- regenerate a paper figure's data series;
+- ``tables`` -- print the case-study message tables;
+- ``plan`` -- show the differentiated retransmission plan for a
+  workload/goal without running a simulation;
+- ``report`` -- regenerate the whole evaluation as a markdown report;
+- ``breakdown`` -- breakdown-load search per scheduler (extension).
+
+Invoke as ``python -m repro <subcommand>``; every subcommand supports
+``--help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import figures as figures_module
+from repro.experiments.runner import SCHEDULERS, run_experiment
+from repro.faults.ber import BitErrorRateModel
+from repro.core.retransmission import plan_retransmissions
+from repro.flexray.params import paper_dynamic_preset, paper_static_preset
+from repro.flexray.signal import SignalSet
+from repro.workloads.acc import acc_signals
+from repro.workloads.bbw import bbw_signals
+from repro.workloads.sae import sae_aperiodic_signals
+from repro.workloads.synthetic import synthetic_signals
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = ("bbw", "acc", "synthetic")
+_FIGURES = ("1", "2", "3", "4", "5")
+
+
+def _periodic_workload(name: str, count: int, seed: int) -> SignalSet:
+    if name == "bbw":
+        return bbw_signals()
+    if name == "acc":
+        return acc_signals()
+    if name == "synthetic":
+        return synthetic_signals(count, seed=seed, max_size_bits=216)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def _params_for(args) -> "FlexRayParams":
+    if args.workload in ("bbw", "acc"):
+        return figures_module.case_study_params(args.workload,
+                                                minislots=args.minislots)
+    return paper_dynamic_preset(args.minislots)
+
+
+def _emit(rows: List[Dict], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(rows, indent=2, default=str))
+        return
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {c: max(len(c), 14) for c in columns}
+    print("  ".join(f"{c:>{widths[c]}s}" for c in columns))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>{widths[column]}.4f}")
+            else:
+                cells.append(f"{str(value):>{widths[column]}s}")
+        print("  ".join(cells))
+
+
+def _cmd_run(args) -> int:
+    periodic = _periodic_workload(args.workload, args.count, args.seed)
+    aperiodic = sae_aperiodic_signals(count=args.aperiodic) \
+        if args.aperiodic > 0 else None
+    params = _params_for(args)
+    rows = []
+    for scheduler in args.scheduler:
+        result = run_experiment(
+            params=params,
+            scheduler=scheduler,
+            periodic=periodic,
+            aperiodic=aperiodic,
+            ber=args.ber,
+            seed=args.seed,
+            duration_ms=args.duration_ms,
+            reliability_goal=args.rho,
+        )
+        row = result.row()
+        row["produced"] = result.metrics.produced_instances
+        row["delivered"] = result.metrics.delivered_instances
+        rows.append(row)
+    _emit(rows, args.json)
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    figure = args.figure
+    if figure == "1":
+        rows = figures_module.fig1_2_running_time(ber=1e-7)
+    elif figure == "2":
+        rows = figures_module.fig1_2_running_time(ber=1e-9)
+    elif figure == "3":
+        rows = figures_module.fig3_bandwidth_utilization(
+            duration_ms=args.duration_ms)
+    elif figure == "4":
+        rows = figures_module.fig4_transmission_latency(
+            duration_ms=args.duration_ms)
+    elif figure == "5":
+        rows = figures_module.fig5_deadline_miss_ratio(
+            duration_ms=args.duration_ms)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown figure {figure}")
+    _emit(rows, args.json)
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    if args.table == "2":
+        _emit(figures_module.table2_bbw_rows(), args.json)
+    else:
+        _emit(figures_module.table3_acc_rows(), args.json)
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    periodic = _periodic_workload(args.workload, args.count, args.seed)
+    model = BitErrorRateModel(ber_channel_a=args.ber)
+    failure = {}
+    instances = {}
+    cost = {}
+    for signal in periodic:
+        wire = signal.size_bits + 64
+        failure[signal.name] = model.failure_probability("A", wire)
+        instances[signal.name] = args.time_unit_ms / signal.period_ms
+        cost[signal.name] = wire / signal.period_ms
+    plan = plan_retransmissions(failure, instances, args.rho,
+                                bandwidth_cost=cost)
+    rows = [
+        {"message": message, "k": budget,
+         "p_fail": failure[message],
+         "instances_per_unit": round(instances[message], 1)}
+        for message, budget in sorted(plan.budgets.items())
+    ]
+    _emit(rows, args.json)
+    print(f"\nfeasible: {plan.feasible}   "
+          f"achieved: {plan.achieved_probability:.12f}   "
+          f"goal: {args.rho:.12f}   "
+          f"selected: {len(plan.selected_messages())}/{len(plan.budgets)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    report = generate_report(
+        duration_ms=args.duration_ms,
+        include_running_time=not args.skip_running_time,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output} ({report.count(chr(10))} lines)")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_breakdown(args) -> int:
+    from repro.analysis.sensitivity import aperiodic_breakdown_factor
+    from repro.experiments.figures import (
+        dynamic_study_aperiodic,
+        dynamic_study_periodic,
+    )
+
+    params = paper_dynamic_preset(args.minislots)
+    rows = []
+    for scheduler in args.scheduler:
+        result = aperiodic_breakdown_factor(
+            scheduler,
+            params=params,
+            periodic=dynamic_study_periodic(),
+            aperiodic=dynamic_study_aperiodic(),
+            ber=args.ber,
+            reliability_goal=args.rho,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+        )
+        rows.append({
+            "scheduler": scheduler,
+            "breakdown_factor": result.factor,
+            "miss_at_factor": result.miss_at_factor,
+            "evaluations": result.evaluations,
+        })
+    _emit(rows, args.json)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoEfficient FlexRay scheduling reproduction "
+                    "(ICDCS 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--workload", choices=_WORKLOADS,
+                       default="synthetic",
+                       help="periodic workload (default: synthetic)")
+        p.add_argument("--count", type=int, default=20,
+                       help="synthetic message count (default: 20)")
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--ber", type=float, default=1e-7,
+                       help="bit error rate (default: 1e-7)")
+        p.add_argument("--rho", type=float, default=1 - 1e-4,
+                       help="reliability goal (default: 1-1e-4)")
+        p.add_argument("--json", action="store_true",
+                       help="emit JSON instead of a table")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    common(run_parser)
+    run_parser.add_argument("--scheduler", nargs="+", choices=SCHEDULERS,
+                            default=["coefficient", "fspec"])
+    run_parser.add_argument("--minislots", type=int, default=100)
+    run_parser.add_argument("--aperiodic", type=int, default=30,
+                            help="SAE aperiodic message count (0 = none)")
+    run_parser.add_argument("--duration-ms", type=float, default=500.0)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    figure_parser = sub.add_parser("figures",
+                                   help="regenerate a paper figure")
+    figure_parser.add_argument("figure", choices=_FIGURES)
+    figure_parser.add_argument("--duration-ms", type=float, default=500.0)
+    figure_parser.add_argument("--json", action="store_true")
+    figure_parser.set_defaults(handler=_cmd_figures)
+
+    table_parser = sub.add_parser("tables",
+                                  help="print a case-study table")
+    table_parser.add_argument("table", choices=("2", "3"))
+    table_parser.add_argument("--json", action="store_true")
+    table_parser.set_defaults(handler=_cmd_tables)
+
+    plan_parser = sub.add_parser(
+        "plan", help="show the differentiated retransmission plan")
+    common(plan_parser)
+    plan_parser.add_argument("--time-unit-ms", type=float, default=1000.0)
+    plan_parser.set_defaults(handler=_cmd_plan)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate the whole evaluation as markdown")
+    report_parser.add_argument("--output", default=None,
+                               help="write to a file instead of stdout")
+    report_parser.add_argument("--duration-ms", type=float, default=500.0)
+    report_parser.add_argument("--skip-running-time", action="store_true",
+                               help="omit the slower Figures 1-2")
+    report_parser.set_defaults(handler=_cmd_report)
+
+    breakdown_parser = sub.add_parser(
+        "breakdown", help="breakdown-load search per scheduler")
+    common(breakdown_parser)
+    breakdown_parser.add_argument("--scheduler", nargs="+",
+                                  choices=SCHEDULERS,
+                                  default=["coefficient", "fspec"])
+    breakdown_parser.add_argument("--minislots", type=int, default=50)
+    breakdown_parser.add_argument("--duration-ms", type=float,
+                                  default=400.0)
+    breakdown_parser.set_defaults(handler=_cmd_breakdown)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Differentiated retransmission planning (Section III-E, Theorem 1).
+
+Given per-message failure probabilities ``p_z``, instance rates
+``u / T_z`` and a reliability goal ``rho``, choose the retransmission
+budget vector ``k_z`` so that
+
+    prod_z (1 - p_z^{k_z+1})^{u/T_z}  >=  rho
+
+at minimum cost.  "Different reliability goals may produce different
+sets of retransmitted segments" -- messages whose single-shot success
+already suffices get ``k_z = 0`` and are *not* selected for
+retransmission, which is the selectivity the bandwidth savings come from.
+
+The planner is greedy in log space: each step buys one retransmission
+for the message with the best marginal improvement of the goal gap per
+unit of bandwidth cost (``W_z / T_z`` -- retransmitting a big frequent
+message costs more slack).  Greedy is optimal here because the marginal
+log-gain of each additional k for a fixed message is strictly decreasing
+(diminishing returns) and costs are additive.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.faults.analysis import log_message_success_probability
+
+__all__ = ["RetransmissionPlan", "plan_retransmissions",
+           "uniform_retransmission_plan"]
+
+#: Practical ceiling on per-message retransmissions: past this, either
+#: the goal is unreachable at this BER or the inputs are degenerate.
+MAX_RETRANSMISSIONS = 64
+
+
+@dataclass(frozen=True)
+class RetransmissionPlan:
+    """The planner's output.
+
+    Attributes:
+        budgets: ``message -> k_z`` (messages absent or 0 are not
+            selected for retransmission).
+        achieved_log_probability: log of Theorem 1's product under the
+            budgets.
+        goal_log_probability: log(rho) the plan was built against.
+        feasible: Whether the goal was met within the budget cap.
+        total_cost: Sum of ``k_z * W_z / T_z`` (bandwidth-weighted).
+    """
+
+    budgets: Dict[str, int]
+    achieved_log_probability: float
+    goal_log_probability: float
+    feasible: bool
+    total_cost: float
+
+    def budget_for(self, message: str) -> int:
+        """k_z for a message (0 when unselected)."""
+        return self.budgets.get(message, 0)
+
+    def selected_messages(self) -> Dict[str, int]:
+        """Messages with a non-zero retransmission budget."""
+        return {m: k for m, k in self.budgets.items() if k > 0}
+
+    @property
+    def achieved_probability(self) -> float:
+        """Theorem 1's product in linear space."""
+        return math.exp(self.achieved_log_probability)
+
+
+def _log_gain(p_z: float, k: int, instances: float) -> float:
+    """Marginal log-probability gain of going from k to k+1 retries."""
+    return (log_message_success_probability(p_z, k + 1, instances)
+            - log_message_success_probability(p_z, k, instances))
+
+
+def plan_retransmissions(
+    failure_probabilities: Mapping[str, float],
+    instances: Mapping[str, float],
+    rho: float,
+    bandwidth_cost: Optional[Mapping[str, float]] = None,
+    max_budget: int = MAX_RETRANSMISSIONS,
+) -> RetransmissionPlan:
+    """Compute the differentiated retransmission budgets.
+
+    Args:
+        failure_probabilities: ``message -> p_z`` per-attempt failure
+            probability.
+        instances: ``message -> u / T_z`` instance count over the time
+            unit (fractional allowed).
+        rho: Reliability goal in (0, 1].
+        bandwidth_cost: ``message -> cost`` of one retransmission
+            (defaults to 1 per message: pure count minimization).
+        max_budget: Per-message cap on k_z.
+
+    Returns:
+        A :class:`RetransmissionPlan`; ``feasible`` is ``False`` when
+        even max budgets cannot reach rho (the plan then carries the
+        best-achievable budgets).
+    """
+    if not 0.0 < rho <= 1.0:
+        raise ValueError(f"rho must be in (0, 1], got {rho}")
+    missing = set(failure_probabilities) - set(instances)
+    if missing:
+        raise ValueError(f"no instance counts for: {sorted(missing)}")
+    costs = dict(bandwidth_cost or {})
+
+    gamma = 1.0 - rho
+    goal_log = math.log1p(-gamma) if gamma < 0.5 else math.log(rho)
+
+    budgets: Dict[str, int] = {m: 0 for m in failure_probabilities}
+    current_log = sum(
+        log_message_success_probability(p, 0, instances[m])
+        for m, p in failure_probabilities.items()
+    )
+    total_cost = 0.0
+
+    # Max-heap of (gain / cost) candidates; lazily re-pushed after pops
+    # because each message's next gain depends on its current budget.
+    heap: list = []
+    for message, p_z in failure_probabilities.items():
+        if p_z <= 0.0:
+            continue
+        gain = _log_gain(p_z, 0, instances[message])
+        cost = max(costs.get(message, 1.0), 1e-12)
+        if gain > 0:
+            heapq.heappush(heap, (-gain / cost, message))
+
+    while current_log < goal_log and heap:
+        __, message = heapq.heappop(heap)
+        k = budgets[message]
+        if k >= max_budget:
+            continue
+        p_z = failure_probabilities[message]
+        gain = _log_gain(p_z, k, instances[message])
+        budgets[message] = k + 1
+        current_log += gain
+        total_cost += costs.get(message, 1.0)
+        next_gain = _log_gain(p_z, k + 1, instances[message])
+        cost = max(costs.get(message, 1.0), 1e-12)
+        if next_gain > 0 and budgets[message] < max_budget:
+            heapq.heappush(heap, (-next_gain / cost, message))
+
+    return RetransmissionPlan(
+        budgets=budgets,
+        achieved_log_probability=current_log,
+        goal_log_probability=goal_log,
+        feasible=current_log >= goal_log,
+        total_cost=total_cost,
+    )
+
+
+def uniform_retransmission_plan(
+    failure_probabilities: Mapping[str, float],
+    instances: Mapping[str, float],
+    rho: float,
+    max_budget: int = MAX_RETRANSMISSIONS,
+) -> RetransmissionPlan:
+    """Ablation baseline: one k for every message (no differentiation).
+
+    Finds the smallest uniform k meeting the goal -- the "retransmit
+    everything equally" strawman the differentiated planner is compared
+    against in the ablation benchmark.
+    """
+    if not 0.0 < rho <= 1.0:
+        raise ValueError(f"rho must be in (0, 1], got {rho}")
+    gamma = 1.0 - rho
+    goal_log = math.log1p(-gamma) if gamma < 0.5 else math.log(rho)
+
+    for k in range(max_budget + 1):
+        current_log = sum(
+            log_message_success_probability(p, k, instances[m])
+            for m, p in failure_probabilities.items()
+        )
+        if current_log >= goal_log:
+            budgets = {m: k for m in failure_probabilities}
+            return RetransmissionPlan(
+                budgets=budgets,
+                achieved_log_probability=current_log,
+                goal_log_probability=goal_log,
+                feasible=True,
+                total_cost=float(k * len(budgets)),
+            )
+    budgets = {m: max_budget for m in failure_probabilities}
+    current_log = sum(
+        log_message_success_probability(p, max_budget, instances[m])
+        for m, p in failure_probabilities.items()
+    )
+    return RetransmissionPlan(
+        budgets=budgets,
+        achieved_log_probability=current_log,
+        goal_log_probability=goal_log,
+        feasible=False,
+        total_cost=float(max_budget * len(budgets)),
+    )

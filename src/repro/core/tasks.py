@@ -1,0 +1,184 @@
+"""The paper's three-class task model (Section III-A).
+
+    "We model the transmission of static, retransmitted and dynamic
+    segments respectively as hard deadline periodic, hard deadline
+    aperiodic and soft deadline aperiodic tasks."
+
+These classes are the processor-model vocabulary of the scheduling
+algorithms in this package; the FlexRay policies translate frames into
+them.  All times are integers in a single unit (macroticks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+__all__ = ["PeriodicTask", "AperiodicTask", "TaskSet"]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A hard-deadline periodic task tau_i = (C_i, T_i, phi_i, d_i).
+
+    Attributes:
+        name: Identifier.
+        execution: Worst-case computation requirement C_i.
+        period: Period T_i.
+        deadline: Relative hard deadline d_i (<= T_i).
+        offset: Release offset phi_i (0 <= phi_i <= T_i).
+    """
+
+    name: str
+    execution: int
+    period: int
+    deadline: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.execution <= 0:
+            raise ValueError(f"{self.name}: execution must be positive")
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be positive")
+        if not 0 < self.deadline <= self.period:
+            raise ValueError(
+                f"{self.name}: deadline must be in (0, period], "
+                f"got {self.deadline} (period {self.period})"
+            )
+        if not 0 <= self.offset <= self.period:
+            raise ValueError(
+                f"{self.name}: offset must be in [0, period], got {self.offset}"
+            )
+        if self.execution > self.deadline:
+            raise ValueError(
+                f"{self.name}: execution {self.execution} exceeds deadline "
+                f"{self.deadline}; trivially unschedulable"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """C_i / T_i."""
+        return self.execution / self.period
+
+    def release_time(self, job: int) -> int:
+        """Release of the ``job``-th job (0-based): phi + k T."""
+        if job < 0:
+            raise ValueError(f"job must be >= 0, got {job}")
+        return self.offset + job * self.period
+
+    def absolute_deadline(self, job: int) -> int:
+        """Absolute deadline of the ``job``-th job."""
+        return self.release_time(job) + self.deadline
+
+    def jobs_released_by(self, time: int) -> int:
+        """Number of jobs released in [0, time]."""
+        if time < self.offset:
+            return 0
+        return (time - self.offset) // self.period + 1
+
+
+@dataclass(frozen=True)
+class AperiodicTask:
+    """An aperiodic task J_k = (alpha_k, p_k, D_k).
+
+    Attributes:
+        name: Identifier.
+        arrival: Arrival time alpha_k.
+        execution: Processing requirement p_k.
+        deadline: Relative hard deadline D_k, or ``None`` for a soft task
+            (the paper's ``D_k = infinity``: minimize response time).
+    """
+
+    name: str
+    arrival: int
+    execution: int
+    deadline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError(f"{self.name}: arrival must be >= 0")
+        if self.execution <= 0:
+            raise ValueError(f"{self.name}: execution must be positive")
+        if self.deadline is not None and self.deadline < self.execution:
+            raise ValueError(
+                f"{self.name}: deadline {self.deadline} below execution "
+                f"{self.execution}; trivially infeasible"
+            )
+
+    @property
+    def hard(self) -> bool:
+        """Whether the task carries a hard deadline."""
+        return self.deadline is not None
+
+    @property
+    def absolute_deadline(self) -> Optional[int]:
+        """alpha_k + D_k, or ``None`` for soft tasks."""
+        if self.deadline is None:
+            return None
+        return self.arrival + self.deadline
+
+
+class TaskSet:
+    """A priority-ordered set of periodic tasks.
+
+    Order is priority: index 0 is the highest level.  By the paper's
+    convention ("the tasks with smaller value of d_i are allocated higher
+    priority"), :meth:`deadline_monotonic` produces the canonical order.
+    """
+
+    def __init__(self, tasks: Sequence[PeriodicTask]) -> None:
+        names = [t.name for t in tasks]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate task names: {sorted(duplicates)}")
+        self._tasks: List[PeriodicTask] = list(tasks)
+
+    @classmethod
+    def deadline_monotonic(cls, tasks: Sequence[PeriodicTask]) -> "TaskSet":
+        """Construct with deadline-monotonic priority assignment."""
+        ordered = sorted(tasks, key=lambda t: (t.deadline, t.period, t.name))
+        return cls(ordered)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[PeriodicTask]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index: int) -> PeriodicTask:
+        return self._tasks[index]
+
+    @property
+    def tasks(self) -> List[PeriodicTask]:
+        """Tasks in priority order."""
+        return list(self._tasks)
+
+    def utilization(self) -> float:
+        """Total utilization sum(C_i / T_i)."""
+        return sum(t.utilization for t in self._tasks)
+
+    def hyperperiod(self) -> int:
+        """LCM of the periods."""
+        if not self._tasks:
+            return 0
+        lcm = self._tasks[0].period
+        for task in self._tasks[1:]:
+            lcm = lcm * task.period // math.gcd(lcm, task.period)
+        return lcm
+
+    def max_offset(self) -> int:
+        """Largest release offset."""
+        return max((t.offset for t in self._tasks), default=0)
+
+    def analysis_horizon(self) -> int:
+        """Horizon covering the steady-state pattern: max offset + 2H."""
+        return self.max_offset() + 2 * self.hyperperiod()
+
+    def as_pairs(self) -> List[tuple]:
+        """``(C, T)`` pairs for the analysis helpers."""
+        return [(t.execution, t.period) for t in self._tasks]
+
+    def as_triples(self) -> List[tuple]:
+        """``(C, T, D)`` triples for the analysis helpers."""
+        return [(t.execution, t.period, t.deadline) for t in self._tasks]

@@ -1,0 +1,34 @@
+"""Experiment orchestration.
+
+- :mod:`repro.experiments.runner` -- one-call experiment execution:
+  workload x scheduler x fault environment -> metrics;
+- :mod:`repro.experiments.figures` -- regenerates the data series behind
+  every figure and table of the paper's evaluation (Section IV).
+"""
+
+from repro.experiments.campaign import (
+    CampaignResult,
+    MetricSummary,
+    compare_campaigns,
+    run_campaign,
+)
+from repro.experiments.plots import ascii_bar_chart, ascii_line_chart
+from repro.experiments.runner import (
+    SCHEDULERS,
+    ExperimentResult,
+    make_policy,
+    run_experiment,
+)
+
+__all__ = [
+    "CampaignResult",
+    "MetricSummary",
+    "SCHEDULERS",
+    "ExperimentResult",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "compare_campaigns",
+    "make_policy",
+    "run_campaign",
+    "run_experiment",
+]

@@ -1,0 +1,171 @@
+"""Monte-Carlo experiment campaigns.
+
+A single seeded run is reproducible but still one sample; the paper's
+"extensive experiments" imply repetition.  A campaign runs the same
+configuration across many seeds and reports mean / spread / confidence
+intervals per metric, so claims like "CoEfficient's miss ratio is lower"
+can be made with error bars instead of single draws.
+
+Confidence intervals use the t-distribution via the normal approximation
+for n >= 30 and Student-t critical values for small n (table-free
+two-sided 95 %), keeping the module dependency-light.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = ["MetricSummary", "CampaignResult", "run_campaign",
+           "compare_campaigns"]
+
+#: Two-sided 95 % Student-t critical values for small sample sizes
+#: (df = n - 1); falls back to 1.96 beyond the table.
+_T_95 = {1: 12.71, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+         7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+         25: 2.060, 29: 2.045}
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        return float("inf")
+    if df in _T_95:
+        return _T_95[df]
+    for bound in sorted(_T_95):
+        if df <= bound:
+            return _T_95[bound]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean, spread and 95 % CI of one metric over a campaign."""
+
+    name: str
+    samples: int
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def of(name: str, values: Sequence[float]) -> "MetricSummary":
+        if not values:
+            raise ValueError(f"no samples for metric {name}")
+        mean = statistics.fmean(values)
+        stdev = statistics.stdev(values) if len(values) > 1 else 0.0
+        half_width = (_t_critical(len(values) - 1) * stdev
+                      / math.sqrt(len(values))) if len(values) > 1 else 0.0
+        return MetricSummary(
+            name=name, samples=len(values), mean=mean, stdev=stdev,
+            ci_low=mean - half_width, ci_high=mean + half_width,
+            minimum=min(values), maximum=max(values),
+        )
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        """Whether the two 95 % CIs overlap (a quick separation check)."""
+        return not (self.ci_high < other.ci_low
+                    or other.ci_high < self.ci_low)
+
+
+@dataclass
+class CampaignResult:
+    """All per-seed results plus per-metric summaries."""
+
+    scheduler: str
+    seeds: List[int]
+    results: List[ExperimentResult]
+    summaries: Dict[str, MetricSummary] = field(default_factory=dict)
+
+    def summary(self, metric: str) -> MetricSummary:
+        return self.summaries[metric]
+
+    def table_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"scheduler": self.scheduler,
+                                  "seeds": len(self.seeds)}
+        for name, summary in self.summaries.items():
+            row[name] = round(summary.mean, 4)
+            row[f"{name}_ci"] = (f"[{summary.ci_low:.4f}, "
+                                 f"{summary.ci_high:.4f}]")
+        return row
+
+
+_METRIC_EXTRACTORS: Dict[str, Callable[[ExperimentResult], float]] = {
+    "deadline_miss_ratio":
+        lambda r: r.metrics.deadline_miss_ratio,
+    "bandwidth_utilization":
+        lambda r: r.metrics.bandwidth_utilization,
+    "dynamic_latency_ms":
+        lambda r: r.metrics.dynamic_latency.mean_ms,
+    "static_latency_ms":
+        lambda r: r.metrics.static_latency.mean_ms,
+    "delivered_fraction":
+        lambda r: (r.metrics.delivered_instances
+                   / max(1, r.metrics.produced_instances)),
+}
+
+
+def run_campaign(
+    scheduler: str,
+    seeds: Sequence[int],
+    metrics: Optional[Sequence[str]] = None,
+    **experiment_kwargs,
+) -> CampaignResult:
+    """Run one configuration across many seeds.
+
+    Args:
+        scheduler: Registry name.
+        seeds: Seeds to run (each is one independent sample: workload
+            jitter and fault pattern both re-drawn).
+        metrics: Metric names to summarize (default: all known).
+        **experiment_kwargs: Forwarded to
+            :func:`repro.experiments.runner.run_experiment` (everything
+            except ``scheduler`` and ``seed``).
+
+    Returns:
+        A :class:`CampaignResult` with per-metric summaries.
+    """
+    if not seeds:
+        raise ValueError("campaign needs at least one seed")
+    names = list(metrics or _METRIC_EXTRACTORS)
+    unknown = set(names) - set(_METRIC_EXTRACTORS)
+    if unknown:
+        raise ValueError(f"unknown metrics: {sorted(unknown)}")
+
+    results = [
+        run_experiment(scheduler=scheduler, seed=seed, **experiment_kwargs)
+        for seed in seeds
+    ]
+    summaries = {
+        name: MetricSummary.of(
+            name, [_METRIC_EXTRACTORS[name](r) for r in results])
+        for name in names
+    }
+    return CampaignResult(scheduler=scheduler, seeds=list(seeds),
+                          results=results, summaries=summaries)
+
+
+def compare_campaigns(
+    a: CampaignResult, b: CampaignResult, metric: str,
+) -> Dict[str, object]:
+    """Compare two campaigns on one metric.
+
+    Returns:
+        A dict with both means, the difference, and whether the 95 %
+        CIs separate (a conservative significance check).
+    """
+    summary_a = a.summary(metric)
+    summary_b = b.summary(metric)
+    return {
+        "metric": metric,
+        a.scheduler: summary_a.mean,
+        b.scheduler: summary_b.mean,
+        "difference": summary_a.mean - summary_b.mean,
+        "separated": not summary_a.overlaps(summary_b),
+    }

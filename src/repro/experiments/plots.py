@@ -1,0 +1,147 @@
+"""Terminal (ASCII) chart rendering for figure data.
+
+The environment has no plotting stack, but a figure's *shape* -- who is
+above whom, where curves cross -- reads fine in monospace.  Two
+renderers cover the evaluation's figure types:
+
+- :func:`ascii_bar_chart` -- grouped horizontal bars (Figures 3 and 5:
+  one bar per scheduler per sweep point);
+- :func:`ascii_line_chart` -- multi-series line/scatter grid (Figures
+  1-2 and 4: metric vs sweep axis, one glyph per scheduler).
+
+Both are pure string producers, used by the report generator and the
+examples; tests assert structural properties (bars proportional to
+values, every series plotted, axis labels present).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_bar_chart", "ascii_line_chart"]
+
+#: Glyphs assigned to series, in order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_bar_chart(
+    rows: Sequence[Mapping],
+    category_key: str,
+    value_key: str,
+    series_key: str = "scheduler",
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Grouped horizontal bar chart.
+
+    Args:
+        rows: Flat row dicts (the figure generators' output).
+        category_key: Field naming the group (e.g. ``"minislots"``).
+        value_key: Numeric field to draw.
+        series_key: Field distinguishing bars within a group.
+        width: Maximum bar length in characters.
+        title: Optional heading.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    if not rows:
+        return "(no data)\n"
+    maximum = max(float(row[value_key]) for row in rows)
+    scale = (width / maximum) if maximum > 0 else 0.0
+
+    categories: List = []
+    for row in rows:
+        if row[category_key] not in categories:
+            categories.append(row[category_key])
+    series: List = []
+    for row in rows:
+        if row[series_key] not in series:
+            series.append(row[series_key])
+    label_width = max(len(str(s)) for s in series)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for category in categories:
+        lines.append(f"{category_key}={category}")
+        for name in series:
+            value = next(
+                (float(r[value_key]) for r in rows
+                 if r[category_key] == category and r[series_key] == name),
+                None,
+            )
+            if value is None:
+                continue
+            bar = "#" * max(0, int(round(value * scale)))
+            lines.append(f"  {str(name):>{label_width}s} |{bar} {value:g}")
+    lines.append(f"  (full bar = {maximum:g} {value_key})")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_line_chart(
+    rows: Sequence[Mapping],
+    x_key: str,
+    y_key: str,
+    series_key: str = "scheduler",
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series scatter grid with axis annotations.
+
+    Args:
+        rows: Flat row dicts.
+        x_key: Numeric field for the horizontal axis.
+        y_key: Numeric field for the vertical axis.
+        series_key: Field distinguishing the series.
+        width: Plot area width in characters.
+        height: Plot area height in lines.
+        title: Optional heading.
+
+    Returns:
+        The chart as a multi-line string, including a glyph legend.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("need width >= 10 and height >= 4")
+    if not rows:
+        return "(no data)\n"
+
+    xs = [float(row[x_key]) for row in rows]
+    ys = [float(row[y_key]) for row in rows]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    series: List = []
+    for row in rows:
+        if row[series_key] not in series:
+            series.append(row[series_key])
+    glyph_of = {name: _GLYPHS[index % len(_GLYPHS)]
+                for index, name in enumerate(series)}
+
+    grid = [[" "] * width for __ in range(height)]
+    for row in rows:
+        x = float(row[x_key])
+        y = float(row[y_key])
+        column = int(round((x - x_low) / x_span * (width - 1)))
+        line = int(round((y - y_low) / y_span * (height - 1)))
+        grid[height - 1 - line][column] = glyph_of[row[series_key]]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:>10.4g} ┐")
+    for grid_line in grid:
+        lines.append(" " * 11 + "│" + "".join(grid_line))
+    lines.append(f"{y_low:>10.4g} ┘" + "─" * width)
+    lines.append(" " * 12 + f"{x_low:<.4g}".ljust(width - 8)
+                 + f"{x_high:>.4g}")
+    lines.append(" " * 12 + f"x: {x_key}   y: {y_key}")
+    legend = "   ".join(f"{glyph_of[name]} = {name}" for name in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines) + "\n"

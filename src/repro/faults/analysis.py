@@ -1,0 +1,118 @@
+"""Theorem 1: probability of successful transmission.
+
+    Given a time unit u, the probability that all messages' deadlines are
+    met is  prod_z (1 - p_z^{k_z + 1})^{u / T_z},  where each message has
+    retransmission number k_z and failure probability p_z.
+
+This module provides the forward direction (evaluate the product for a
+retransmission vector) and building blocks the retransmission planner in
+:mod:`repro.core.retransmission` inverts.
+
+All probability arithmetic runs in log space: at automotive reliability
+goals the per-message success probabilities are within 1e-12 of 1, and a
+naive product of thousands of such factors loses exactly the digits the
+analysis is about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+__all__ = [
+    "message_success_probability",
+    "log_message_success_probability",
+    "set_success_probability",
+    "verify_reliability_goal",
+]
+
+
+def _validate_probability(p: float, name: str) -> None:
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"{name} must be in [0, 1), got {p}")
+
+
+def log_message_success_probability(p_z: float, k_z: int,
+                                    instances: float) -> float:
+    """Log of one message's Theorem-1 factor: ``(1 - p^(k+1))^instances``.
+
+    Args:
+        p_z: Per-attempt failure probability.
+        k_z: Retransmission budget (k+1 total attempts).
+        instances: Number of instances in the time unit (``u / T_z``);
+            fractional values are allowed and interpreted as the exact
+            exponent the theorem prescribes.
+    """
+    _validate_probability(p_z, "p_z")
+    if k_z < 0:
+        raise ValueError(f"k_z must be >= 0, got {k_z}")
+    if instances < 0:
+        raise ValueError(f"instances must be >= 0, got {instances}")
+    if p_z == 0.0 or instances == 0:
+        return 0.0
+    # log(1 - p^(k+1)) computed stably: p^(k+1) via exp of log keeps
+    # denormal-range values meaningful.
+    log_fail_all = (k_z + 1) * math.log(p_z)
+    if log_fail_all < -745.0:  # below double denormal range: exactly 1.0
+        return 0.0
+    return instances * math.log1p(-math.exp(log_fail_all))
+
+
+def message_success_probability(p_z: float, k_z: int,
+                                instances: float) -> float:
+    """One message's Theorem-1 factor (linear space)."""
+    return math.exp(log_message_success_probability(p_z, k_z, instances))
+
+
+def set_success_probability(
+    failure_probabilities: Mapping[str, float],
+    retransmissions: Mapping[str, int],
+    instances: Mapping[str, float],
+) -> float:
+    """Theorem 1's full product over a message set.
+
+    Args:
+        failure_probabilities: ``message -> p_z``.
+        retransmissions: ``message -> k_z`` (missing messages default 0).
+        instances: ``message -> u / T_z``.
+
+    Returns:
+        The probability that every instance of every message is delivered
+        within its attempts, in ``[0, 1]``.
+    """
+    missing = set(failure_probabilities) - set(instances)
+    if missing:
+        raise ValueError(f"no instance counts for messages: {sorted(missing)}")
+    log_total = 0.0
+    for message, p_z in failure_probabilities.items():
+        k_z = retransmissions.get(message, 0)
+        log_total += log_message_success_probability(
+            p_z, k_z, instances[message]
+        )
+    return math.exp(log_total)
+
+
+def verify_reliability_goal(
+    failure_probabilities: Mapping[str, float],
+    retransmissions: Mapping[str, int],
+    instances: Mapping[str, float],
+    rho: float,
+) -> bool:
+    """Whether a retransmission vector meets the goal: product >= rho.
+
+    The comparison runs in log space so goals within 1e-15 of 1.0 are
+    still decided correctly.
+    """
+    if not 0.0 < rho <= 1.0:
+        raise ValueError(f"rho must be in (0, 1], got {rho}")
+    log_total = 0.0
+    for message, p_z in failure_probabilities.items():
+        k_z = retransmissions.get(message, 0)
+        log_total += log_message_success_probability(
+            p_z, k_z, instances[message]
+        )
+    # log(rho) for rho near 1 is computed via log1p of the (negative)
+    # gamma to avoid cancellation.
+    gamma = 1.0 - rho
+    log_rho = math.log1p(-gamma) if gamma < 0.5 else math.log(rho)
+    return log_total >= log_rho

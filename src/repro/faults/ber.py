@@ -1,0 +1,83 @@
+"""Bit-error-rate models.
+
+The paper computes per-message failure probabilities from a Bit Error
+Rate measured by industrial fault-injection tools (Vector, Elektrobit):
+``p_z = 1 - (1 - BER)^{W_z}`` for a message of ``W_z`` bits.  We do not
+have those tools, so the BER itself is the model input -- the paper's
+evaluation uses ``BER = 1e-7`` and ``BER = 1e-9``.
+
+For numerical robustness at automotive BERs (where ``1 - BER`` is within
+double-precision epsilon of 1 for small frames), the failure probability
+is computed via ``expm1``/``log1p`` rather than naive powering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["frame_failure_probability", "BitErrorRateModel"]
+
+
+def frame_failure_probability(ber: float, bits: int) -> float:
+    """Probability that a frame of ``bits`` suffers at least one bit error.
+
+    ``p = 1 - (1 - BER)^bits``, evaluated as ``-expm1(bits * log1p(-BER))``
+    to stay accurate when ``BER * bits`` is tiny.
+
+    Args:
+        ber: Bit error rate in ``[0, 1)``.
+        bits: Frame length in bits (>= 0).
+    """
+    if not 0.0 <= ber < 1.0:
+        raise ValueError(f"BER must be in [0, 1), got {ber}")
+    if bits < 0:
+        raise ValueError(f"bits must be >= 0, got {bits}")
+    if ber == 0.0 or bits == 0:
+        return 0.0
+    return -math.expm1(bits * math.log1p(-ber))
+
+
+@dataclass(frozen=True)
+class BitErrorRateModel:
+    """A (possibly channel-asymmetric) BER environment.
+
+    Attributes:
+        ber_channel_a: Bit error rate on channel A.
+        ber_channel_b: Bit error rate on channel B; defaults to channel
+            A's (symmetric environment).  Physically separate channel
+            harnesses can see different interference, so asymmetry is
+            supported for the fault-injection experiments.
+    """
+
+    ber_channel_a: float
+    ber_channel_b: float = -1.0  # sentinel: mirror channel A
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ber_channel_a < 1.0:
+            raise ValueError(f"BER must be in [0, 1), got {self.ber_channel_a}")
+        if self.ber_channel_b == -1.0:
+            object.__setattr__(self, "ber_channel_b", self.ber_channel_a)
+        if not 0.0 <= self.ber_channel_b < 1.0:
+            raise ValueError(f"BER must be in [0, 1), got {self.ber_channel_b}")
+
+    def ber_for(self, channel_name: str) -> float:
+        """BER on a channel (``"A"`` or ``"B"``)."""
+        if channel_name == "A":
+            return self.ber_channel_a
+        if channel_name == "B":
+            return self.ber_channel_b
+        raise ValueError(f"unknown channel {channel_name!r}")
+
+    def failure_probability(self, channel_name: str, bits: int) -> float:
+        """Per-frame corruption probability on a channel."""
+        return frame_failure_probability(self.ber_for(channel_name), bits)
+
+    def dual_channel_failure_probability(self, bits: int) -> float:
+        """Probability that *both* channels corrupt a duplicated frame.
+
+        Channel fault processes are independent (separate wiring), so the
+        duplicated-transmission failure probability is the product.
+        """
+        return (self.failure_probability("A", bits)
+                * self.failure_probability("B", bits))

@@ -1,0 +1,71 @@
+"""IEC 61508 safety-integrity levels and reliability goals.
+
+Section III-E: "Automotive industry proposes an international standard
+(IEC 61508) for functional safety ... For each level, the standard
+specifies the probability of system level failure in a time unit u.
+Furthermore, we leverage gamma to determine the maximum probability of a
+system failure.  Given gamma, we define rho = 1 - gamma as the
+reliability goal."
+
+The table below lists the standard's Probability of dangerous Failure
+per Hour (PFH) bands for continuous/high-demand operation; the band
+ceiling is used as gamma for the chosen time unit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["SafetyIntegrityLevel", "reliability_goal_for"]
+
+
+class SafetyIntegrityLevel(enum.Enum):
+    """IEC 61508 SIL bands (continuous mode, failures per hour)."""
+
+    SIL1 = 1
+    SIL2 = 2
+    SIL3 = 3
+    SIL4 = 4
+
+    @property
+    def max_failure_probability_per_hour(self) -> float:
+        """Upper bound of the band: gamma for a one-hour time unit."""
+        return {
+            SafetyIntegrityLevel.SIL1: 1e-5,
+            SafetyIntegrityLevel.SIL2: 1e-6,
+            SafetyIntegrityLevel.SIL3: 1e-7,
+            SafetyIntegrityLevel.SIL4: 1e-8,
+        }[self]
+
+    @property
+    def min_failure_probability_per_hour(self) -> float:
+        """Lower bound of the band (ceiling of the next-stricter SIL)."""
+        return self.max_failure_probability_per_hour / 10.0
+
+
+def reliability_goal_for(level: SafetyIntegrityLevel,
+                         time_unit_ms: float = 3_600_000.0) -> float:
+    """The reliability goal rho = 1 - gamma for a SIL over a time unit.
+
+    gamma scales linearly with the time unit (failure probabilities per
+    hour are rates in the rare-event regime), so a 1-minute unit under
+    SIL3 yields ``gamma = 1e-7 / 60``.
+
+    Args:
+        level: The target SIL.
+        time_unit_ms: The paper's time unit ``u`` in milliseconds;
+            defaults to one hour (the standard's reference).
+
+    Returns:
+        rho in (0, 1).
+    """
+    if time_unit_ms <= 0:
+        raise ValueError(f"time unit must be positive, got {time_unit_ms}")
+    hours = time_unit_ms / 3_600_000.0
+    gamma = level.max_failure_probability_per_hour * hours
+    if gamma >= 1.0:
+        raise ValueError(
+            f"time unit of {time_unit_ms} ms makes gamma >= 1 for {level}"
+        )
+    return 1.0 - gamma

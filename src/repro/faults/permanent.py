@@ -1,0 +1,81 @@
+"""Permanent fault models.
+
+Section III-E classifies faults as transient or permanent: "physical
+damages generally cause the permanent faults that incur long-term
+malfunctioning".  The paper evaluates against transients; permanent
+faults are modelled here because the dual-channel design's headline
+promise -- surviving the loss of one channel -- deserves a test, and
+because combining both classes exercises the scheduler's degradation
+behaviour.
+
+:class:`PermanentFaultScenario` is a fault-oracle *wrapper*: it wraps an
+inner oracle (usually a :class:`TransientFaultInjector`) and
+additionally corrupts every transmission on a channel after that
+channel's configured failure time.  Channel failures model harness
+damage; they hit everything on the channel, matching the bus topology's
+single fault domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.flexray.channel import Channel
+
+__all__ = ["PermanentFaultScenario"]
+
+FaultOracle = Callable[[Channel, int, int], bool]
+
+
+def _clean_medium(channel: Channel, bits: int, time_mt: int) -> bool:
+    return False
+
+
+@dataclass
+class PermanentFaultScenario:
+    """Channel-failure schedule layered over a transient oracle.
+
+    Attributes:
+        inner: The transient fault oracle consulted when the channel is
+            alive (defaults to a perfect medium).
+        channel_failures: ``channel -> absolute failure time`` in
+            macroticks; transmissions at or after that instant on that
+            channel are always corrupted.
+        channel_repairs: Optional ``channel -> repair time``; the
+            channel works again from that instant (models a limp-home
+            reconnect; must be after the failure).
+    """
+
+    inner: FaultOracle = _clean_medium
+    channel_failures: Dict[Channel, int] = field(default_factory=dict)
+    channel_repairs: Dict[Channel, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for channel, failed_at in self.channel_failures.items():
+            if failed_at < 0:
+                raise ValueError(
+                    f"failure time must be >= 0, got {failed_at}"
+                )
+            repaired_at = self.channel_repairs.get(channel)
+            if repaired_at is not None and repaired_at <= failed_at:
+                raise ValueError(
+                    f"channel {channel}: repair at {repaired_at} not "
+                    f"after failure at {failed_at}"
+                )
+        self.permanent_corruptions = 0
+
+    def channel_dead(self, channel: Channel, time_mt: int) -> bool:
+        """Whether the channel is in its failed window at ``time_mt``."""
+        failed_at = self.channel_failures.get(channel)
+        if failed_at is None or time_mt < failed_at:
+            return False
+        repaired_at = self.channel_repairs.get(channel)
+        return repaired_at is None or time_mt < repaired_at
+
+    def __call__(self, channel: Channel, bits: int, time_mt: int) -> bool:
+        """Fault oracle: permanent failure dominates transients."""
+        if self.channel_dead(channel, time_mt):
+            self.permanent_corruptions += 1
+            return True
+        return self.inner(channel, bits, time_mt)

@@ -1,0 +1,118 @@
+"""FlexRay protocol substrate.
+
+A cycle-accurate software model of a FlexRay cluster, built from scratch:
+the time hierarchy (macroticks / cycles), frame format, TDMA static
+segment, FTDMA dynamic segment with minislot counting, dual channels,
+controller-host interface buffering, nodes and cluster topologies.
+
+The model follows the FlexRay 2.1 protocol description summarized in
+Section II of the paper.  All timing arithmetic is in integer macroticks.
+"""
+
+from repro.flexray.arrivals import (
+    ArrivalMultiplexer,
+    MessageSource,
+    PeriodicSource,
+    Release,
+    SporadicSource,
+)
+from repro.flexray.channel import Channel, ChannelSet
+from repro.flexray.chi import ControllerHostInterface, PriorityOutputQueue, StaticBuffer
+from repro.flexray.cluster import FlexRayCluster
+from repro.flexray.clock import MacrotickClock
+from repro.flexray.controller import CommunicationController, ProtocolPhase
+from repro.flexray.cycle import CycleLayout
+from repro.flexray.encoding import (
+    EncodedFrame,
+    encoded_frame_bits,
+    frame_crc,
+    header_crc,
+)
+from repro.flexray.dynamic_segment import DynamicSegmentEngine, DynamicSlotResult
+from repro.flexray.frame import Frame, FrameKind, PendingFrame, frame_duration_mt
+from repro.flexray.node import EcuNode
+from repro.flexray.params import (
+    FRAME_OVERHEAD_BITS,
+    MAX_PAYLOAD_BITS,
+    FlexRayParams,
+    paper_dynamic_preset,
+    paper_static_preset,
+)
+from repro.flexray.policy import SchedulerPolicy
+from repro.flexray.schedule import (
+    ChannelStrategy,
+    ScheduleInfeasibleError,
+    ScheduleTable,
+    SlotAssignment,
+    build_dual_schedule,
+    build_schedule,
+    patterns_conflict,
+    repetition_for_period,
+)
+from repro.flexray.signal import Signal, SignalSet
+from repro.flexray.slots import MinislotCounter, SlotCounter
+from repro.flexray.startup import StartupNode, StartupPhase, StartupSimulation
+from repro.flexray.static_segment import StaticSegmentEngine
+from repro.flexray.sync import ClockSyncService, fault_tolerant_midpoint
+from repro.flexray.topology import BusTopology, HybridTopology, StarTopology, Topology
+from repro.flexray.wakeup import WakeupNode, WakeupResult, WakeupSimulation, WakeupState
+
+__all__ = [
+    "ArrivalMultiplexer",
+    "BusTopology",
+    "Channel",
+    "ChannelSet",
+    "ChannelStrategy",
+    "CommunicationController",
+    "ControllerHostInterface",
+    "CycleLayout",
+    "ClockSyncService",
+    "DynamicSegmentEngine",
+    "DynamicSlotResult",
+    "EncodedFrame",
+    "EcuNode",
+    "FRAME_OVERHEAD_BITS",
+    "FlexRayCluster",
+    "FlexRayParams",
+    "Frame",
+    "FrameKind",
+    "HybridTopology",
+    "MAX_PAYLOAD_BITS",
+    "MacrotickClock",
+    "MessageSource",
+    "MinislotCounter",
+    "PendingFrame",
+    "PeriodicSource",
+    "PriorityOutputQueue",
+    "ProtocolPhase",
+    "Release",
+    "ScheduleInfeasibleError",
+    "ScheduleTable",
+    "SchedulerPolicy",
+    "Signal",
+    "SignalSet",
+    "SlotAssignment",
+    "SlotCounter",
+    "SporadicSource",
+    "StarTopology",
+    "StartupNode",
+    "StartupPhase",
+    "StartupSimulation",
+    "StaticBuffer",
+    "StaticSegmentEngine",
+    "Topology",
+    "WakeupNode",
+    "WakeupResult",
+    "WakeupSimulation",
+    "WakeupState",
+    "build_dual_schedule",
+    "build_schedule",
+    "encoded_frame_bits",
+    "fault_tolerant_midpoint",
+    "frame_crc",
+    "header_crc",
+    "frame_duration_mt",
+    "paper_dynamic_preset",
+    "paper_static_preset",
+    "repetition_for_period",
+]

@@ -1,0 +1,235 @@
+"""The FlexRay cluster: nodes + channels + segment engines + policy.
+
+This is the top of the protocol substrate.  A cluster is assembled from:
+
+- a validated :class:`~repro.flexray.params.FlexRayParams`;
+- a :class:`~repro.flexray.topology.Topology` with one
+  :class:`~repro.flexray.node.EcuNode` per attached ECU;
+- an :class:`~repro.flexray.arrivals.ArrivalMultiplexer` of message
+  sources (the hosts);
+- a :class:`~repro.flexray.policy.SchedulerPolicy` (the system under
+  test: CoEfficient or a baseline);
+- a fault oracle (``(channel, bits, time) -> bool``), normally a
+  :class:`repro.faults.injector.TransientFaultInjector`.
+
+Running the cluster advances communication cycles; each cycle executes
+the static segment (TDMA) then the dynamic segment (FTDMA), delivering
+host arrivals to the policy in exact time order between slots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.flexray.arrivals import ArrivalMultiplexer, MessageSource, Release
+from repro.flexray.channel import Channel, ChannelSet
+from repro.flexray.cycle import CycleLayout
+from repro.flexray.dynamic_segment import DynamicSegmentEngine
+from repro.flexray.node import EcuNode
+from repro.flexray.params import FlexRayParams
+from repro.flexray.policy import SchedulerPolicy
+from repro.flexray.static_segment import StaticSegmentEngine
+from repro.flexray.topology import BusTopology, Topology
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["FlexRayCluster"]
+
+FaultOracle = Callable[[Channel, int, int], bool]
+
+
+def _never_corrupts(channel: Channel, bits: int, time_mt: int) -> bool:
+    """Default fault oracle: a perfect medium."""
+    return False
+
+
+class FlexRayCluster:
+    """A runnable FlexRay cluster simulation.
+
+    Args:
+        params: Cluster configuration.
+        policy: Scheduling policy under test.
+        sources: Host message sources.
+        corrupts: Fault oracle; defaults to a fault-free medium.
+        topology: Interconnect; defaults to a bus sized to the sources'
+            producing ECUs (minimum 2 nodes).
+        node_count: Explicit node count override (>= max producer index).
+    """
+
+    def __init__(
+        self,
+        params: FlexRayParams,
+        policy: SchedulerPolicy,
+        sources: Sequence[MessageSource],
+        corrupts: Optional[FaultOracle] = None,
+        topology: Optional[Topology] = None,
+        node_count: Optional[int] = None,
+    ) -> None:
+        self.params = params
+        self.policy = policy
+        self.layout = CycleLayout(params)
+        self.channels = ChannelSet(params.channel_count)
+        self.trace = TraceRecorder()
+        self._corrupts: FaultOracle = corrupts or _never_corrupts
+        self._multiplexer = ArrivalMultiplexer(sources)
+        self._sources = list(sources)
+
+        required_nodes = max(node_count or 0, 2)
+        self.topology = topology or BusTopology(required_nodes)
+        self.nodes: List[EcuNode] = [
+            EcuNode(node_id) for node_id in self.topology.nodes()
+        ]
+
+        self._static_engine = StaticSegmentEngine(
+            params, self.layout, self.channels, policy,
+            self._corrupts, self.trace,
+        )
+        self._dynamic_engine = DynamicSegmentEngine(
+            params, self.layout, self.channels, policy,
+            self._corrupts, self.trace,
+        )
+        self._cycle = 0
+        self._bound = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """Next communication cycle to execute (0-based)."""
+        return self._cycle
+
+    @property
+    def now_mt(self) -> int:
+        """Start time of the next cycle (the cluster's logical clock)."""
+        return self.layout.cycle_start(self._cycle)
+
+    def node(self, node_id: int) -> EcuNode:
+        """Look up a node by index."""
+        return self.nodes[node_id]
+
+    def _ensure_bound(self) -> None:
+        if not self._bound:
+            self.policy.bind(self)
+            for node in self.nodes:
+                node.start()
+            self._bound = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_cycles(self, count: int) -> None:
+        """Execute ``count`` communication cycles.
+
+        Args:
+            count: Number of cycles (> 0).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._ensure_bound()
+        for __ in range(count):
+            self._execute_one_cycle()
+
+    def run_for_ms(self, milliseconds: float) -> int:
+        """Execute whole cycles spanning at least ``milliseconds``.
+
+        Returns:
+            The number of cycles executed.
+        """
+        if milliseconds <= 0:
+            raise ValueError(f"milliseconds must be positive, got {milliseconds}")
+        horizon_mt = self.params.ms_to_mt(milliseconds)
+        cycles = max(1, -(-horizon_mt // self.params.gd_cycle_mt))
+        self.run_cycles(cycles)
+        return cycles
+
+    def run_until_complete(self, max_cycles: int = 200_000,
+                           settle_cycles: int = 8) -> int:
+        """Run until the whole transmission workload completes (or stalls).
+
+        Used by the running-time experiments: sources are instance-
+        limited and the run continues until every produced instance has
+        been delivered *and* the policy has drained its planned work
+        (redundancy copies included) -- the paper's "completes the
+        message transmission" includes the transmissions its reliability
+        scheme requires, not just first deliveries.
+
+        Args:
+            max_cycles: Hard cap on executed cycles.
+            settle_cycles: Extra cycles allowed with no progress (neither
+                deliveries nor pending-work reduction) before declaring a
+                stall and stopping.
+
+        Returns:
+            The number of cycles executed.
+        """
+        self._ensure_bound()
+        executed = 0
+        stagnant = 0
+        last_progress = (-1, -1)
+        while executed < max_cycles:
+            if self._multiplexer.exhausted:
+                produced = self.trace.instance_count()
+                delivered = self.trace.delivered_count()
+                pending = self.policy.pending_work()
+                if produced and delivered >= produced and pending == 0:
+                    break
+                progress = (delivered, pending)
+                if progress == last_progress:
+                    stagnant += 1
+                    if stagnant > settle_cycles:
+                        break
+                else:
+                    stagnant = 0
+                last_progress = progress
+            self._execute_one_cycle()
+            executed += 1
+        return executed
+
+    def _execute_one_cycle(self) -> None:
+        """Run one full communication cycle (static + dynamic segments)."""
+        cycle = self._cycle
+        start_mt = self.layout.cycle_start(cycle)
+        self._deliver_arrivals_until(start_mt)
+        self.policy.on_cycle_start(cycle, start_mt)
+        self._static_engine.execute_cycle(cycle, self._deliver_arrivals_until)
+        self._dynamic_engine.execute_cycle(cycle, self._deliver_arrivals_until)
+        # Arrivals landing in the symbol window / NIT wait for the next
+        # cycle's delivery pass by construction.
+        self._cycle = cycle + 1
+
+    def _deliver_arrivals_until(self, time_mt: int) -> None:
+        """Flush host releases with generation time <= ``time_mt``."""
+        for release in self._multiplexer.pop_until(time_mt):
+            self.trace.note_instance(
+                release.message_id, release.instance,
+                release.generation_time_mt, release.deadline_mt,
+                chunks=release.chunks,
+            )
+            for pending in release.pendings:
+                producer = pending.frame.producer_ecu
+                if 0 <= producer < len(self.nodes):
+                    self.nodes[producer].controller.note_sent()
+                self.policy.on_arrival(pending)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def metrics(self, horizon_mt: Optional[int] = None) -> SimulationMetrics:
+        """Reduce the trace to the paper's metric set.
+
+        Args:
+            horizon_mt: Measurement window; defaults to the time span the
+                cluster actually executed.
+        """
+        if horizon_mt is None:
+            horizon_mt = max(1, self.now_mt)
+        collector = MetricsCollector(
+            macrotick_us=self.params.gd_macrotick_us,
+            channel_count=self.params.channel_count,
+        )
+        self.policy.on_horizon_end(self.now_mt)
+        return collector.compute(self.trace, horizon_mt)

@@ -1,0 +1,207 @@
+"""FlexRay cluster startup (coldstart and integration).
+
+Before any communication cycle can run, the cluster must agree on a
+common schedule origin.  FlexRay's startup (spec chapter 7) has two
+roles:
+
+- **Coldstart nodes** (>= 2 configured) contend to initiate the
+  schedule: each listens for existing traffic, transmits a Collision
+  Avoidance Symbol (CAS) if the bus is silent, and becomes the *leading*
+  coldstarter if its CAS went out uncontested; colliding coldstarters
+  back off for a node-specific number of slots and retry.
+- **Integrating nodes** listen for the leading coldstarter's startup
+  frames, derive the schedule position from two consecutive ones, and
+  join after a consistency check.
+
+This module models that protocol at cycle granularity -- enough to
+reproduce its observable properties (a unique leader emerges, startup
+completes within a bounded number of cycles, a cluster without two
+operational coldstart nodes never starts), which the tests assert.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.sim.rng import RngStream
+
+__all__ = ["StartupPhase", "StartupNode", "StartupSimulation",
+           "StartupResult"]
+
+#: Consecutive uncontested coldstart cycles required before the leader
+#: declares the schedule consistent (spec: coldstart consistency check
+#: spans several double cycles).
+_COLDSTART_CONSISTENCY_CYCLES = 4
+
+#: Startup frames an integrating node must observe before joining.
+_INTEGRATION_FRAMES_NEEDED = 2
+
+
+class StartupPhase(enum.Enum):
+    """Per-node startup state."""
+
+    LISTEN = "listen"
+    COLDSTART_CAS = "coldstart-cas"
+    COLDSTART_CHECK = "coldstart-check"
+    INTEGRATING = "integrating"
+    NORMAL_ACTIVE = "normal-active"
+    FAILED = "failed"
+
+
+@dataclass
+class StartupNode:
+    """One node participating in startup.
+
+    Attributes:
+        node_id: Cluster-wide index.
+        coldstart_capable: Whether the node may initiate the schedule.
+        operational: Dead nodes neither transmit nor join.
+    """
+
+    node_id: int
+    coldstart_capable: bool = False
+    operational: bool = True
+    phase: StartupPhase = StartupPhase.LISTEN
+    backoff: int = 0
+    consistency_progress: int = 0
+    frames_observed: int = 0
+
+
+@dataclass(frozen=True)
+class StartupResult:
+    """Outcome of a startup simulation."""
+
+    started: bool
+    leader: Optional[int]
+    cycles_taken: int
+    joined: Sequence[int]
+
+    @property
+    def all_joined(self) -> bool:
+        return self.started and len(self.joined) > 0
+
+
+class StartupSimulation:
+    """Cycle-granular startup protocol simulation.
+
+    Args:
+        nodes: The participating nodes.
+        rng: Seeded stream for backoff draws.
+        max_cycles: Give-up bound.
+    """
+
+    def __init__(self, nodes: Sequence[StartupNode], rng: RngStream,
+                 max_cycles: int = 200) -> None:
+        if not nodes:
+            raise ValueError("startup needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids")
+        self._nodes = list(nodes)
+        self._rng = rng
+        self._max_cycles = max_cycles
+        self._leader: Optional[int] = None
+
+    def _operational_coldstarters(self) -> List[StartupNode]:
+        return [n for n in self._nodes
+                if n.coldstart_capable and n.operational
+                and n.phase is not StartupPhase.FAILED]
+
+    def run(self) -> StartupResult:
+        """Run startup to completion (or the give-up bound).
+
+        Returns:
+            A :class:`StartupResult`; ``started`` requires a leader to
+            have passed its consistency check *and* at least one other
+            coldstart node to have joined (the spec's requirement that a
+            schedule be corroborated by a second coldstarter).
+        """
+        if len(self._operational_coldstarters()) < 2:
+            # The spec requires two coldstart nodes to corroborate the
+            # schedule; a lone coldstarter aborts startup.
+            return StartupResult(started=False, leader=None,
+                                 cycles_taken=0, joined=())
+
+        for cycle in range(1, self._max_cycles + 1):
+            if self._step(cycle):
+                joined = tuple(
+                    n.node_id for n in self._nodes
+                    if n.phase is StartupPhase.NORMAL_ACTIVE
+                )
+                return StartupResult(
+                    started=True, leader=self._leader,
+                    cycles_taken=cycle, joined=joined,
+                )
+        return StartupResult(started=False, leader=self._leader,
+                             cycles_taken=self._max_cycles, joined=())
+
+    def _step(self, cycle: int) -> bool:
+        """One cycle of the protocol; returns True when startup is done."""
+        # Phase 1: contention while no leader exists.
+        if self._leader is None:
+            self._contend()
+            return False
+
+        # Phase 2: the leader transmits startup frames; others integrate.
+        leader_node = self._nodes[self._find(self._leader)]
+        if not leader_node.operational:
+            # Leader died mid-startup: restart contention.
+            self._leader = None
+            for node in self._nodes:
+                if node.phase is not StartupPhase.FAILED:
+                    node.phase = StartupPhase.LISTEN
+                    node.consistency_progress = 0
+                    node.frames_observed = 0
+            return False
+
+        leader_node.consistency_progress += 1
+        for node in self._nodes:
+            if node is leader_node or not node.operational:
+                continue
+            if node.phase in (StartupPhase.LISTEN,
+                              StartupPhase.COLDSTART_CAS,
+                              StartupPhase.COLDSTART_CHECK):
+                node.phase = StartupPhase.INTEGRATING
+            if node.phase is StartupPhase.INTEGRATING:
+                node.frames_observed += 1
+                if node.frames_observed >= _INTEGRATION_FRAMES_NEEDED:
+                    node.phase = StartupPhase.NORMAL_ACTIVE
+
+        if leader_node.consistency_progress >= _COLDSTART_CONSISTENCY_CYCLES:
+            # Leader needs a second coldstarter to have joined.
+            corroborated = any(
+                n.coldstart_capable
+                and n.phase is StartupPhase.NORMAL_ACTIVE
+                for n in self._nodes if n is not leader_node
+            )
+            if corroborated:
+                leader_node.phase = StartupPhase.NORMAL_ACTIVE
+                return True
+        return False
+
+    def _contend(self) -> None:
+        """CAS contention among coldstart nodes."""
+        transmitting: List[StartupNode] = []
+        for node in self._operational_coldstarters():
+            if node.backoff > 0:
+                node.backoff -= 1
+                continue
+            node.phase = StartupPhase.COLDSTART_CAS
+            transmitting.append(node)
+        if len(transmitting) == 1:
+            winner = transmitting[0]
+            winner.phase = StartupPhase.COLDSTART_CHECK
+            self._leader = winner.node_id
+        elif len(transmitting) > 1:
+            # Collision: everyone backs off for a distinct random count.
+            for node in transmitting:
+                node.phase = StartupPhase.LISTEN
+                node.backoff = self._rng.randint(1, 2 + node.node_id)
+
+    def _find(self, node_id: int) -> int:
+        for index, node in enumerate(self._nodes):
+            if node.node_id == node_id:
+                return index
+        raise KeyError(node_id)

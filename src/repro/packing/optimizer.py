@@ -1,0 +1,236 @@
+"""Static-schedule optimization (local search).
+
+The paper's related work optimizes static-segment schedules offline
+(Zeng et al. [3], Lukasiewycz et al. [15], both cited in Section V-B);
+the greedy builder in :mod:`repro.flexray.schedule` is fast but
+first-fit.  This module adds a seeded hill-climbing optimizer over slot
+assignments with a three-part objective:
+
+1. **Expected release-to-slot latency** -- for each frame, the in-cycle
+   wait from its preferred phase to its slot's action point, weighted by
+   the frame's firing rate;
+2. **Channel balance** -- the absolute difference of per-channel static
+   load (unbalanced channels starve one channel's slack pool);
+3. **Slack contiguity** -- fewer, longer idle runs (long runs can host
+   consecutive retransmission copies of chunked messages back-to-back).
+
+Moves relocate one frame to another feasible (channel, slot, base)
+triple; first-improvement acceptance keeps the search deterministic for
+a given seed.  The optimizer is exposed both standalone and through the
+policies' ``optimize_iterations`` knob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flexray.channel import Channel
+from repro.flexray.frame import Frame
+from repro.flexray.params import FlexRayParams
+from repro.flexray.schedule import (
+    ScheduleTable,
+    SlotAssignment,
+    patterns_conflict,
+)
+from repro.sim.rng import RngStream
+
+__all__ = ["ScheduleObjective", "ScheduleOptimizer", "schedule_cost"]
+
+
+@dataclass(frozen=True)
+class ScheduleObjective:
+    """Weights of the three cost terms (see module docstring)."""
+
+    latency_weight: float = 1.0
+    balance_weight: float = 0.2
+    contiguity_weight: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("latency_weight", "balance_weight",
+                     "contiguity_weight"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass
+class _Placement:
+    """One frame's mutable placement during the search."""
+
+    frame: Frame
+    channel: Channel
+    slot_id: int
+    base_cycle: int
+
+
+def _slot_action_point(slot_id: int, params: FlexRayParams) -> int:
+    return ((slot_id - 1) * params.gd_static_slot_mt
+            + params.gd_action_point_offset_mt)
+
+
+def _placement_latency(placement: _Placement,
+                       params: FlexRayParams) -> float:
+    """Rate-weighted expected wait from release phase to slot fire."""
+    frame = placement.frame
+    phase = frame.preferred_phase_mt
+    if phase is None:
+        phase = 0
+    action = _slot_action_point(placement.slot_id, params)
+    wait = (action - phase) % params.gd_cycle_mt
+    # A shifted base adds whole cycles of wait.
+    shift = (placement.base_cycle - frame.base_cycle) \
+        % frame.cycle_repetition
+    wait += shift * params.gd_cycle_mt
+    rate = 1.0 / frame.cycle_repetition
+    return wait * rate
+
+
+def _cost(placements: Sequence[_Placement], params: FlexRayParams,
+          objective: ScheduleObjective) -> float:
+    """Full objective over a placement set."""
+    latency = sum(_placement_latency(p, params) for p in placements)
+
+    load: Dict[Channel, float] = {Channel.A: 0.0, Channel.B: 0.0}
+    for placement in placements:
+        load[placement.channel] += 1.0 / placement.frame.cycle_repetition
+    balance = abs(load[Channel.A] - load[Channel.B])
+
+    # Contiguity over cycle 0: count idle runs per channel.
+    runs = 0
+    for channel in (Channel.A, Channel.B):
+        busy = {p.slot_id for p in placements
+                if p.channel is channel and p.base_cycle == 0}
+        in_run = False
+        for slot in range(1, params.g_number_of_static_slots + 1):
+            idle = slot not in busy
+            if idle and not in_run:
+                runs += 1
+            in_run = idle
+    return (objective.latency_weight * latency
+            + objective.balance_weight * balance
+            * params.gd_cycle_mt
+            + objective.contiguity_weight * runs
+            * params.gd_static_slot_mt)
+
+
+def schedule_cost(table: ScheduleTable, params: FlexRayParams,
+                  objective: Optional[ScheduleObjective] = None) -> float:
+    """Objective value of an existing schedule table."""
+    objective = objective or ScheduleObjective()
+    placements = [
+        _Placement(frame=assignment.frame, channel=channel,
+                   slot_id=assignment.slot_id,
+                   base_cycle=assignment.frame.base_cycle)
+        for channel in (Channel.A, Channel.B)
+        for assignment in table.assignments(channel)
+    ]
+    return _cost(placements, params, objective)
+
+
+class ScheduleOptimizer:
+    """Seeded first-improvement hill climbing over slot assignments.
+
+    Args:
+        params: Cluster configuration.
+        objective: Cost weights.
+        rng: Seeded stream driving the proposal sequence.
+    """
+
+    def __init__(self, params: FlexRayParams,
+                 objective: Optional[ScheduleObjective] = None,
+                 rng: Optional[RngStream] = None) -> None:
+        self._params = params
+        self._objective = objective or ScheduleObjective()
+        self._rng = rng or RngStream(0, "schedule-optimizer")
+        self.proposals = 0
+        self.improvements = 0
+
+    # ------------------------------------------------------------------
+
+    def _feasible(self, placements: List[_Placement], index: int,
+                  channel: Channel, slot_id: int, base: int) -> bool:
+        """Would moving placement ``index`` there keep the table valid?"""
+        candidate = placements[index]
+        for other_index, other in enumerate(placements):
+            if other_index == index:
+                continue
+            if other.channel is not channel or other.slot_id != slot_id:
+                continue
+            if patterns_conflict(other.base_cycle,
+                                 other.frame.cycle_repetition,
+                                 base, candidate.frame.cycle_repetition):
+                return False
+        return True
+
+    def optimize_table(self, table: ScheduleTable,
+                       iterations: int = 500) -> ScheduleTable:
+        """Improve an existing table; returns a new one.
+
+        Args:
+            table: Starting point (e.g. the greedy builder's output).
+            iterations: Random proposals to evaluate.
+        """
+        if iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        params = self._params
+        placements: List[_Placement] = [
+            _Placement(frame=assignment.frame, channel=channel,
+                       slot_id=assignment.slot_id,
+                       base_cycle=assignment.frame.base_cycle)
+            for channel in (Channel.A, Channel.B)
+            for assignment in table.assignments(channel)
+        ]
+        if not placements:
+            return table
+
+        channels = [Channel.A]
+        if params.channel_count == 2:
+            channels.append(Channel.B)
+        current_cost = _cost(placements, params, self._objective)
+
+        for __ in range(iterations):
+            self.proposals += 1
+            index = self._rng.randint(0, len(placements) - 1)
+            placement = placements[index]
+            new_channel = self._rng.choice(channels)
+            new_slot = self._rng.randint(
+                1, params.g_number_of_static_slots)
+            repetition = placement.frame.cycle_repetition
+            max_shift = min(placement.frame.base_flexibility,
+                            repetition - 1)
+            shift = self._rng.randint(0, max_shift) if max_shift else 0
+            new_base = (placement.frame.base_cycle + shift) % repetition
+            if (new_channel is placement.channel
+                    and new_slot == placement.slot_id
+                    and new_base == placement.base_cycle):
+                continue
+            if not self._feasible(placements, index, new_channel,
+                                  new_slot, new_base):
+                continue
+            old = (placement.channel, placement.slot_id,
+                   placement.base_cycle)
+            placement.channel = new_channel
+            placement.slot_id = new_slot
+            placement.base_cycle = new_base
+            new_cost = _cost(placements, params, self._objective)
+            if new_cost < current_cost:
+                current_cost = new_cost
+                self.improvements += 1
+            else:
+                (placement.channel, placement.slot_id,
+                 placement.base_cycle) = old
+
+        return self._to_table(placements)
+
+    def _to_table(self, placements: Sequence[_Placement]) -> ScheduleTable:
+        table = ScheduleTable(self._params)
+        for placement in placements:
+            bound = dataclasses.replace(
+                placement.frame,
+                frame_id=placement.slot_id,
+                base_cycle=placement.base_cycle,
+            )
+            table.assign(placement.channel, SlotAssignment(
+                slot_id=placement.slot_id, frame=bound))
+        return table

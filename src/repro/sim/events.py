@@ -1,0 +1,40 @@
+"""Typed event records for the simulation kernel.
+
+The FlexRay cluster advances cycle-by-cycle, but everything that happens
+*around* the protocol -- message generation at the hosts, experiment
+checkpoints, fault-environment changes -- is modelled as kernel events so
+that all activity shares one totally-ordered simulated clock.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["EventKind"]
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of events the kernel schedules.
+
+    The integer values double as deterministic tie-breakers: when two
+    events share a timestamp, the lower-valued kind runs first.  Cycle
+    starts must precede message arrivals at the same instant so that a
+    message arriving exactly at a cycle boundary is considered for *that*
+    cycle's dynamic segment, matching the FlexRay controller behaviour of
+    latching the send queue at the segment start.
+    """
+
+    CYCLE_START = 0
+    """A FlexRay communication cycle begins."""
+
+    MESSAGE_ARRIVAL = 1
+    """A host produces a new message instance (periodic or aperiodic)."""
+
+    RETRANSMIT_REQUEST = 2
+    """The scheduler requests a retransmission of a corrupted frame."""
+
+    CHECKPOINT = 3
+    """Experiment-level bookkeeping (metric snapshots, horizon checks)."""
+
+    CUSTOM = 4
+    """Escape hatch for tests and extensions."""

@@ -1,0 +1,234 @@
+"""Metric computation over transmission traces.
+
+The paper evaluates four metrics (Section IV-B); each has a direct
+counterpart here, computed as a pure function of a
+:class:`~repro.sim.trace.TraceRecorder`:
+
+1. **Running time** -- simulated time until a fixed workload of message
+   instances has been fully delivered (Figures 1 and 2).
+2. **Bandwidth utilization** -- "the ratio of the bandwidth that is
+   actually used to the whole bandwidth" (Figure 3).  We count macroticks
+   that carried *unique, successfully delivered* payload; redundant
+   duplicate copies and corrupted attempts occupy the medium but do not
+   contribute useful bandwidth.
+3. **Transmission latency** -- generation time to first successful
+   delivery, per segment (Figure 4).
+4. **Deadline miss ratio** -- "the number of missing-deadline messages
+   divided by the total number of the transmitted messages" (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
+
+__all__ = ["LatencyStats", "SimulationMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    median_ms: float
+    p95_ms: float
+    maximum_ms: float
+
+    @staticmethod
+    def from_macroticks(samples_mt: List[int], macrotick_us: float) -> "LatencyStats":
+        """Summarize latency samples given the macrotick length in microseconds."""
+        if not samples_mt:
+            return LatencyStats(count=0, mean_ms=0.0, median_ms=0.0,
+                                p95_ms=0.0, maximum_ms=0.0)
+        to_ms = macrotick_us / 1000.0
+        values = sorted(s * to_ms for s in samples_mt)
+        p95_index = min(len(values) - 1, int(math.ceil(0.95 * len(values))) - 1)
+        return LatencyStats(
+            count=len(values),
+            mean_ms=statistics.fmean(values),
+            median_ms=statistics.median(values),
+            p95_ms=values[p95_index],
+            maximum_ms=values[-1],
+        )
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """The complete metric set of one simulation run.
+
+    Attributes:
+        horizon_mt: Simulated duration over which metrics were computed.
+        macrotick_us: Macrotick length used for unit conversion.
+        running_time_ms: Time until the last instance delivery (paper's
+            "running time"); ``inf`` if some instance was never delivered.
+        last_delivery_ms: Time of the last successful instance delivery
+            regardless of completeness (finite whenever anything was
+            delivered) -- the robust variant of running time when a lossy
+            baseline permanently drops a few instances.
+        bandwidth_utilization: Useful-payload macroticks / total medium
+            macroticks across both channels, in ``[0, 1]``.
+        gross_utilization: Occupied macroticks (including corrupted and
+            redundant attempts) / total medium macroticks.
+        static_latency: Latency summary for static-segment messages.
+        dynamic_latency: Latency summary for dynamic-segment messages.
+        deadline_miss_ratio: Missed instances / produced instances.
+        produced_instances: Message instances produced by hosts.
+        delivered_instances: Instances delivered at least once.
+        total_attempts: Frame transmission attempts, both channels.
+        corrupted_attempts: Attempts lost to transient faults.
+        retransmission_attempts: Attempts flagged as retransmissions.
+    """
+
+    horizon_mt: int
+    macrotick_us: float
+    running_time_ms: float
+    last_delivery_ms: float
+    bandwidth_utilization: float
+    gross_utilization: float
+    static_latency: LatencyStats
+    dynamic_latency: LatencyStats
+    deadline_miss_ratio: float
+    produced_instances: int
+    delivered_instances: int
+    total_attempts: int
+    corrupted_attempts: int
+    retransmission_attempts: int
+
+    @property
+    def efficiency(self) -> float:
+        """Useful share of the occupied bandwidth.
+
+        ``bandwidth_utilization / gross_utilization``: 1.0 means every
+        occupied macrotick carried unique delivered payload; redundancy,
+        corruption and protocol overhead pull it down.
+        """
+        if self.gross_utilization == 0:
+            return 0.0
+        return self.bandwidth_utilization / self.gross_utilization
+
+    def summary_row(self) -> Dict[str, float]:
+        """Flat dict of headline numbers, convenient for table printing."""
+        return {
+            "running_time_ms": round(self.running_time_ms, 3),
+            "bandwidth_utilization": round(self.bandwidth_utilization, 4),
+            "efficiency": round(self.efficiency, 4),
+            "static_latency_ms": round(self.static_latency.mean_ms, 3),
+            "dynamic_latency_ms": round(self.dynamic_latency.mean_ms, 3),
+            "deadline_miss_ratio": round(self.deadline_miss_ratio, 4),
+        }
+
+
+class MetricsCollector:
+    """Computes :class:`SimulationMetrics` from a trace.
+
+    Args:
+        macrotick_us: Macrotick length in microseconds.
+        channel_count: Number of physical channels the medium offers
+            (2 for a dual-channel FlexRay cluster); the utilization
+            denominator is ``horizon * channel_count``.
+    """
+
+    def __init__(self, macrotick_us: float, channel_count: int = 2) -> None:
+        if macrotick_us <= 0:
+            raise ValueError(f"macrotick_us must be positive, got {macrotick_us}")
+        if channel_count < 1:
+            raise ValueError(f"channel_count must be >= 1, got {channel_count}")
+        self._macrotick_us = macrotick_us
+        self._channel_count = channel_count
+
+    def compute(self, trace: TraceRecorder, horizon_mt: int) -> SimulationMetrics:
+        """Reduce a trace over ``[0, horizon_mt]`` to a metric set.
+
+        Args:
+            trace: Completed transmission trace.
+            horizon_mt: Simulated duration in macroticks (> 0).
+        """
+        if horizon_mt <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_mt}")
+
+        total_medium_mt = horizon_mt * self._channel_count
+        useful_mt = 0
+        occupied_mt = 0
+        corrupted = 0
+        retransmissions = 0
+        attempts = 0
+        # Per-instance: count payload macroticks only for the first
+        # successful delivery, so duplicated channel-B copies (FSPEC) do
+        # not inflate useful bandwidth.
+        first_delivery_counted: set = set()
+
+        for record in trace:
+            attempts += 1
+            duration = record.end - record.start
+            occupied_mt += duration
+            if record.is_retransmission:
+                retransmissions += 1
+            if record.outcome is TransmissionOutcome.CORRUPTED:
+                corrupted += 1
+            elif record.outcome is TransmissionOutcome.DELIVERED:
+                key = (record.message_id, record.instance, record.chunk)
+                if key not in first_delivery_counted:
+                    first_delivery_counted.add(key)
+                    if record.bits > 0:
+                        useful_mt += duration * record.payload_bits / record.bits
+
+        static_samples, dynamic_samples = self._latency_samples(trace)
+
+        produced = trace.instance_count()
+        missed = len(trace.missed_instances())
+        last_delivery = trace.last_delivery_time()
+        last_delivery_ms = (0.0 if last_delivery is None
+                            else last_delivery * self._macrotick_us / 1000.0)
+        if produced == 0:
+            running_time_ms = 0.0
+        elif trace.delivered_count() < produced or last_delivery is None:
+            running_time_ms = float("inf")
+        else:
+            running_time_ms = last_delivery_ms
+
+        return SimulationMetrics(
+            horizon_mt=horizon_mt,
+            macrotick_us=self._macrotick_us,
+            running_time_ms=running_time_ms,
+            last_delivery_ms=last_delivery_ms,
+            bandwidth_utilization=min(1.0, useful_mt / total_medium_mt),
+            gross_utilization=min(1.0, occupied_mt / total_medium_mt),
+            static_latency=LatencyStats.from_macroticks(
+                static_samples, self._macrotick_us),
+            dynamic_latency=LatencyStats.from_macroticks(
+                dynamic_samples, self._macrotick_us),
+            deadline_miss_ratio=(missed / produced) if produced else 0.0,
+            produced_instances=produced,
+            delivered_instances=trace.delivered_count(),
+            total_attempts=attempts,
+            corrupted_attempts=corrupted,
+            retransmission_attempts=retransmissions,
+        )
+
+    def _latency_samples(self, trace: TraceRecorder) -> Tuple[List[int], List[int]]:
+        """Split per-instance delivery latencies by originating segment.
+
+        An instance is attributed to the segment of its *first* attempt:
+        a static message whose retransmission happened to ride in the
+        dynamic segment still counts as static traffic.
+        """
+        segment_of_instance: Dict[Tuple[str, int], str] = {}
+        for record in trace:
+            key = (record.message_id, record.instance)
+            if key not in segment_of_instance:
+                segment_of_instance[key] = record.segment
+
+        static_samples: List[int] = []
+        dynamic_samples: List[int] = []
+        for message_id, instance, latency in trace.latencies():
+            segment = segment_of_instance.get((message_id, instance), "static")
+            if segment == "dynamic":
+                dynamic_samples.append(latency)
+            else:
+                static_samples.append(latency)
+        return static_samples, dynamic_samples

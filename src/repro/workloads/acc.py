@@ -1,0 +1,66 @@
+"""Adaptive Cruise Controller case study (paper Table III, verbatim).
+
+Twenty periodic messages with 16, 24 and 32 ms periods, implicit
+deadlines and sizes of 256, 1024 or 1280 bits.  As with BBW, the paper
+omits the ECU mapping; an ACC system conventionally involves a radar
+unit, the engine controller and the brake controller, so messages are
+spread round-robin over ``ecu_count`` nodes (default 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.flexray.signal import Signal, SignalSet
+
+__all__ = ["ACC_TABLE", "acc_signals"]
+
+#: Table III rows: (offset_ms, period_ms, deadline_ms, size_bits).
+ACC_TABLE: List[Tuple[float, float, float, int]] = [
+    (0.42, 16, 16, 1024),
+    (0.62, 16, 16, 1024),
+    (0.58, 16, 16, 1024),
+    (0.25, 16, 16, 1024),
+    (0.39, 16, 16, 1024),
+    (0.48, 24, 24, 1024),
+    (0.22, 24, 24, 1024),
+    (0.51, 24, 24, 1024),
+    (0.32, 24, 24, 1024),
+    (0.47, 24, 24, 1024),
+    (0.65, 24, 24, 1024),
+    (0.42, 24, 24, 1024),
+    (0.31, 32, 32, 1280),
+    (0.56, 32, 32, 1280),
+    (0.48, 32, 32, 1280),
+    (0.32, 32, 32, 256),
+    (0.66, 32, 32, 256),
+    (0.42, 32, 32, 256),
+    (0.26, 32, 32, 1280),
+    (0.35, 32, 32, 256),
+]
+
+
+def acc_signals(ecu_count: int = 3) -> SignalSet:
+    """The Adaptive Cruise Controller message set as a :class:`SignalSet`.
+
+    Args:
+        ecu_count: Number of ECUs to spread the messages over
+            (round-robin by table row).
+
+    Returns:
+        Twenty periodic signals named ``acc-01`` .. ``acc-20``.
+    """
+    if ecu_count < 1:
+        raise ValueError(f"ecu_count must be >= 1, got {ecu_count}")
+    signals = [
+        Signal(
+            name=f"acc-{index + 1:02d}",
+            ecu=index % ecu_count,
+            period_ms=period,
+            offset_ms=offset,
+            deadline_ms=deadline,
+            size_bits=size,
+        )
+        for index, (offset, period, deadline, size) in enumerate(ACC_TABLE)
+    ]
+    return SignalSet(signals, name="adaptive-cruise-controller")

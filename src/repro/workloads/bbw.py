@@ -1,0 +1,67 @@
+"""Brake-By-Wire case study (paper Table II, verbatim).
+
+Twenty periodic messages with 1 ms and 8 ms periods, implicit deadlines
+(D = T) and sizes from 285 to 1742 bits.  The paper does not publish the
+ECU mapping; a brake-by-wire system is conventionally four wheel-node
+ECUs plus a pedal unit, so messages are assigned round-robin over
+``ecu_count`` nodes (default 5) -- the assignment only affects which
+signals the packer may merge, not the timing parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.flexray.signal import Signal, SignalSet
+
+__all__ = ["BBW_TABLE", "bbw_signals"]
+
+#: Table II rows: (offset_ms, period_ms, deadline_ms, size_bits).
+BBW_TABLE: List[Tuple[float, float, float, int]] = [
+    (0.28, 8, 8, 1292),
+    (0.76, 8, 8, 285),
+    (0.58, 1, 1, 1574),
+    (0.72, 1, 1, 552),
+    (0.87, 1, 1, 348),
+    (0.92, 1, 1, 469),
+    (0.34, 1, 1, 1184),
+    (0.28, 8, 8, 875),
+    (0.75, 8, 8, 759),
+    (0.52, 8, 8, 932),
+    (0.95, 8, 8, 1261),
+    (0.62, 8, 8, 633),
+    (0.72, 8, 8, 452),
+    (0.85, 8, 8, 342),
+    (0.91, 8, 8, 856),
+    (0.47, 8, 8, 1578),
+    (0.56, 1, 1, 1742),
+    (0.58, 1, 1, 553),
+    (0.92, 1, 1, 1172),
+    (0.68, 1, 1, 878),
+]
+
+
+def bbw_signals(ecu_count: int = 5) -> SignalSet:
+    """The Brake-By-Wire message set as a :class:`SignalSet`.
+
+    Args:
+        ecu_count: Number of ECUs to spread the messages over
+            (round-robin by table row).
+
+    Returns:
+        Twenty periodic signals named ``bbw-01`` .. ``bbw-20``.
+    """
+    if ecu_count < 1:
+        raise ValueError(f"ecu_count must be >= 1, got {ecu_count}")
+    signals = [
+        Signal(
+            name=f"bbw-{index + 1:02d}",
+            ecu=index % ecu_count,
+            period_ms=period,
+            offset_ms=offset,
+            deadline_ms=deadline,
+            size_bits=size,
+        )
+        for index, (offset, period, deadline, size) in enumerate(BBW_TABLE)
+    ]
+    return SignalSet(signals, name="brake-by-wire")

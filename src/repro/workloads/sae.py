@@ -1,0 +1,77 @@
+"""SAE J2056/1-style aperiodic message set (Section IV-A).
+
+    "Our experiments make use of a suitable timing property in terms of
+    aperiodic messages by studying a message set from Society for
+    Automotive Engineers.  We hence set aperiodic messages to be a
+    period and a deadline to be 50 ms.  Moreover, we use 30 aperiodic
+    messages ... The experiments uniformly distribute the aperiodic
+    messages into 10 FlexRay nodes."
+
+The SAE Class C benchmark's sporadic messages are short (1-8 byte)
+event-triggered signals; sizes here are drawn seeded from that range.
+Frame IDs (81-110 or 121-150 in the paper, depending on the static slot
+count) are assigned downstream by the packer from the messages'
+priorities, reproducing the paper's numbering automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.flexray.signal import Signal, SignalSet
+from repro.sim.rng import RngStream
+
+__all__ = ["sae_aperiodic_signals"]
+
+
+def sae_aperiodic_signals(
+    count: int = 30,
+    seed: int = 11,
+    ecu_count: int = 10,
+    interarrival_ms: float = 50.0,
+    deadline_ms: float = 50.0,
+    min_size_bits: int = 8,
+    max_size_bits: int = 64,
+) -> SignalSet:
+    """Generate the SAE-style sporadic (dynamic-segment) message set.
+
+    Args:
+        count: Number of aperiodic messages (paper: 30).
+        seed: RNG seed for the size draws.
+        ecu_count: Nodes the messages are spread over (paper: 10).
+        interarrival_ms: Minimum inter-arrival time (paper: 50 ms).
+        deadline_ms: Soft deadline (paper: 50 ms).
+        min_size_bits: Smallest message payload (SAE Class C signals
+            are 1-8 bytes).
+        max_size_bits: Largest message payload.
+
+    Returns:
+        A :class:`SignalSet` of ``count`` aperiodic signals named
+        ``sae-01``..; priorities follow the index (lower index = higher
+        priority), which downstream becomes the frame-ID order.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if ecu_count < 1:
+        raise ValueError(f"ecu_count must be >= 1, got {ecu_count}")
+    if not 0 < min_size_bits <= max_size_bits:
+        raise ValueError(
+            f"invalid size range [{min_size_bits}, {max_size_bits}]"
+        )
+    rng = RngStream(seed, scope=f"sae/{count}")
+    signals: List[Signal] = []
+    for index in range(count):
+        size = rng.randint(min_size_bits, max_size_bits)
+        offset = round(rng.uniform(0.0, interarrival_ms), 2)
+        signals.append(Signal(
+            name=f"sae-{index + 1:02d}",
+            ecu=index % ecu_count,
+            period_ms=interarrival_ms,
+            offset_ms=offset,
+            deadline_ms=deadline_ms,
+            size_bits=size,
+            priority=index + 1,
+            aperiodic=True,
+            min_interarrival_ms=interarrival_ms,
+        ))
+    return SignalSet(signals, name=f"sae-aperiodic-{count}")

@@ -1,0 +1,55 @@
+"""Unit tests for busy-period computation."""
+
+import pytest
+
+from repro.analysis.busy_period import level_i_busy_period, synchronous_busy_period
+
+
+class TestLevelBusyPeriod:
+    def test_single_task(self):
+        assert level_i_busy_period([(2, 10)], 0) == 2
+
+    def test_two_tasks_textbook(self):
+        # C=2 T=5 and C=3 T=10: L = 2+3 = 5 is already the fixed point
+        # of L = ceil(L/5)*2 + ceil(L/10)*3.
+        assert level_i_busy_period([(2, 5), (3, 10)], 1) == 5
+
+    def test_longer_busy_period(self):
+        # C=3 T=5 and C=3 T=10: 6 -> ceil(6/5)*3+ceil(6/10)*3 = 9
+        # -> ceil(9/5)*3 + ceil(9/10)*3 = 9 (fixed point).
+        assert level_i_busy_period([(3, 5), (3, 10)], 1) == 9
+
+    def test_level_zero_ignores_lower(self):
+        assert level_i_busy_period([(2, 5), (3, 10)], 0) == 2
+
+    def test_busy_period_grows_with_level(self):
+        tasks = [(1, 4), (2, 8), (3, 12)]
+        lengths = [level_i_busy_period(tasks, level) for level in range(3)]
+        assert lengths == sorted(lengths)
+
+    def test_full_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            level_i_busy_period([(5, 10), (5, 10)], 1)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            level_i_busy_period([(1, 10)], 1)
+
+    def test_rejects_bad_tasks(self):
+        with pytest.raises(ValueError):
+            level_i_busy_period([(0, 10)], 0)
+        with pytest.raises(ValueError):
+            level_i_busy_period([(1, 0)], 0)
+
+
+class TestSynchronousBusyPeriod:
+    def test_empty(self):
+        assert synchronous_busy_period([]) == 0
+
+    def test_equals_lowest_level(self):
+        tasks = [(2, 5), (3, 10)]
+        assert synchronous_busy_period(tasks) == \
+            level_i_busy_period(tasks, 1)
+
+    def test_low_utilization_short(self):
+        assert synchronous_busy_period([(1, 100), (1, 200)]) == 2

@@ -1,0 +1,83 @@
+"""Unit tests for worst-case response-time analysis."""
+
+import pytest
+
+from repro.analysis.response_time import (
+    is_schedulable,
+    response_time_analysis,
+    worst_case_response_time,
+)
+
+
+class TestWorstCaseResponseTime:
+    def test_highest_priority_is_own_execution(self):
+        assert worst_case_response_time([(3, 10), (4, 20)], 0) == 3
+
+    def test_textbook_example(self):
+        # Classic: C=(1,2,3), T=(4,8,16).
+        tasks = [(1, 4), (2, 8), (3, 16)]
+        assert worst_case_response_time(tasks, 0) == 1
+        assert worst_case_response_time(tasks, 1) == 3
+        # R2 = 3 + ceil(R/4)*1 + ceil(R/8)*2 -> fixed point 7.
+        assert worst_case_response_time(tasks, 2) == 7
+
+    def test_blocking_adds(self):
+        tasks = [(1, 4), (2, 8)]
+        base = worst_case_response_time(tasks, 0)
+        blocked = worst_case_response_time(tasks, 0, blocking=2)
+        assert blocked == base + 2
+
+    def test_over_period_fixed_point_reported(self):
+        # Utilization 1.1: the recurrence still converges, but past the
+        # period -- the schedulability check must reject it.
+        tasks = [(5, 10), (6, 10)]
+        assert worst_case_response_time(tasks, 1) == 16
+
+    def test_over_period_plateau_fixed_point(self):
+        # ceil-interference plateaus create fixed points even past the
+        # period; schedulability (not the recurrence) rejects these.
+        tasks = [(7, 10), (7, 10)]
+        assert worst_case_response_time(tasks, 1) == 28
+
+    def test_divergence_returns_none(self):
+        # Interference grows geometrically: no fixed point below the
+        # guard -> None.
+        tasks = [(3, 2), (1, 5)]
+        assert worst_case_response_time(tasks, 1) is None
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            worst_case_response_time([(1, 4)], 1)
+
+    def test_rejects_negative_blocking(self):
+        with pytest.raises(ValueError):
+            worst_case_response_time([(1, 4)], 0, blocking=-1)
+
+    def test_response_time_monotone_in_priority(self):
+        tasks = [(1, 10), (1, 10), (1, 10), (1, 10)]
+        responses = [worst_case_response_time(tasks, i) for i in range(4)]
+        assert responses == [1, 2, 3, 4]
+
+
+class TestFullAnalysis:
+    def test_all_tasks_analyzed(self):
+        tasks = [(1, 4, 4), (2, 8, 8), (3, 16, 16)]
+        results = response_time_analysis(tasks)
+        assert results == {0: 1, 1: 3, 2: 7}
+
+    def test_schedulable(self):
+        assert is_schedulable([(1, 4, 4), (2, 8, 8), (3, 16, 16)])
+
+    def test_unschedulable_by_deadline(self):
+        assert not is_schedulable([(1, 4, 4), (2, 8, 8), (3, 16, 6)])
+
+    def test_over_period_unschedulable(self):
+        assert not is_schedulable([(5, 10, 10), (6, 10, 10)])
+
+    def test_unschedulable_by_divergence(self):
+        assert not is_schedulable([(3, 2, 2), (1, 5, 5)])
+
+    def test_blocking_can_break_schedulability(self):
+        tasks = [(2, 4, 4), (2, 8, 8)]
+        assert is_schedulable(tasks)
+        assert not is_schedulable(tasks, blocking=3)

@@ -1,0 +1,123 @@
+"""Unit tests for the hard-aperiodic acceptance test."""
+
+import pytest
+
+from repro.core.acceptance import AcceptanceTest
+from repro.core.tasks import AperiodicTask, PeriodicTask, TaskSet
+
+
+def task_set(*specs):
+    return TaskSet([
+        PeriodicTask(name=name, execution=c, period=t, deadline=d)
+        for name, c, t, d in specs
+    ])
+
+
+@pytest.fixture
+def light_test():
+    return AcceptanceTest(task_set(("hi", 1, 4, 4), ("lo", 2, 10, 10)))
+
+
+@pytest.fixture
+def heavy_test():
+    return AcceptanceTest(task_set(("hi", 3, 4, 4), ("lo", 2, 10, 10)))
+
+
+class TestAdmission:
+    def test_feasible_admitted(self, light_test):
+        result = light_test.admit(
+            AperiodicTask(name="j", arrival=0, execution=3, deadline=10))
+        assert result.admitted
+        assert result.projected_completion is not None
+        assert result.projected_completion <= 10
+
+    def test_infeasible_rejected(self, heavy_test):
+        # Only ~1 unit of slack per 4-unit window: 6 units by t=8 is
+        # impossible.
+        result = heavy_test.admit(
+            AperiodicTask(name="j", arrival=0, execution=6, deadline=8))
+        assert not result.admitted
+
+    def test_soft_task_rejected_from_admission(self, light_test):
+        with pytest.raises(ValueError):
+            light_test.admit(AperiodicTask(name="j", arrival=0, execution=1))
+
+    def test_admitted_joins_guaranteed_set(self, light_test):
+        task = AperiodicTask(name="j", arrival=0, execution=2, deadline=10)
+        light_test.admit(task)
+        assert [t.name for t in light_test.guaranteed] == ["j"]
+
+    def test_rejected_not_added(self, heavy_test):
+        heavy_test.admit(
+            AperiodicTask(name="j", arrival=0, execution=6, deadline=8))
+        assert heavy_test.guaranteed == []
+
+    def test_previously_guaranteed_protected(self, light_test):
+        first = AperiodicTask(name="first", arrival=0, execution=5,
+                              deadline=12)
+        assert light_test.admit(first).admitted
+        # A second task that would push `first` past its deadline must
+        # be rejected even if it alone would fit.
+        second = AperiodicTask(name="second", arrival=0, execution=5,
+                               deadline=12)
+        result = light_test.admit(second)
+        if result.admitted:
+            # If admitted, the trial must have shown both fit -- verify
+            # with an actual schedule.
+            from repro.core.slack_stealing import SlackStealer
+            outcome = SlackStealer(
+                task_set(("hi", 1, 4, 4), ("lo", 2, 10, 10))
+            ).run([first, second], until=30)
+            assert outcome.aperiodic_completions["first"] <= 12
+        else:
+            assert "previously guaranteed" in result.reason or \
+                   "new task" in result.reason or "slack" in result.reason
+
+    def test_admission_capacity_shrinks(self, light_test):
+        admitted = 0
+        for index in range(10):
+            task = AperiodicTask(name=f"j{index}", arrival=0, execution=2,
+                                 deadline=15)
+            if light_test.admit(task).admitted:
+                admitted += 1
+        # The window [0, 15] has limited slack: not all ten admitted.
+        assert 1 <= admitted < 10
+
+
+class TestQuickReject:
+    def test_upper_bound_rejects_impossible(self, heavy_test):
+        task = AperiodicTask(name="j", arrival=0, execution=100,
+                             deadline=104)
+        assert heavy_test.quick_reject(task)
+
+    def test_does_not_reject_feasible(self, light_test):
+        task = AperiodicTask(name="j", arrival=0, execution=2, deadline=10)
+        assert not light_test.quick_reject(task)
+
+    def test_soft_never_quick_rejected(self, light_test):
+        task = AperiodicTask(name="j", arrival=0, execution=100)
+        assert not light_test.quick_reject(task)
+
+    def test_backlog_counts_against_window(self, light_test):
+        light_test.admit(AperiodicTask(name="a", arrival=0, execution=5,
+                                       deadline=20))
+        light_test.admit(AperiodicTask(name="b", arrival=0, execution=5,
+                                       deadline=20))
+        crowded = AperiodicTask(name="c", arrival=0, execution=8,
+                                deadline=20)
+        assert light_test.quick_reject(crowded)
+
+
+class TestExpiry:
+    def test_expire_removes_past_deadlines(self, light_test):
+        light_test.admit(AperiodicTask(name="j", arrival=0, execution=2,
+                                       deadline=10))
+        removed = light_test.expire(now=11)
+        assert removed == 1
+        assert light_test.guaranteed == []
+
+    def test_expire_keeps_live(self, light_test):
+        light_test.admit(AperiodicTask(name="j", arrival=0, execution=2,
+                                       deadline=10))
+        assert light_test.expire(now=5) == 0
+        assert len(light_test.guaranteed) == 1

@@ -1,0 +1,111 @@
+"""Unit tests for the task models."""
+
+import pytest
+
+from repro.core.tasks import AperiodicTask, PeriodicTask, TaskSet
+
+
+def periodic(name="t", execution=2, period=10, deadline=10, offset=0):
+    return PeriodicTask(name=name, execution=execution, period=period,
+                        deadline=deadline, offset=offset)
+
+
+class TestPeriodicTask:
+    def test_valid(self):
+        task = periodic()
+        assert task.utilization == pytest.approx(0.2)
+
+    @pytest.mark.parametrize("overrides", [
+        {"execution": 0},
+        {"period": 0},
+        {"deadline": 0},
+        {"deadline": 11},
+        {"offset": 11},
+        {"execution": 9, "deadline": 8},
+    ])
+    def test_rejects(self, overrides):
+        with pytest.raises(ValueError):
+            periodic(**overrides)
+
+    def test_release_times(self):
+        task = periodic(offset=3)
+        assert task.release_time(0) == 3
+        assert task.release_time(2) == 23
+
+    def test_release_rejects_negative(self):
+        with pytest.raises(ValueError):
+            periodic().release_time(-1)
+
+    def test_absolute_deadline(self):
+        task = periodic(offset=3, deadline=7)
+        assert task.absolute_deadline(1) == 20
+
+    def test_jobs_released_by(self):
+        task = periodic(offset=3, period=10)
+        assert task.jobs_released_by(2) == 0
+        assert task.jobs_released_by(3) == 1
+        assert task.jobs_released_by(13) == 2
+
+
+class TestAperiodicTask:
+    def test_hard(self):
+        task = AperiodicTask(name="j", arrival=5, execution=3, deadline=10)
+        assert task.hard
+        assert task.absolute_deadline == 15
+
+    def test_soft(self):
+        task = AperiodicTask(name="j", arrival=5, execution=3)
+        assert not task.hard
+        assert task.absolute_deadline is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"arrival": -1, "execution": 1},
+        {"arrival": 0, "execution": 0},
+        {"arrival": 0, "execution": 5, "deadline": 4},
+    ])
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            AperiodicTask(name="j", **kwargs)
+
+
+class TestTaskSet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([periodic(), periodic()])
+
+    def test_deadline_monotonic_order(self):
+        tasks = TaskSet.deadline_monotonic([
+            periodic(name="lax", deadline=9),
+            periodic(name="urgent", deadline=3),
+        ])
+        assert [t.name for t in tasks] == ["urgent", "lax"]
+
+    def test_indexing_and_iteration(self):
+        tasks = TaskSet([periodic(name="a"), periodic(name="b")])
+        assert tasks[0].name == "a"
+        assert len(tasks) == 2
+        assert [t.name for t in tasks] == ["a", "b"]
+
+    def test_utilization(self):
+        tasks = TaskSet([periodic(execution=2, period=10),
+                         periodic(name="u", execution=5, period=20,
+                                  deadline=20)])
+        assert tasks.utilization() == pytest.approx(0.45)
+
+    def test_hyperperiod(self):
+        tasks = TaskSet([periodic(period=6, deadline=6),
+                         periodic(name="u", period=8, deadline=8)])
+        assert tasks.hyperperiod() == 24
+
+    def test_hyperperiod_empty(self):
+        assert TaskSet([]).hyperperiod() == 0
+
+    def test_analysis_horizon(self):
+        tasks = TaskSet([periodic(period=6, deadline=6, offset=2),
+                         periodic(name="u", period=8, deadline=8)])
+        assert tasks.analysis_horizon() == 2 + 2 * 24
+
+    def test_pair_and_triple_views(self):
+        tasks = TaskSet([periodic(execution=2, period=10, deadline=8)])
+        assert tasks.as_pairs() == [(2, 10)]
+        assert tasks.as_triples() == [(2, 10, 8)]

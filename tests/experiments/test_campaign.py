@@ -1,0 +1,116 @@
+"""Tests for Monte-Carlo campaigns."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignResult,
+    MetricSummary,
+    compare_campaigns,
+    run_campaign,
+)
+
+
+class TestMetricSummary:
+    def test_single_sample(self):
+        summary = MetricSummary.of("x", [3.0])
+        assert summary.mean == 3.0
+        assert summary.stdev == 0.0
+        assert summary.ci_low == summary.ci_high == 3.0
+
+    def test_ci_contains_mean(self):
+        summary = MetricSummary.of("x", [1.0, 2.0, 3.0, 4.0])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_ci_narrows_with_samples(self):
+        few = MetricSummary.of("x", [1.0, 2.0, 3.0])
+        many = MetricSummary.of("x", [1.0, 2.0, 3.0] * 20)
+        assert (many.ci_high - many.ci_low) < (few.ci_high - few.ci_low)
+
+    def test_overlap_detection(self):
+        low = MetricSummary.of("x", [1.0, 1.1, 0.9, 1.05])
+        high = MetricSummary.of("x", [9.0, 9.1, 8.9, 9.05])
+        mid = MetricSummary.of("x", [1.0, 9.0, 5.0, 4.0])
+        assert not low.overlaps(high)
+        assert low.overlaps(mid)
+        assert mid.overlaps(high)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary.of("x", [])
+
+
+class TestRunCampaign:
+    def _campaign(self, small_params, workload, scheduler, seeds):
+        return run_campaign(
+            scheduler,
+            seeds=seeds,
+            params=small_params,
+            periodic=workload.periodic(),
+            aperiodic=workload.aperiodic(),
+            ber=1e-4,
+            duration_ms=20.0,
+        )
+
+    def test_runs_every_seed(self, small_params, tiny_workload):
+        campaign = self._campaign(small_params, tiny_workload,
+                                  "coefficient", [1, 2, 3])
+        assert len(campaign.results) == 3
+        assert campaign.summary("delivered_fraction").samples == 3
+
+    def test_seeds_produce_variation(self, small_params, tiny_workload):
+        campaign = self._campaign(small_params, tiny_workload,
+                                  "coefficient", list(range(6)))
+        corrupted = [r.metrics.corrupted_attempts
+                     for r in campaign.results]
+        assert len(set(corrupted)) > 1  # fault patterns really differ
+
+    def test_metric_filter(self, small_params, tiny_workload):
+        campaign = run_campaign(
+            "coefficient", seeds=[1, 2],
+            metrics=["deadline_miss_ratio"],
+            params=small_params, periodic=tiny_workload.periodic(),
+            ber=0.0, duration_ms=10.0,
+        )
+        assert list(campaign.summaries) == ["deadline_miss_ratio"]
+
+    def test_unknown_metric_rejected(self, small_params, tiny_workload):
+        with pytest.raises(ValueError):
+            run_campaign("coefficient", seeds=[1],
+                         metrics=["bogus"],
+                         params=small_params,
+                         periodic=tiny_workload.periodic(),
+                         ber=0.0, duration_ms=10.0)
+
+    def test_empty_seeds_rejected(self, small_params, tiny_workload):
+        with pytest.raises(ValueError):
+            run_campaign("coefficient", seeds=[],
+                         params=small_params,
+                         periodic=tiny_workload.periodic(),
+                         ber=0.0, duration_ms=10.0)
+
+    def test_table_row(self, small_params, tiny_workload):
+        campaign = self._campaign(small_params, tiny_workload,
+                                  "coefficient", [1, 2])
+        row = campaign.table_row()
+        assert row["scheduler"] == "coefficient"
+        assert "deadline_miss_ratio_ci" in row
+
+
+class TestCompareCampaigns:
+    def test_comparison_fields(self, small_params, tiny_workload):
+        a = run_campaign("coefficient", seeds=[1, 2, 3],
+                         params=small_params,
+                         periodic=tiny_workload.periodic(),
+                         aperiodic=tiny_workload.aperiodic(),
+                         ber=1e-4, duration_ms=20.0)
+        b = run_campaign("fspec", seeds=[1, 2, 3],
+                         params=small_params,
+                         periodic=tiny_workload.periodic(),
+                         aperiodic=tiny_workload.aperiodic(),
+                         ber=1e-4, duration_ms=20.0)
+        comparison = compare_campaigns(a, b, "dynamic_latency_ms")
+        assert comparison["metric"] == "dynamic_latency_ms"
+        assert "difference" in comparison
+        assert isinstance(comparison["separated"], bool)

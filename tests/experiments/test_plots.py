@@ -1,0 +1,110 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.plots import ascii_bar_chart, ascii_line_chart
+
+
+@pytest.fixture
+def bar_rows():
+    return [
+        {"minislots": 25, "scheduler": "coefficient", "miss": 0.01},
+        {"minislots": 25, "scheduler": "fspec", "miss": 0.12},
+        {"minislots": 50, "scheduler": "coefficient", "miss": 0.00},
+        {"minislots": 50, "scheduler": "fspec", "miss": 0.06},
+    ]
+
+
+class TestBarChart:
+    def test_contains_every_series_and_category(self, bar_rows):
+        chart = ascii_bar_chart(bar_rows, "minislots", "miss")
+        assert "minislots=25" in chart
+        assert "minislots=50" in chart
+        assert "coefficient" in chart
+        assert "fspec" in chart
+
+    def test_bars_proportional(self, bar_rows):
+        chart = ascii_bar_chart(bar_rows, "minislots", "miss", width=48)
+        lines = chart.splitlines()
+        def bar_length(category, series):
+            in_category = False
+            for line in lines:
+                if line.startswith(f"minislots={category}"):
+                    in_category = True
+                    continue
+                if in_category and series in line:
+                    return line.count("#")
+            raise AssertionError(f"bar {category}/{series} not found")
+        assert bar_length(25, "fspec") == 48         # the maximum
+        assert bar_length(25, "coefficient") == 4    # 0.01/0.12 * 48
+        assert bar_length(50, "coefficient") == 0
+
+    def test_title_and_scale_note(self, bar_rows):
+        chart = ascii_bar_chart(bar_rows, "minislots", "miss",
+                                title="Figure 5")
+        assert chart.startswith("Figure 5")
+        assert "full bar" in chart
+
+    def test_empty(self):
+        assert ascii_bar_chart([], "a", "b") == "(no data)\n"
+
+    def test_rejects_tiny_width(self, bar_rows):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(bar_rows, "minislots", "miss", width=5)
+
+    def test_zero_values_ok(self):
+        rows = [{"c": 1, "scheduler": "a", "v": 0.0}]
+        chart = ascii_bar_chart(rows, "c", "v")
+        assert "a" in chart
+
+
+class TestLineChart:
+    @pytest.fixture
+    def line_rows(self):
+        return [
+            {"x": 25, "scheduler": "coefficient", "lat": 1.0},
+            {"x": 50, "scheduler": "coefficient", "lat": 1.1},
+            {"x": 100, "scheduler": "coefficient", "lat": 1.2},
+            {"x": 25, "scheduler": "fspec", "lat": 9.0},
+            {"x": 50, "scheduler": "fspec", "lat": 5.0},
+            {"x": 100, "scheduler": "fspec", "lat": 2.0},
+        ]
+
+    def test_every_series_plotted_with_own_glyph(self, line_rows):
+        chart = ascii_line_chart(line_rows, "x", "lat")
+        assert "o = coefficient" in chart
+        assert "x = fspec" in chart
+        plot_area = [l for l in chart.splitlines() if "│" in l]
+        glyphs = "".join(plot_area)
+        assert glyphs.count("o") == 3
+        assert glyphs.count("x") == 3
+
+    def test_axis_annotations(self, line_rows):
+        chart = ascii_line_chart(line_rows, "x", "lat")
+        assert "x: x" in chart
+        assert "y: lat" in chart
+        assert "9" in chart   # y max label
+        assert "25" in chart  # x min label
+
+    def test_vertical_order_preserved(self, line_rows):
+        """fspec at x=25 (9.0) must be rendered above coefficient (1.0)."""
+        chart = ascii_line_chart(line_rows, "x", "lat", height=12)
+        plot_area = [l for l in chart.splitlines() if "│" in l]
+        def first_line_with(glyph):
+            for index, line in enumerate(plot_area):
+                if glyph in line:
+                    return index
+            raise AssertionError(glyph)
+        assert first_line_with("x") < first_line_with("o")
+
+    def test_single_point(self):
+        chart = ascii_line_chart([{"x": 1, "scheduler": "a", "y": 2.0}],
+                                 "x", "y")
+        assert "a" in chart
+
+    def test_empty(self):
+        assert ascii_line_chart([], "x", "y") == "(no data)\n"
+
+    def test_rejects_tiny_grid(self, line_rows):
+        with pytest.raises(ValueError):
+            ascii_line_chart(line_rows, "x", "lat", height=2)

@@ -1,0 +1,81 @@
+"""Unit tests for the BER models."""
+
+import math
+
+import pytest
+
+from repro.faults.ber import BitErrorRateModel, frame_failure_probability
+
+
+class TestFrameFailureProbability:
+    def test_zero_ber(self):
+        assert frame_failure_probability(0.0, 1000) == 0.0
+
+    def test_zero_bits(self):
+        assert frame_failure_probability(1e-7, 0) == 0.0
+
+    def test_matches_naive_formula(self):
+        ber, bits = 1e-3, 500
+        naive = 1.0 - (1.0 - ber) ** bits
+        assert frame_failure_probability(ber, bits) == pytest.approx(naive)
+
+    def test_small_ber_linear_approximation(self):
+        # For BER*bits << 1, p ~= BER * bits.
+        p = frame_failure_probability(1e-9, 1000)
+        assert p == pytest.approx(1e-6, rel=1e-3)
+
+    def test_numerically_stable_at_tiny_ber(self):
+        p = frame_failure_probability(1e-15, 100)
+        assert p == pytest.approx(1e-13, rel=1e-3)
+        assert p > 0.0
+
+    def test_monotone_in_bits(self):
+        probabilities = [frame_failure_probability(1e-6, bits)
+                         for bits in (10, 100, 1000, 10_000)]
+        assert probabilities == sorted(probabilities)
+
+    def test_monotone_in_ber(self):
+        probabilities = [frame_failure_probability(ber, 1000)
+                         for ber in (1e-9, 1e-7, 1e-5, 1e-3)]
+        assert probabilities == sorted(probabilities)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            frame_failure_probability(1.0, 10)
+        with pytest.raises(ValueError):
+            frame_failure_probability(-0.1, 10)
+        with pytest.raises(ValueError):
+            frame_failure_probability(0.5, -1)
+
+
+class TestBitErrorRateModel:
+    def test_symmetric_default(self):
+        model = BitErrorRateModel(ber_channel_a=1e-7)
+        assert model.ber_for("A") == 1e-7
+        assert model.ber_for("B") == 1e-7
+
+    def test_asymmetric(self):
+        model = BitErrorRateModel(ber_channel_a=1e-7, ber_channel_b=1e-5)
+        assert model.ber_for("B") == 1e-5
+
+    def test_unknown_channel(self):
+        with pytest.raises(ValueError):
+            BitErrorRateModel(1e-7).ber_for("C")
+
+    def test_rejects_invalid_ber(self):
+        with pytest.raises(ValueError):
+            BitErrorRateModel(ber_channel_a=1.5)
+        with pytest.raises(ValueError):
+            BitErrorRateModel(ber_channel_a=1e-7, ber_channel_b=2.0)
+
+    def test_failure_probability_delegates(self):
+        model = BitErrorRateModel(ber_channel_a=1e-6)
+        assert model.failure_probability("A", 1000) == pytest.approx(
+            frame_failure_probability(1e-6, 1000)
+        )
+
+    def test_dual_channel_failure_is_product(self):
+        model = BitErrorRateModel(ber_channel_a=1e-3)
+        single = model.failure_probability("A", 1000)
+        assert model.dual_channel_failure_probability(1000) == \
+            pytest.approx(single * single)

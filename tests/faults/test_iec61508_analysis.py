@@ -1,0 +1,117 @@
+"""Unit tests for IEC 61508 levels and the Theorem-1 analysis."""
+
+import math
+
+import pytest
+
+from repro.faults.analysis import (
+    log_message_success_probability,
+    message_success_probability,
+    set_success_probability,
+    verify_reliability_goal,
+)
+from repro.faults.iec61508 import SafetyIntegrityLevel, reliability_goal_for
+
+
+class TestSafetyIntegrityLevels:
+    def test_band_ordering(self):
+        bands = [level.max_failure_probability_per_hour
+                 for level in (SafetyIntegrityLevel.SIL1,
+                               SafetyIntegrityLevel.SIL2,
+                               SafetyIntegrityLevel.SIL3,
+                               SafetyIntegrityLevel.SIL4)]
+        assert bands == sorted(bands, reverse=True)
+
+    def test_band_width_is_decade(self):
+        for level in SafetyIntegrityLevel:
+            assert level.max_failure_probability_per_hour == \
+                pytest.approx(10 * level.min_failure_probability_per_hour)
+
+    def test_reliability_goal_hour(self):
+        rho = reliability_goal_for(SafetyIntegrityLevel.SIL3)
+        assert rho == pytest.approx(1.0 - 1e-7)
+
+    def test_reliability_goal_scales_with_unit(self):
+        rho_minute = reliability_goal_for(SafetyIntegrityLevel.SIL3,
+                                          time_unit_ms=60_000.0)
+        assert 1.0 - rho_minute == pytest.approx(1e-7 / 60.0)
+
+    def test_rejects_bad_unit(self):
+        with pytest.raises(ValueError):
+            reliability_goal_for(SafetyIntegrityLevel.SIL1, time_unit_ms=0.0)
+
+    def test_rejects_gamma_over_one(self):
+        # Absurdly long time unit drives gamma past 1.
+        with pytest.raises(ValueError):
+            reliability_goal_for(SafetyIntegrityLevel.SIL1,
+                                 time_unit_ms=1e18)
+
+
+class TestTheorem1:
+    def test_perfect_message(self):
+        assert message_success_probability(0.0, 0, 100.0) == 1.0
+
+    def test_matches_direct_formula(self):
+        p, k, n = 0.01, 1, 20.0
+        direct = (1.0 - p ** (k + 1)) ** n
+        assert message_success_probability(p, k, n) == pytest.approx(direct)
+
+    def test_more_retransmissions_help(self):
+        values = [message_success_probability(0.05, k, 50.0)
+                  for k in range(4)]
+        assert values == sorted(values)
+
+    def test_zero_instances(self):
+        assert message_success_probability(0.5, 0, 0.0) == 1.0
+
+    def test_log_space_handles_extremes(self):
+        # p^(k+1) underflows double precision: result is exactly certain.
+        assert log_message_success_probability(1e-10, 80, 1000.0) == 0.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            log_message_success_probability(1.0, 0, 1.0)
+        with pytest.raises(ValueError):
+            log_message_success_probability(0.1, -1, 1.0)
+        with pytest.raises(ValueError):
+            log_message_success_probability(0.1, 0, -1.0)
+
+    def test_set_probability_is_product(self):
+        failure = {"a": 0.01, "b": 0.02}
+        instances = {"a": 10.0, "b": 5.0}
+        retx = {"a": 1, "b": 0}
+        expected = (message_success_probability(0.01, 1, 10.0)
+                    * message_success_probability(0.02, 0, 5.0))
+        assert set_success_probability(failure, retx, instances) == \
+            pytest.approx(expected)
+
+    def test_set_probability_missing_instances(self):
+        with pytest.raises(ValueError):
+            set_success_probability({"a": 0.1}, {}, {})
+
+    def test_missing_retransmissions_default_zero(self):
+        value = set_success_probability({"a": 0.1}, {}, {"a": 1.0})
+        assert value == pytest.approx(0.9)
+
+    def test_verify_goal(self):
+        failure = {"a": 0.001}
+        instances = {"a": 10.0}
+        assert verify_reliability_goal(failure, {"a": 1}, instances,
+                                       rho=0.99999)
+        assert not verify_reliability_goal(failure, {"a": 0}, instances,
+                                           rho=0.99999)
+
+    def test_verify_goal_near_one(self):
+        # A goal within 1e-12 of 1.0 must still be decided correctly.
+        failure = {"a": 1e-5}
+        instances = {"a": 100.0}
+        # k=1: residual ~= 100 * 1e-10 = 1e-8 > 1e-12 -> fails.
+        assert not verify_reliability_goal(failure, {"a": 1}, instances,
+                                           rho=1.0 - 1e-12)
+        # k=3: residual ~= 100 * 1e-20 -> passes.
+        assert verify_reliability_goal(failure, {"a": 3}, instances,
+                                       rho=1.0 - 1e-12)
+
+    def test_verify_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            verify_reliability_goal({}, {}, {}, rho=0.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the clock model and cluster topologies."""
+
+import pytest
+
+from repro.flexray.clock import MacrotickClock
+from repro.flexray.topology import BusTopology, HybridTopology, StarTopology
+
+
+class TestMacrotickClock:
+    def test_defaults_valid(self):
+        clock = MacrotickClock()
+        assert clock.drift_ppm == 100.0
+
+    def test_rejects_excessive_drift(self):
+        with pytest.raises(ValueError):
+            MacrotickClock(drift_ppm=2000.0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            MacrotickClock(correction_interval_mt=0)
+
+    def test_worst_case_deviation(self):
+        clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=10_000)
+        assert clock.worst_case_deviation_mt() == pytest.approx(1.0)
+
+    def test_local_time_zeroed_at_corrections(self):
+        clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=1000)
+        assert clock.local_time(0) == pytest.approx(0.0)
+        assert clock.local_time(1000) == pytest.approx(1000.0)
+        assert clock.local_time(2000) == pytest.approx(2000.0)
+
+    def test_local_time_drifts_within_interval(self):
+        clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=10_000)
+        assert clock.local_time(5000) == pytest.approx(5000.5)
+
+    def test_local_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MacrotickClock().local_time(-1)
+
+    def test_negative_drift(self):
+        clock = MacrotickClock(drift_ppm=-100.0,
+                               correction_interval_mt=10_000)
+        assert clock.local_time(5000) == pytest.approx(4999.5)
+        assert clock.worst_case_deviation_mt() == pytest.approx(1.0)
+
+    def test_required_action_point_offset(self):
+        clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=10_000)
+        # Pairwise deviation 2 MT -> offset of 2 suffices.
+        assert clock.required_action_point_offset_mt() == 2
+
+    def test_validate_against(self):
+        clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=10_000)
+        assert clock.validate_against(2)
+        assert not clock.validate_against(1)
+
+
+class TestBusTopology:
+    def test_valid(self):
+        bus = BusTopology(10)
+        assert bus.node_count() == 10
+        assert bus.nodes() == list(range(10))
+
+    @pytest.mark.parametrize("count", [1, 65])
+    def test_rejects_bad_counts(self, count):
+        with pytest.raises(ValueError):
+            BusTopology(count)
+
+    def test_single_fault_domain(self):
+        bus = BusTopology(5)
+        assert bus.fault_domain_of(2) == frozenset(range(5))
+
+    def test_fault_domain_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            BusTopology(5).fault_domain_of(5)
+
+    def test_reachability(self):
+        bus = BusTopology(5)
+        assert bus.reachable(0, 4)
+        assert not bus.reachable(0, 5)
+
+
+class TestStarTopology:
+    def test_valid(self):
+        star = StarTopology(branches=[[0, 1], [2], [3, 4]])
+        assert star.node_count() == 5
+
+    def test_branch_fault_domains(self):
+        star = StarTopology(branches=[[0, 1], [2], [3, 4]])
+        assert star.fault_domain_of(0) == frozenset({0, 1})
+        assert star.fault_domain_of(2) == frozenset({2})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StarTopology(branches=[])
+        with pytest.raises(ValueError):
+            StarTopology(branches=[[0], []])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            StarTopology(branches=[[0, 1], [1, 2]])
+
+    def test_rejects_gaps(self):
+        with pytest.raises(ValueError):
+            StarTopology(branches=[[0], [2]])
+
+    def test_unknown_node(self):
+        with pytest.raises(ValueError):
+            StarTopology(branches=[[0, 1]]).fault_domain_of(9)
+
+
+class TestHybridTopology:
+    def test_valid(self):
+        hybrid = HybridTopology(branches=[[0, 1, 2], [3, 4]])
+        assert hybrid.node_count() == 5
+        assert hybrid.fault_domain_of(4) == frozenset({3, 4})
+
+    def test_stub_limit(self):
+        with pytest.raises(ValueError):
+            HybridTopology(branches=[list(range(30))], max_stub_nodes=22)
+
+    def test_inherits_partition_rules(self):
+        with pytest.raises(ValueError):
+            HybridTopology(branches=[[0, 1], [1, 2]])

@@ -1,0 +1,116 @@
+"""Integration-style unit tests for the FlexRay cluster."""
+
+import pytest
+
+from repro.core.coefficient import CoEfficientPolicy
+from repro.faults.ber import BitErrorRateModel
+from repro.flexray.cluster import FlexRayCluster
+from repro.flexray.topology import StarTopology
+from repro.packing.frame_packing import pack_signals
+from repro.sim.rng import RngStream
+
+
+def make_cluster(params, packing, **kwargs):
+    policy = CoEfficientPolicy(
+        packing, BitErrorRateModel(ber_channel_a=0.0),
+        reliability_goal=0.9999,
+    )
+    sources = packing.build_sources(RngStream(5, "cluster-test"),
+                                    instance_limit=kwargs.pop("limit", None))
+    return FlexRayCluster(params=params, policy=policy, sources=sources,
+                          node_count=4, **kwargs)
+
+
+class TestConstruction:
+    def test_nodes_built_from_default_bus(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        assert len(cluster.nodes) == 4
+        assert cluster.node(2).node_id == 2
+
+    def test_custom_topology(self, small_params, tiny_packing):
+        topology = StarTopology(branches=[[0, 1], [2, 3]])
+        policy = CoEfficientPolicy(
+            tiny_packing, BitErrorRateModel(ber_channel_a=0.0))
+        cluster = FlexRayCluster(params=small_params, policy=policy,
+                                 sources=[], topology=topology)
+        assert cluster.topology.fault_domain_of(0) == frozenset({0, 1})
+
+    def test_initial_clock(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        assert cluster.cycle == 0
+        assert cluster.now_mt == 0
+
+
+class TestExecution:
+    def test_run_cycles_advances_clock(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        cluster.run_cycles(5)
+        assert cluster.cycle == 5
+        assert cluster.now_mt == 5 * small_params.gd_cycle_mt
+
+    def test_run_cycles_rejects_nonpositive(self, small_params, tiny_packing):
+        with pytest.raises(ValueError):
+            make_cluster(small_params, tiny_packing).run_cycles(0)
+
+    def test_run_for_ms(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        cycles = cluster.run_for_ms(2.0)
+        assert cycles == 3  # ceil(2.0 / 0.8)
+
+    def test_periodic_traffic_transmitted(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        cluster.run_for_ms(8.0)
+        assert cluster.trace.instance_count() > 0
+        assert cluster.trace.delivered_count() > 0
+
+    def test_nodes_started_on_first_run(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        cluster.run_cycles(1)
+        from repro.flexray.controller import ProtocolPhase
+        assert all(n.controller.phase is ProtocolPhase.NORMAL_ACTIVE
+                   for n in cluster.nodes)
+
+    def test_trace_physically_consistent(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        cluster.run_for_ms(10.0)
+        assert cluster.trace.verify_no_channel_overlap() == []
+
+    def test_run_until_complete_delivers_everything(self, small_params,
+                                                    tiny_workload):
+        packing = pack_signals(tiny_workload, small_params)
+        cluster = make_cluster(small_params, packing, limit=3)
+        cycles = cluster.run_until_complete(max_cycles=1000)
+        assert cycles < 1000
+        produced = cluster.trace.instance_count()
+        assert produced == cluster.trace.delivered_count()
+        assert cluster.policy.pending_work() == 0
+
+    def test_metrics_computed(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        cluster.run_for_ms(8.0)
+        metrics = cluster.metrics()
+        assert metrics.produced_instances > 0
+        assert 0.0 <= metrics.bandwidth_utilization <= 1.0
+        assert metrics.deadline_miss_ratio <= 1.0
+
+    def test_fault_oracle_consulted(self, small_params, tiny_packing):
+        calls = []
+
+        def oracle(channel, bits, time_mt):
+            calls.append((channel, bits, time_mt))
+            return False
+
+        policy = CoEfficientPolicy(
+            tiny_packing, BitErrorRateModel(ber_channel_a=0.0))
+        sources = tiny_packing.build_sources(RngStream(5, "oracle-test"))
+        cluster = FlexRayCluster(params=small_params, policy=policy,
+                                 sources=sources, corrupts=oracle,
+                                 node_count=4)
+        cluster.run_for_ms(5.0)
+        assert len(calls) == len(cluster.trace)
+
+    def test_producer_counters_incremented(self, small_params, tiny_packing):
+        cluster = make_cluster(small_params, tiny_packing)
+        cluster.run_for_ms(5.0)
+        total_sent = sum(n.controller.frames_sent for n in cluster.nodes)
+        assert total_sent > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the communication controller and ECU node."""
+
+import pytest
+
+from repro.flexray.chi import ControllerHostInterface
+from repro.flexray.controller import CommunicationController, ProtocolPhase
+from repro.flexray.node import EcuNode
+
+
+class TestCommunicationController:
+    def _controller(self):
+        return CommunicationController(0, ControllerHostInterface())
+
+    def test_rejects_bad_node_id(self):
+        with pytest.raises(ValueError):
+            CommunicationController(-1, ControllerHostInterface())
+
+    def test_initial_phase(self):
+        assert self._controller().phase is ProtocolPhase.CONFIG
+
+    def test_configure_in_config_phase(self):
+        controller = self._controller()
+        controller.configure_static_slot(3)
+        controller.configure_dynamic_id(81)
+        assert controller.owns_slot(3)
+        assert controller.owns_dynamic_id(81)
+        assert controller.owned_static_slots() == [3]
+        assert controller.owned_dynamic_ids() == [81]
+
+    def test_configure_creates_chi_structures(self):
+        controller = self._controller()
+        controller.configure_static_slot(3)
+        assert controller.chi.static_slots() == [3]
+
+    def test_start_transitions(self):
+        controller = self._controller()
+        controller.start()
+        assert controller.phase is ProtocolPhase.NORMAL_ACTIVE
+
+    def test_no_configure_after_start(self):
+        controller = self._controller()
+        controller.start()
+        with pytest.raises(RuntimeError):
+            controller.configure_static_slot(3)
+
+    def test_no_double_start(self):
+        controller = self._controller()
+        controller.start()
+        with pytest.raises(RuntimeError):
+            controller.start()
+
+    def test_halt(self):
+        controller = self._controller()
+        controller.start()
+        controller.halt()
+        assert controller.phase is ProtocolPhase.HALT
+
+    def test_counters(self):
+        controller = self._controller()
+        controller.note_sent()
+        controller.note_received(corrupted=False)
+        controller.note_received(corrupted=True)
+        assert controller.frames_sent == 1
+        assert controller.frames_received == 2
+        assert controller.faults_seen == 1
+
+
+class TestEcuNode:
+    def test_defaults(self):
+        node = EcuNode(3)
+        assert node.name == "ECU3"
+        assert node.controller.node_id == 3
+
+    def test_custom_name(self):
+        assert EcuNode(0, name="BrakeFL").name == "BrakeFL"
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            EcuNode(-1)
+
+    def test_start_halt(self):
+        node = EcuNode(0)
+        node.start()
+        assert node.controller.phase is ProtocolPhase.NORMAL_ACTIVE
+        node.halt()
+        assert node.controller.phase is ProtocolPhase.HALT
+
+    def test_summary(self):
+        node = EcuNode(0)
+        summary = node.summary()
+        assert summary["node"] == "ECU0"
+        assert summary["sent"] == 0

@@ -1,0 +1,147 @@
+"""Unit tests for FlexRay cluster parameters."""
+
+import pytest
+
+from repro.flexray.params import (
+    FRAME_OVERHEAD_BITS,
+    MAX_PAYLOAD_BITS,
+    FlexRayParams,
+    paper_dynamic_preset,
+    paper_static_preset,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        params = FlexRayParams()
+        assert params.g_number_of_static_slots == 80
+
+    @pytest.mark.parametrize("field,value", [
+        ("gd_macrotick_us", 0.0),
+        ("gd_cycle_mt", 0),
+        ("gd_static_slot_mt", 0),
+        ("g_number_of_static_slots", 1),
+        ("gd_minislot_mt", 0),
+        ("g_number_of_minislots", -1),
+        ("gd_symbol_window_mt", -1),
+        ("bit_rate_mbps", 0.0),
+        ("channel_count", 3),
+    ])
+    def test_rejects_bad_fields(self, field, value):
+        with pytest.raises(ValueError):
+            FlexRayParams(**{field: value})
+
+    def test_rejects_segments_exceeding_cycle(self):
+        with pytest.raises(ValueError):
+            FlexRayParams(gd_cycle_mt=100, gd_static_slot_mt=40,
+                          g_number_of_static_slots=2,
+                          g_number_of_minislots=10)
+
+    def test_rejects_latest_tx_outside_segment(self):
+        with pytest.raises(ValueError):
+            FlexRayParams(p_latest_tx_minislot=101)
+
+
+class TestGeometry:
+    def test_segment_lengths(self, small_params):
+        assert small_params.static_segment_mt == 400
+        assert small_params.dynamic_segment_mt == 320
+        assert small_params.nit_mt == 80
+
+    def test_cycle_units(self, small_params):
+        assert small_params.cycle_us == pytest.approx(800.0)
+        assert small_params.cycle_ms == pytest.approx(0.8)
+
+    def test_bits_per_macrotick(self, small_params):
+        # 10 Mbit/s at a 1 us macrotick = 10 bits per macrotick.
+        assert small_params.bits_per_macrotick == pytest.approx(10.0)
+
+    def test_static_slot_capacity(self, small_params):
+        usable = (40 - 2) * 10
+        assert small_params.static_slot_capacity_bits == \
+            usable - FRAME_OVERHEAD_BITS
+
+    def test_capacity_capped_at_max_payload(self):
+        params = FlexRayParams(
+            gd_cycle_mt=10_000, gd_static_slot_mt=4000,
+            g_number_of_static_slots=2, g_number_of_minislots=0,
+        )
+        assert params.static_slot_capacity_bits == MAX_PAYLOAD_BITS
+
+    def test_dynamic_slot_ids(self, small_params):
+        assert small_params.first_dynamic_slot_id == 11
+        assert small_params.last_dynamic_slot_id == 50
+
+    def test_auto_latest_tx_is_segment_length(self, small_params):
+        assert small_params.effective_latest_tx == 40
+
+    def test_explicit_latest_tx(self):
+        params = FlexRayParams(p_latest_tx_minislot=60)
+        assert params.effective_latest_tx == 60
+
+
+class TestConversions:
+    def test_ms_to_mt_roundtrip(self, small_params):
+        assert small_params.ms_to_mt(0.8) == 800
+        assert small_params.mt_to_ms(800) == pytest.approx(0.8)
+
+    def test_transmission_mt(self, small_params):
+        assert small_params.transmission_mt(100) == 10
+        assert small_params.transmission_mt(101) == 11
+        assert small_params.transmission_mt(0) == 0
+
+    def test_transmission_mt_rejects_negative(self, small_params):
+        with pytest.raises(ValueError):
+            small_params.transmission_mt(-1)
+
+    def test_minislots_for_bits_includes_overhead_and_idle(self, small_params):
+        # 16 payload bits + 64 overhead = 80 bits = 8 MT, + 2 MT action
+        # point = 10 MT = 2 minislots, + 1 idle phase = 3.
+        assert small_params.minislots_for_bits(16) == 3
+
+    def test_minislots_monotone(self, small_params):
+        previous = 0
+        for bits in range(0, 2000, 100):
+            slots = small_params.minislots_for_bits(bits)
+            assert slots >= previous
+            previous = slots
+
+
+class TestCopies:
+    def test_with_minislots(self, small_params):
+        changed = small_params.with_minislots(20)
+        assert changed.g_number_of_minislots == 20
+        assert small_params.g_number_of_minislots == 40  # original intact
+
+    def test_with_static_slots(self, small_params):
+        assert small_params.with_static_slots(8).g_number_of_static_slots == 8
+
+    def test_with_channels(self, small_params):
+        assert small_params.with_channels(1).channel_count == 1
+
+    def test_describe_keys(self, small_params):
+        description = small_params.describe()
+        assert description["gNumberOfStaticSlots"] == 10
+        assert description["channels"] == 2
+
+
+class TestPresets:
+    @pytest.mark.parametrize("slots", [80, 120])
+    def test_static_preset(self, slots):
+        params = paper_static_preset(slots)
+        assert params.g_number_of_static_slots == slots
+        assert params.gd_static_slot_mt == 40
+        assert params.gd_minislot_mt == 8
+        assert params.channel_count == 2
+        assert params.nit_mt >= 0
+
+    @pytest.mark.parametrize("minislots", [25, 50, 75, 100])
+    def test_dynamic_preset(self, minislots):
+        params = paper_dynamic_preset(minislots)
+        assert params.g_number_of_minislots == minislots
+        assert params.static_segment_mt == 750  # 0.75 ms static segment
+        assert params.nit_mt >= 0
+
+    def test_static_preset_120_extends_cycle(self):
+        params = paper_static_preset(120)
+        assert params.gd_cycle_mt >= 120 * 40

@@ -1,0 +1,182 @@
+"""Unit tests for clock synchronization and cluster startup."""
+
+import pytest
+
+from repro.flexray.clock import MacrotickClock
+from repro.flexray.startup import (
+    StartupNode,
+    StartupPhase,
+    StartupSimulation,
+)
+from repro.flexray.sync import (
+    ClockSyncService,
+    fault_tolerant_midpoint,
+    ftm_discard_count,
+)
+from repro.sim.rng import RngStream
+
+
+class TestFtmDiscardCount:
+    @pytest.mark.parametrize("count,expected", [
+        (0, 0), (1, 0), (2, 0), (3, 1), (7, 1), (8, 2), (20, 2),
+    ])
+    def test_spec_table(self, count, expected):
+        assert ftm_discard_count(count) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ftm_discard_count(-1)
+
+
+class TestFaultTolerantMidpoint:
+    def test_single_value(self):
+        assert fault_tolerant_midpoint([5.0]) == 5.0
+
+    def test_two_values_average(self):
+        assert fault_tolerant_midpoint([2.0, 6.0]) == 4.0
+
+    def test_discards_extremes(self):
+        # 5 samples -> k=1: the outliers 100 and -100 are dropped.
+        assert fault_tolerant_midpoint([-100.0, 1.0, 2.0, 3.0, 100.0]) == 2.0
+
+    def test_byzantine_resilience(self):
+        """<= k faulty values cannot pull the FTM outside the correct
+        range -- the property the spec's algorithm exists for."""
+        correct = [1.0, 2.0, 3.0, 2.5]
+        for lie in (-1e9, 1e9):
+            sample = correct + [lie]         # 5 samples -> k = 1
+            ftm = fault_tolerant_midpoint(sample)
+            assert min(correct) <= ftm <= max(correct)
+
+    def test_two_byzantine_with_eight_samples(self):
+        correct = [0.0, 1.0, 2.0, 1.5, 0.5, -0.5]
+        sample = correct + [1e9, -1e9]       # 8 samples -> k = 2
+        ftm = fault_tolerant_midpoint(sample)
+        assert min(correct) <= ftm <= max(correct)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fault_tolerant_midpoint([])
+
+    def test_over_discard_rejected(self):
+        with pytest.raises(ValueError):
+            fault_tolerant_midpoint([1.0, 2.0], discard=1)
+
+
+class TestClockSyncService:
+    def _clocks(self, drifts):
+        return [MacrotickClock(drift_ppm=d) for d in drifts]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockSyncService(self._clocks([10.0]))
+        with pytest.raises(ValueError):
+            ClockSyncService(self._clocks([10.0, -10.0]), interval_mt=0)
+        with pytest.raises(ValueError):
+            ClockSyncService(self._clocks([10.0, -10.0]), sync_nodes=[0])
+
+    def test_uncorrected_drift_grows(self):
+        service = ClockSyncService(self._clocks([100.0, -100.0]),
+                                   interval_mt=10_000,
+                                   rate_correction_gain=0.0)
+        result = service.run_round()
+        # One interval of +/-100 ppm over 10k MT = +/-1 MT -> 2 MT apart
+        # before correction.
+        assert result.precision_before == pytest.approx(2.0)
+
+    def test_correction_shrinks_precision(self):
+        service = ClockSyncService(
+            self._clocks([150.0, -120.0, 80.0, -60.0]))
+        result = service.run_round()
+        assert result.precision_after < result.precision_before
+
+    def test_steady_state_bounded(self):
+        service = ClockSyncService(
+            self._clocks([150.0, -120.0, 80.0, -60.0, 30.0]))
+        precision = service.steady_state_precision(rounds=30)
+        # Rate correction trims residual drift each round; the settled
+        # precision is far below one uncorrected interval's spread.
+        assert precision < 1.0
+
+    def test_validates_action_point(self):
+        service = ClockSyncService(self._clocks([100.0, -100.0, 50.0]))
+        assert service.validates_action_point(2)
+
+    def test_faulty_sync_node_tolerated(self):
+        """A lying sync node among >= 3 cannot corrupt the correction."""
+        service = ClockSyncService(
+            self._clocks([100.0, -100.0, 50.0, -50.0, 20.0]))
+        for __ in range(10):
+            service.run_round(faulty_deviations={0: 500.0})
+        honest_phases = [service.phase_of(n) for n in range(1, 5)]
+        spread = max(honest_phases) - min(honest_phases)
+        assert spread < 2.0
+
+    def test_rounds_counted(self):
+        service = ClockSyncService(self._clocks([10.0, -10.0]))
+        service.run(5)
+        assert service.rounds == 5
+
+    def test_run_rejects_nonpositive(self):
+        service = ClockSyncService(self._clocks([10.0, -10.0]))
+        with pytest.raises(ValueError):
+            service.run(0)
+
+
+class TestStartup:
+    def _nodes(self, count, coldstart):
+        return [
+            StartupNode(node_id=i, coldstart_capable=(i in coldstart))
+            for i in range(count)
+        ]
+
+    def test_normal_startup(self, rng):
+        sim = StartupSimulation(self._nodes(5, {0, 1}), rng)
+        result = sim.run()
+        assert result.started
+        assert result.leader in (0, 1)
+        assert len(result.joined) == 5
+        assert result.cycles_taken < 50
+
+    def test_single_coldstarter_cannot_start(self, rng):
+        sim = StartupSimulation(self._nodes(5, {0}), rng)
+        result = sim.run()
+        assert not result.started
+        assert result.leader is None
+
+    def test_dead_coldstarter_excluded(self, rng):
+        nodes = self._nodes(4, {0, 1})
+        nodes[0].operational = False
+        sim = StartupSimulation(nodes, rng)
+        result = sim.run()
+        assert not result.started  # only one live coldstarter remains
+
+    def test_three_way_contention_resolves(self, rng):
+        sim = StartupSimulation(self._nodes(6, {0, 1, 2}), rng)
+        result = sim.run()
+        assert result.started
+        assert result.leader in (0, 1, 2)
+
+    def test_non_coldstart_nodes_integrate(self, rng):
+        sim = StartupSimulation(self._nodes(5, {0, 1}), rng)
+        result = sim.run()
+        integrators = set(result.joined) - {result.leader}
+        assert {2, 3, 4} <= integrators
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            rng = RngStream(seed, "startup")
+            return StartupSimulation(self._nodes(5, {0, 1, 2}), rng).run()
+
+        a, b = run(3), run(3)
+        assert (a.leader, a.cycles_taken) == (b.leader, b.cycles_taken)
+
+    def test_duplicate_ids_rejected(self, rng):
+        nodes = [StartupNode(node_id=0, coldstart_capable=True),
+                 StartupNode(node_id=0, coldstart_capable=True)]
+        with pytest.raises(ValueError):
+            StartupSimulation(nodes, rng)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            StartupSimulation([], rng)

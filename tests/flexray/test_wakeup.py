@@ -1,0 +1,115 @@
+"""Tests for the wakeup protocol."""
+
+import pytest
+
+from repro.flexray.channel import Channel
+from repro.flexray.wakeup import (
+    WakeupNode,
+    WakeupSimulation,
+    WakeupState,
+)
+from repro.sim.rng import RngStream
+
+
+def nodes(count, initiators):
+    return [
+        WakeupNode(node_id=i, initiator=(i in initiators))
+        for i in range(count)
+    ]
+
+
+class TestBasicWakeup:
+    def test_single_initiator_wakes_cluster(self, rng):
+        sim = WakeupSimulation(nodes(4, {0}), rng)
+        result = sim.run()
+        assert result.cluster_awake
+        assert set(result.awake_nodes) == {0, 1, 2, 3}
+
+    def test_no_initiator_stays_asleep(self, rng):
+        sim = WakeupSimulation(nodes(4, set()), rng)
+        result = sim.run()
+        assert result.awake_channels == set()
+        assert result.awake_nodes == []
+        assert result.rounds_taken <= 2  # quiesces immediately
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            WakeupSimulation([], rng)
+        with pytest.raises(ValueError):
+            WakeupSimulation([WakeupNode(node_id=0),
+                              WakeupNode(node_id=0)], rng)
+
+
+class TestChannelFaults:
+    def test_dead_channel_does_not_block_other(self, rng):
+        sim = WakeupSimulation(nodes(4, {0}), rng,
+                               dead_channels={Channel.B})
+        result = sim.run()
+        assert Channel.A in result.awake_channels
+        assert Channel.B not in result.awake_channels
+        # Nodes attached to the living channel woke.
+        assert set(result.awake_nodes) == {0, 1, 2, 3}
+
+    def test_single_channel_node_unaffected_by_other_channel(self, rng):
+        only_b = WakeupNode(node_id=3, channels={Channel.B})
+        sim = WakeupSimulation(
+            nodes(3, {0}) + [only_b], rng, dead_channels={Channel.B})
+        result = sim.run()
+        assert 3 not in result.awake_nodes  # its only channel is dead
+
+    def test_dead_initiator_cannot_wake(self, rng):
+        group = nodes(3, {0})
+        group[0].operational = False
+        sim = WakeupSimulation(group, rng)
+        result = sim.run()
+        assert result.awake_channels == set()
+
+
+class TestConcurrentInitiators:
+    def test_two_initiators_resolve(self, rng):
+        sim = WakeupSimulation(nodes(5, {0, 1}), rng)
+        result = sim.run()
+        assert result.cluster_awake
+        assert result.rounds_taken < 50
+
+    def test_collisions_counted_and_recovered(self):
+        # Force simultaneity: both initiators start identically; the
+        # first joint WUP round collides, backoff separates them.
+        sim = WakeupSimulation(nodes(4, {0, 1}),
+                               RngStream(7, "collide"))
+        result = sim.run()
+        assert result.cluster_awake
+        # With identical start rounds a collision is expected.
+        assert result.collisions >= 1
+
+    def test_deterministic(self):
+        def run(seed):
+            sim = WakeupSimulation(nodes(5, {0, 1, 2}),
+                                   RngStream(seed, "wk"))
+            r = sim.run()
+            return (r.rounds_taken, tuple(sorted(r.awake_nodes)),
+                    r.collisions)
+
+        assert run(5) == run(5)
+
+
+class TestSingleChannelInitiator:
+    def test_wakes_only_its_channel(self, rng):
+        initiator = WakeupNode(node_id=0, channels={Channel.A},
+                               initiator=True)
+        others = [WakeupNode(node_id=i) for i in (1, 2)]
+        sim = WakeupSimulation([initiator] + others, rng)
+        result = sim.run()
+        assert result.awake_channels == {Channel.A}
+        # Dual-attached sleepers wake via channel A.
+        assert set(result.awake_nodes) == {0, 1, 2}
+
+    def test_second_initiator_completes_the_pair(self, rng):
+        a_only = WakeupNode(node_id=0, channels={Channel.A},
+                            initiator=True)
+        b_only = WakeupNode(node_id=1, channels={Channel.B},
+                            initiator=True)
+        sim = WakeupSimulation([a_only, b_only, WakeupNode(node_id=2)],
+                               rng)
+        result = sim.run()
+        assert result.cluster_awake

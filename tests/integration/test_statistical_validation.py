@@ -1,0 +1,117 @@
+"""Statistical validation: simulation vs analytical fault model.
+
+The reliability machinery's numbers are only as good as the injector's
+agreement with the analytical model it plans against.  These tests run
+multi-seed campaigns and check empirical frequencies against the
+analytical probabilities with generous (4-sigma) binomial tolerances,
+so they are deterministic in practice while still catching any real
+model/injector divergence.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.runner import run_experiment
+from repro.faults.ber import BitErrorRateModel, frame_failure_probability
+from repro.flexray.params import paper_dynamic_preset
+from repro.flexray.signal import Signal, SignalSet
+
+
+@pytest.fixture
+def uniform_workload():
+    """Six identical-size messages: one p_z for every attempt."""
+    return SignalSet([
+        Signal(name=f"m{i}", ecu=i % 3, period_ms=2.0, offset_ms=0.1 * i,
+               deadline_ms=2.0, size_bits=180)
+        for i in range(6)
+    ], name="uniform")
+
+
+class TestCorruptionRate:
+    def test_empirical_rate_matches_p_z(self, uniform_workload):
+        """Corrupted / total attempts ~ p_z within 4 sigma."""
+        ber = 5e-5
+        campaign = run_campaign(
+            "static-only",  # no retransmissions: attempts are iid
+            seeds=list(range(8)),
+            metrics=["delivered_fraction"],
+            params=paper_dynamic_preset(50),
+            periodic=uniform_workload,
+            ber=ber,
+            duration_ms=500.0,
+        )
+        total_attempts = 0
+        corrupted = 0
+        for result in campaign.results:
+            total_attempts += result.metrics.total_attempts
+            corrupted += result.metrics.corrupted_attempts
+        p = frame_failure_probability(ber, 180 + 64)
+        expected = total_attempts * p
+        sigma = math.sqrt(total_attempts * p * (1 - p))
+        assert abs(corrupted - expected) < 4 * sigma + 1, (
+            f"corrupted {corrupted} vs expected {expected:.1f} "
+            f"(sigma {sigma:.1f}) over {total_attempts} attempts"
+        )
+
+    def test_duplication_squares_loss_probability(self, uniform_workload):
+        """static-only duplicates on channel B: instance loss requires
+        both copies corrupted, so the loss rate is ~p^2, not ~p."""
+        ber = 2e-4
+        p = frame_failure_probability(ber, 180 + 64)
+        campaign = run_campaign(
+            "static-only",
+            seeds=list(range(8)),
+            metrics=["delivered_fraction"],
+            params=paper_dynamic_preset(50),
+            periodic=uniform_workload,
+            ber=ber,
+            duration_ms=500.0,
+        )
+        # Count, per instance actually transmitted on both channels,
+        # how often BOTH copies were corrupted (end-of-horizon
+        # stragglers with < 2 attempts are excluded -- they are a
+        # horizon artifact, not a fault-model property).
+        from collections import defaultdict
+        from repro.sim.trace import TransmissionOutcome
+
+        transmitted_twice = 0
+        both_corrupted = 0
+        for result in campaign.results:
+            outcomes = defaultdict(list)
+            for record in result.cluster.trace:
+                outcomes[(record.message_id, record.instance)].append(
+                    record.outcome)
+            for attempt_outcomes in outcomes.values():
+                if len(attempt_outcomes) == 2:
+                    transmitted_twice += 1
+                    if all(o is TransmissionOutcome.CORRUPTED
+                           for o in attempt_outcomes):
+                        both_corrupted += 1
+        expected = transmitted_twice * p * p
+        sigma = math.sqrt(max(1.0, transmitted_twice * p * p))
+        assert both_corrupted < transmitted_twice * p / 2
+        assert abs(both_corrupted - expected) < 5 * sigma + 2, (
+            f"both-corrupted {both_corrupted} vs expected {expected:.1f}"
+        )
+
+    def test_theorem1_prediction_brackets_empirical(self, uniform_workload):
+        """CoEfficient's per-unit delivery ~= Theorem 1's prediction."""
+        ber = 5e-5
+        rho = 0.999
+        campaign = run_campaign(
+            "coefficient",
+            seeds=list(range(6)),
+            metrics=["delivered_fraction"],
+            params=paper_dynamic_preset(50),
+            periodic=uniform_workload,
+            ber=ber,
+            duration_ms=1000.0,
+            reliability_goal=rho,
+            time_unit_ms=100.0,
+        )
+        delivered = campaign.summary("delivered_fraction")
+        # The plan guarantees rho per 100 ms unit; per-instance delivery
+        # must therefore comfortably exceed rho as well.
+        assert delivered.mean >= rho - 0.002, delivered

@@ -1,0 +1,177 @@
+"""Property-based tests on the core algorithms' invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.retransmission import (
+    plan_retransmissions,
+    uniform_retransmission_plan,
+)
+from repro.core.slack_stealing import SlackStealer
+from repro.core.tasks import AperiodicTask, PeriodicTask, TaskSet
+from repro.faults.analysis import (
+    message_success_probability,
+    set_success_probability,
+)
+from repro.faults.ber import frame_failure_probability
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 / fault analysis invariants
+# ----------------------------------------------------------------------
+
+@given(
+    ber=st.floats(min_value=0.0, max_value=0.99, exclude_max=False),
+    bits=st.integers(min_value=0, max_value=100_000),
+)
+def test_failure_probability_is_probability(ber, bits):
+    p = frame_failure_probability(ber, bits)
+    assert 0.0 <= p <= 1.0
+
+
+@given(
+    ber=st.floats(min_value=1e-12, max_value=0.01),
+    bits=st.integers(min_value=1, max_value=10_000),
+)
+def test_failure_probability_below_union_bound(ber, bits):
+    # P(any bit flips) <= bits * BER  (union bound).
+    assert frame_failure_probability(ber, bits) <= bits * ber * (1 + 1e-9)
+
+
+@given(
+    p=st.floats(min_value=0.0, max_value=0.99),
+    k=st.integers(min_value=0, max_value=10),
+    instances=st.floats(min_value=0.0, max_value=10_000.0),
+)
+def test_success_probability_in_unit_interval(p, k, instances):
+    value = message_success_probability(p, k, instances)
+    assert 0.0 <= value <= 1.0
+
+
+@given(
+    p=st.floats(min_value=1e-6, max_value=0.5),
+    instances=st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_success_monotone_in_retransmissions(p, instances):
+    values = [message_success_probability(p, k, instances)
+              for k in range(5)]
+    assert all(a <= b + 1e-15 for a, b in zip(values, values[1:]))
+
+
+# ----------------------------------------------------------------------
+# Retransmission planner invariants
+# ----------------------------------------------------------------------
+
+message_sets = st.dictionaries(
+    keys=st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    values=st.floats(min_value=1e-9, max_value=0.2),
+    min_size=1, max_size=8,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    failures=message_sets,
+    rho_exponent=st.integers(min_value=2, max_value=9),
+)
+def test_feasible_plans_meet_their_goal(failures, rho_exponent):
+    instances = {m: 20.0 for m in failures}
+    rho = 1.0 - 10.0 ** (-rho_exponent)
+    plan = plan_retransmissions(failures, instances, rho)
+    if plan.feasible:
+        achieved = set_success_probability(failures, plan.budgets,
+                                           instances)
+        # Compare in log space as the planner does.
+        assert math.log(achieved) >= math.log(rho) - 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    failures=message_sets,
+    rho_exponent=st.integers(min_value=2, max_value=7),
+)
+def test_differentiated_never_costs_more_than_uniform(failures,
+                                                      rho_exponent):
+    instances = {m: 20.0 for m in failures}
+    rho = 1.0 - 10.0 ** (-rho_exponent)
+    differentiated = plan_retransmissions(failures, instances, rho)
+    uniform = uniform_retransmission_plan(failures, instances, rho)
+    if differentiated.feasible and uniform.feasible:
+        assert sum(differentiated.budgets.values()) <= \
+            sum(uniform.budgets.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(failures=message_sets)
+def test_stricter_goals_never_shrink_budgets(failures):
+    instances = {m: 20.0 for m in failures}
+    relaxed = plan_retransmissions(failures, instances, rho=0.99)
+    strict = plan_retransmissions(failures, instances, rho=0.9999999)
+    assume(relaxed.feasible and strict.feasible)
+    assert sum(strict.budgets.values()) >= sum(relaxed.budgets.values())
+
+
+# ----------------------------------------------------------------------
+# Slack stealer invariants
+# ----------------------------------------------------------------------
+
+task_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),    # execution
+        st.sampled_from([8, 12, 16, 24]),         # period
+    ),
+    min_size=1, max_size=4,
+)
+
+
+def _build_task_set(specs):
+    tasks = [
+        PeriodicTask(name=f"t{i}", execution=c, period=t, deadline=t)
+        for i, (c, t) in enumerate(specs)
+    ]
+    return TaskSet.deadline_monotonic(tasks)
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=task_specs, data=st.data())
+def test_slack_stealer_never_misses_periodic_deadlines(specs, data):
+    """The paper's core guarantee: whatever the aperiodic load, no hard
+    periodic deadline is ever missed."""
+    tasks = _build_task_set(specs)
+    assume(tasks.utilization() < 0.9)
+    try:
+        stealer = SlackStealer(tasks)
+    except ValueError:
+        assume(False)  # DM-unschedulable despite the utilization bound
+        return
+    arrivals = data.draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=1, max_value=4)),
+        max_size=6,
+    ))
+    aperiodics = [
+        AperiodicTask(name=f"j{i}", arrival=a, execution=c)
+        for i, (a, c) in enumerate(arrivals)
+    ]
+    outcome = stealer.run(aperiodics, until=min(60, tasks.analysis_horizon()))
+    assert outcome.deadline_misses == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=task_specs)
+def test_level_idle_tables_nested(specs):
+    """Level-i idle time is antitone in i (more tasks, less idle)."""
+    tasks = _build_task_set(specs)
+    assume(tasks.utilization() < 0.9)
+    try:
+        stealer = SlackStealer(tasks)
+    except ValueError:
+        assume(False)  # DM-unschedulable despite the utilization bound
+        return
+    horizon = min(50, tasks.analysis_horizon())
+    for t in range(0, horizon, 7):
+        values = [stealer.available_aperiodic_processing(level, t)
+                  for level in range(len(tasks))]
+        assert all(a >= b for a, b in zip(values, values[1:]))

@@ -1,0 +1,108 @@
+"""Property-based tests for clock sync and CRC coding."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.flexray.clock import MacrotickClock
+from repro.flexray.encoding import EncodedFrame
+from repro.flexray.sync import (
+    ClockSyncService,
+    fault_tolerant_midpoint,
+    ftm_discard_count,
+)
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant midpoint
+# ----------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                       min_size=1, max_size=20))
+def test_ftm_within_sample_range(values):
+    ftm = fault_tolerant_midpoint(values)
+    assert min(values) <= ftm <= max(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    correct=st.lists(st.floats(min_value=-10.0, max_value=10.0),
+                     min_size=3, max_size=10),
+    lies=st.lists(st.floats(min_value=-1e9, max_value=1e9),
+                  min_size=0, max_size=2),
+)
+def test_ftm_byzantine_bound(correct, lies):
+    """With at most k liars (k = the spec's discard count for the full
+    sample), the FTM stays within the correct values' range."""
+    sample = correct + lies
+    k = ftm_discard_count(len(sample))
+    assume(len(lies) <= k)
+    ftm = fault_tolerant_midpoint(sample)
+    assert min(correct) - 1e-9 <= ftm <= max(correct) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(min_value=-100.0, max_value=100.0),
+                       min_size=1, max_size=15),
+       shift=st.floats(min_value=-50.0, max_value=50.0))
+def test_ftm_translation_equivariance(values, shift):
+    """FTM(x + c) = FTM(x) + c."""
+    base = fault_tolerant_midpoint(values)
+    shifted = fault_tolerant_midpoint([v + shift for v in values])
+    assert abs(shifted - (base + shift)) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# Clock synchronization convergence
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(drifts=st.lists(st.floats(min_value=-200.0, max_value=200.0),
+                       min_size=2, max_size=8))
+def test_sync_converges_for_any_drift_mix(drifts):
+    service = ClockSyncService(
+        [MacrotickClock(drift_ppm=d) for d in drifts])
+    settled = service.steady_state_precision(rounds=30)
+    # Whatever the drift mix within the automotive crystal range, the
+    # loop settles far below one uncorrected interval's spread.
+    uncorrected = (max(drifts) - min(drifts)) * 1e-6 * 10_000
+    assert settled <= max(1.0, uncorrected * 0.2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(drifts=st.lists(st.floats(min_value=-150.0, max_value=150.0),
+                       min_size=3, max_size=6),
+       rounds=st.integers(min_value=1, max_value=10))
+def test_correction_never_diverges(drifts, rounds):
+    service = ClockSyncService(
+        [MacrotickClock(drift_ppm=d) for d in drifts])
+    results = service.run(rounds)
+    for result in results:
+        assert result.precision_after <= result.precision_before + 1e-9
+
+
+# ----------------------------------------------------------------------
+# CRC round trip
+# ----------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    frame_id=st.integers(min_value=1, max_value=2047),
+    words=st.integers(min_value=0, max_value=20),
+    channel=st.sampled_from(["A", "B"]),
+    data=st.data(),
+)
+def test_crc_round_trip_and_single_flip(frame_id, words, channel, data):
+    payload = bytes(
+        data.draw(st.integers(min_value=0, max_value=255))
+        for __ in range(words * 2)
+    )
+    frame = EncodedFrame(frame_id=frame_id, payload=payload,
+                         channel=channel)
+    bits = frame.all_bits()
+    assert frame.verify(bits)
+    if bits:
+        index = data.draw(st.integers(min_value=0, max_value=len(bits) - 1))
+        corrupted = list(bits)
+        corrupted[index] ^= 1
+        assert not frame.verify(corrupted)

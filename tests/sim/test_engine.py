@@ -1,0 +1,193 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.events import EventKind
+
+
+def collect(engine):
+    seen = []
+    for kind in EventKind:
+        engine.register(kind, lambda eng, ev: seen.append(ev))
+    return seen
+
+
+class TestScheduling:
+    def test_initial_clock_zero(self):
+        assert SimulationEngine().now == 0
+
+    def test_schedule_and_dispatch(self):
+        engine = SimulationEngine()
+        seen = collect(engine)
+        engine.schedule(5, EventKind.CUSTOM, payload="x")
+        engine.run_until(10)
+        assert len(seen) == 1
+        assert seen[0].time == 5
+        assert seen[0].payload == "x"
+
+    def test_clock_advances_to_event_time(self):
+        engine = SimulationEngine()
+        collect(engine)
+        engine.schedule(7, EventKind.CUSTOM)
+        engine.step()
+        assert engine.now == 7
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine()
+        collect(engine)
+        engine.schedule(5, EventKind.CUSTOM)
+        engine.step()
+        with pytest.raises(ValueError):
+            engine.schedule(3, EventKind.CUSTOM)
+
+    def test_schedule_in_relative(self):
+        engine = SimulationEngine()
+        collect(engine)
+        engine.schedule(5, EventKind.CUSTOM)
+        engine.step()
+        event = engine.schedule_in(10, EventKind.CUSTOM)
+        assert event.time == 15
+
+    def test_schedule_in_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_in(-1, EventKind.CUSTOM)
+
+    def test_time_order(self):
+        engine = SimulationEngine()
+        seen = collect(engine)
+        engine.schedule(30, EventKind.CUSTOM, payload=3)
+        engine.schedule(10, EventKind.CUSTOM, payload=1)
+        engine.schedule(20, EventKind.CUSTOM, payload=2)
+        engine.run_until(100)
+        assert [e.payload for e in seen] == [1, 2, 3]
+
+    def test_kind_breaks_time_ties(self):
+        engine = SimulationEngine()
+        seen = collect(engine)
+        engine.schedule(10, EventKind.MESSAGE_ARRIVAL)
+        engine.schedule(10, EventKind.CYCLE_START)
+        engine.run_until(100)
+        # CYCLE_START (0) precedes MESSAGE_ARRIVAL (1) at equal times.
+        assert [e.kind for e in seen] == [
+            EventKind.CYCLE_START, EventKind.MESSAGE_ARRIVAL
+        ]
+
+    def test_sequence_breaks_full_ties(self):
+        engine = SimulationEngine()
+        seen = collect(engine)
+        engine.schedule(10, EventKind.CUSTOM, payload="first")
+        engine.schedule(10, EventKind.CUSTOM, payload="second")
+        engine.run_until(100)
+        assert [e.payload for e in seen] == ["first", "second"]
+
+
+class TestRunLoops:
+    def test_run_until_excludes_later_events(self):
+        engine = SimulationEngine()
+        seen = collect(engine)
+        engine.schedule(5, EventKind.CUSTOM)
+        engine.schedule(15, EventKind.CUSTOM)
+        dispatched = engine.run_until(10)
+        assert dispatched == 1
+        assert len(seen) == 1
+        assert engine.pending_events == 1
+
+    def test_run_until_inclusive_at_horizon(self):
+        engine = SimulationEngine()
+        seen = collect(engine)
+        engine.schedule(10, EventKind.CUSTOM)
+        engine.run_until(10)
+        assert len(seen) == 1
+
+    def test_run_until_advances_clock_to_horizon(self):
+        engine = SimulationEngine()
+        collect(engine)
+        engine.run_until(50)
+        assert engine.now == 50
+
+    def test_handler_can_schedule_more(self):
+        engine = SimulationEngine()
+        times = []
+
+        def chain(eng, event):
+            times.append(event.time)
+            if event.time < 30:
+                eng.schedule(event.time + 10, EventKind.CUSTOM)
+
+        engine.register(EventKind.CUSTOM, chain)
+        engine.schedule(10, EventKind.CUSTOM)
+        engine.run_until(100)
+        assert times == [10, 20, 30]
+
+    def test_stop_halts_loop(self):
+        engine = SimulationEngine()
+
+        def stopper(eng, event):
+            eng.stop()
+
+        engine.register(EventKind.CUSTOM, stopper)
+        engine.schedule(1, EventKind.CUSTOM)
+        engine.schedule(2, EventKind.CUSTOM)
+        dispatched = engine.run_until(10)
+        assert dispatched == 1
+
+    def test_run_to_completion(self):
+        engine = SimulationEngine()
+        seen = collect(engine)
+        for t in (3, 1, 2):
+            engine.schedule(t, EventKind.CUSTOM)
+        dispatched = engine.run_to_completion()
+        assert dispatched == 3
+        assert [e.time for e in seen] == [1, 2, 3]
+
+    def test_run_to_completion_event_cap(self):
+        engine = SimulationEngine()
+
+        def rescheduler(eng, event):
+            eng.schedule_in(1, EventKind.CUSTOM)
+
+        engine.register(EventKind.CUSTOM, rescheduler)
+        engine.schedule(0, EventKind.CUSTOM)
+        with pytest.raises(RuntimeError):
+            engine.run_to_completion(max_events=100)
+
+    def test_max_events_bound_on_run_until(self):
+        engine = SimulationEngine()
+        collect(engine)
+        for t in range(10):
+            engine.schedule(t, EventKind.CUSTOM)
+        dispatched = engine.run_until(100, max_events=4)
+        assert dispatched == 4
+
+    def test_processed_counter(self):
+        engine = SimulationEngine()
+        collect(engine)
+        engine.schedule(1, EventKind.CUSTOM)
+        engine.schedule(2, EventKind.CUSTOM)
+        engine.run_until(10)
+        assert engine.processed_events == 2
+
+    def test_multiple_handlers_in_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.register(EventKind.CUSTOM, lambda e, ev: order.append("a"))
+        engine.register(EventKind.CUSTOM, lambda e, ev: order.append("b"))
+        engine.schedule(1, EventKind.CUSTOM)
+        engine.run_until(10)
+        assert order == ["a", "b"]
+
+    def test_step_on_empty_queue(self):
+        assert SimulationEngine().step() is None
+
+
+class TestEvent:
+    def test_sort_key_ordering(self):
+        early = Event(time=1, kind=EventKind.CUSTOM, sequence=5)
+        late = Event(time=2, kind=EventKind.CYCLE_START, sequence=0)
+        assert early.sort_key() < late.sort_key()
+
+    def test_immutable(self):
+        event = Event(time=1, kind=EventKind.CUSTOM, sequence=0)
+        with pytest.raises(AttributeError):
+            event.time = 2

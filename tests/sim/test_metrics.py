@@ -1,0 +1,161 @@
+"""Unit tests for metric computation."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import LatencyStats, MetricsCollector
+from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
+
+from tests.sim.test_trace import make_record
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats.from_macroticks([], 1.0)
+        assert stats.count == 0
+        assert stats.mean_ms == 0.0
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_macroticks([1500], 1.0)
+        assert stats.count == 1
+        assert stats.mean_ms == pytest.approx(1.5)
+        assert stats.median_ms == pytest.approx(1.5)
+        assert stats.maximum_ms == pytest.approx(1.5)
+
+    def test_mean_and_median(self):
+        stats = LatencyStats.from_macroticks([1000, 2000, 6000], 1.0)
+        assert stats.mean_ms == pytest.approx(3.0)
+        assert stats.median_ms == pytest.approx(2.0)
+
+    def test_p95_below_max(self):
+        samples = list(range(0, 100_000, 1000))
+        stats = LatencyStats.from_macroticks(samples, 1.0)
+        assert stats.p95_ms <= stats.maximum_ms
+        assert stats.p95_ms >= stats.median_ms
+
+    def test_macrotick_scaling(self):
+        stats = LatencyStats.from_macroticks([1000], 2.0)
+        assert stats.mean_ms == pytest.approx(2.0)
+
+
+class TestMetricsCollector:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(macrotick_us=0.0)
+        with pytest.raises(ValueError):
+            MetricsCollector(macrotick_us=1.0, channel_count=0)
+
+    def test_rejects_bad_horizon(self):
+        collector = MetricsCollector(1.0)
+        with pytest.raises(ValueError):
+            collector.compute(TraceRecorder(), 0)
+
+    def test_empty_trace(self):
+        collector = MetricsCollector(1.0)
+        metrics = collector.compute(TraceRecorder(), 1000)
+        assert metrics.running_time_ms == 0.0
+        assert metrics.bandwidth_utilization == 0.0
+        assert metrics.deadline_miss_ratio == 0.0
+        assert metrics.efficiency == 0.0
+
+    def test_utilization_counts_useful_payload(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 10_000)
+        trace.record(make_record(start=0, duration=40, payload=256, bits=320))
+        collector = MetricsCollector(1.0, channel_count=2)
+        metrics = collector.compute(trace, 1000)
+        expected = (40 * 256 / 320) / 2000
+        assert metrics.bandwidth_utilization == pytest.approx(expected)
+
+    def test_redundant_copy_not_double_counted(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 10_000)
+        trace.record(make_record(channel="A", start=0, duration=40))
+        trace.record(make_record(channel="B", start=0, duration=40))
+        collector = MetricsCollector(1.0, channel_count=2)
+        metrics = collector.compute(trace, 1000)
+        useful = (40 * 256 / 320) / 2000
+        assert metrics.bandwidth_utilization == pytest.approx(useful)
+        assert metrics.gross_utilization == pytest.approx(80 / 2000)
+
+    def test_corrupted_occupies_but_not_useful(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 10_000)
+        trace.record(make_record(outcome=TransmissionOutcome.CORRUPTED,
+                                 start=0, duration=40))
+        collector = MetricsCollector(1.0, channel_count=2)
+        metrics = collector.compute(trace, 1000)
+        assert metrics.bandwidth_utilization == 0.0
+        assert metrics.gross_utilization == pytest.approx(40 / 2000)
+        assert metrics.corrupted_attempts == 1
+
+    def test_running_time_all_delivered(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 10_000)
+        trace.record(make_record(start=100, duration=40))
+        collector = MetricsCollector(1.0)
+        metrics = collector.compute(trace, 1000)
+        assert metrics.running_time_ms == pytest.approx(0.14)
+        assert metrics.last_delivery_ms == pytest.approx(0.14)
+
+    def test_running_time_infinite_when_undelivered(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 10_000)
+        trace.note_instance("m", 1, 0, 10_000)
+        trace.record(make_record(instance=0, start=100, duration=40))
+        collector = MetricsCollector(1.0)
+        metrics = collector.compute(trace, 1000)
+        assert math.isinf(metrics.running_time_ms)
+        assert metrics.last_delivery_ms == pytest.approx(0.14)
+
+    def test_miss_ratio(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 50)   # will be late
+        trace.note_instance("m", 1, 0, 10_000)
+        trace.record(make_record(instance=0, start=100, duration=40))
+        trace.record(make_record(instance=1, start=200, duration=40))
+        collector = MetricsCollector(1.0)
+        metrics = collector.compute(trace, 1000)
+        assert metrics.deadline_miss_ratio == pytest.approx(0.5)
+
+    def test_latency_split_by_first_segment(self):
+        trace = TraceRecorder()
+        trace.note_instance("s", 0, 0, 10_000)
+        trace.note_instance("d", 0, 0, 10_000)
+        trace.record(make_record(message_id="s", segment="static",
+                                 start=100, duration=40))
+        trace.record(make_record(message_id="d", segment="dynamic",
+                                 start=200, duration=40))
+        collector = MetricsCollector(1.0)
+        metrics = collector.compute(trace, 1000)
+        assert metrics.static_latency.count == 1
+        assert metrics.dynamic_latency.count == 1
+
+    def test_retransmission_counted(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 10_000)
+        trace.record(make_record(retransmission=True))
+        collector = MetricsCollector(1.0)
+        metrics = collector.compute(trace, 1000)
+        assert metrics.retransmission_attempts == 1
+
+    def test_utilization_capped_at_one(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 10_000)
+        trace.record(make_record(start=0, duration=5000, payload=320,
+                                 bits=320))
+        collector = MetricsCollector(1.0, channel_count=1)
+        metrics = collector.compute(trace, 1000)
+        assert metrics.bandwidth_utilization <= 1.0
+        assert metrics.gross_utilization <= 1.0
+
+    def test_summary_row_keys(self):
+        collector = MetricsCollector(1.0)
+        metrics = collector.compute(TraceRecorder(), 1000)
+        row = metrics.summary_row()
+        assert set(row) == {
+            "running_time_ms", "bandwidth_utilization", "efficiency",
+            "static_latency_ms", "dynamic_latency_ms",
+            "deadline_miss_ratio",
+        }

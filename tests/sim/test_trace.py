@@ -1,0 +1,161 @@
+"""Unit tests for the transmission trace recorder."""
+
+import pytest
+
+from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
+
+
+def make_record(message_id="m", instance=0, channel="A", start=100,
+                duration=40, outcome=TransmissionOutcome.DELIVERED,
+                generation=50, deadline=500, chunk=0, segment="static",
+                retransmission=False, payload=256, bits=320, slot=1,
+                cycle=0):
+    return FrameRecord(
+        message_id=message_id, instance=instance, channel=channel,
+        slot_id=slot, cycle=cycle, start=start, end=start + duration,
+        bits=bits, payload_bits=payload, segment=segment, outcome=outcome,
+        is_retransmission=retransmission, generation_time=generation,
+        deadline=deadline, chunk=chunk,
+    )
+
+
+class TestInstanceTracking:
+    def test_empty_trace(self):
+        trace = TraceRecorder()
+        assert len(trace) == 0
+        assert trace.instance_count() == 0
+        assert trace.delivered_count() == 0
+        assert trace.last_delivery_time() is None
+
+    def test_note_then_deliver(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, generation_time=50, deadline=500)
+        assert trace.instance_count() == 1
+        assert trace.delivered_count() == 0
+        trace.record(make_record())
+        assert trace.delivered_count() == 1
+        assert trace.delivery_time("m", 0) == 140
+
+    def test_note_idempotent(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 500)
+        trace.note_instance("m", 0, 60, 600)  # ignored duplicate
+        assert trace.instance_count() == 1
+
+    def test_note_rejects_zero_chunks(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.note_instance("m", 0, 0, 10, chunks=0)
+
+    def test_corrupted_does_not_deliver(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 500)
+        trace.record(make_record(outcome=TransmissionOutcome.CORRUPTED))
+        assert trace.delivered_count() == 0
+        assert trace.delivery_time("m", 0) is None
+
+    def test_first_delivery_wins(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 500)
+        trace.record(make_record(start=200))
+        trace.record(make_record(start=100))  # earlier redundant copy
+        assert trace.delivery_time("m", 0) == 140
+
+    def test_instance_without_note_is_registered(self):
+        trace = TraceRecorder()
+        trace.record(make_record())
+        assert trace.instance_count() == 1
+
+
+class TestChunkedInstances:
+    def test_partial_chunks_not_delivered(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 500, chunks=2)
+        trace.record(make_record(chunk=0))
+        assert trace.delivered_count() == 0
+
+    def test_all_chunks_deliver(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 500, chunks=2)
+        trace.record(make_record(chunk=0, start=100))
+        trace.record(make_record(chunk=1, start=200))
+        assert trace.delivered_count() == 1
+        # Delivery time is the LAST chunk's landing.
+        assert trace.delivery_time("m", 0) == 240
+
+    def test_duplicate_chunk_does_not_complete(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 500, chunks=2)
+        trace.record(make_record(chunk=0, start=100))
+        trace.record(make_record(chunk=0, start=200))
+        assert trace.delivered_count() == 0
+
+
+class TestMetricsQueries:
+    def test_latencies(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 500)
+        trace.record(make_record(start=100, duration=40))
+        assert trace.latencies() == [("m", 0, 90)]
+
+    def test_missed_never_delivered(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 500)
+        assert trace.missed_instances() == [("m", 0)]
+
+    def test_missed_late_delivery(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 120)
+        trace.record(make_record(start=100, duration=40))  # ends 140 > 120
+        assert trace.missed_instances() == [("m", 0)]
+
+    def test_on_time_not_missed(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 50, 200)
+        trace.record(make_record(start=100, duration=40))
+        assert trace.missed_instances() == []
+
+    def test_last_delivery_time(self):
+        trace = TraceRecorder()
+        trace.note_instance("m", 0, 0, 10_000)
+        trace.note_instance("m", 1, 0, 10_000)
+        trace.record(make_record(instance=0, start=100))
+        trace.record(make_record(instance=1, start=300))
+        assert trace.last_delivery_time() == 340
+
+    def test_attempts_for(self):
+        trace = TraceRecorder()
+        trace.record(make_record(start=0))
+        trace.record(make_record(start=100,
+                                 outcome=TransmissionOutcome.CORRUPTED))
+        trace.record(make_record(message_id="other", start=200))
+        assert trace.attempts_for("m") == 2
+
+    def test_records_for_segment(self):
+        trace = TraceRecorder()
+        trace.record(make_record(segment="static", start=0))
+        trace.record(make_record(segment="dynamic", start=100))
+        assert len(trace.records_for_segment("static")) == 1
+        assert len(trace.records_for_segment("dynamic")) == 1
+
+
+class TestOverlapVerification:
+    def test_no_overlap_clean(self):
+        trace = TraceRecorder()
+        trace.record(make_record(start=0, duration=40))
+        trace.record(make_record(start=40, duration=40))
+        assert trace.verify_no_channel_overlap() == []
+
+    def test_overlap_detected(self):
+        trace = TraceRecorder()
+        trace.record(make_record(start=0, duration=40))
+        trace.record(make_record(start=30, duration=40))
+        violations = trace.verify_no_channel_overlap()
+        assert len(violations) == 1
+        assert "overlaps" in violations[0]
+
+    def test_cross_channel_overlap_allowed(self):
+        trace = TraceRecorder()
+        trace.record(make_record(channel="A", start=0, duration=40))
+        trace.record(make_record(channel="B", start=0, duration=40))
+        assert trace.verify_no_channel_overlap() == []

@@ -1,0 +1,112 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        args_dict = vars(args)
+        assert args_dict["workload"] == "synthetic"
+        assert args_dict["scheduler"] == ["coefficient", "fspec"]
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheduler", "bogus"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "9"])
+
+
+class TestTables:
+    def test_table2(self, capsys):
+        assert main(["tables", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1292" in out        # first BBW size
+        assert "1742" in out        # largest BBW size
+
+    def test_table3_json(self, capsys):
+        assert main(["tables", "3", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 20
+        assert rows[0]["size_bits"] == 1024
+
+
+class TestPlan:
+    def test_bbw_plan(self, capsys):
+        code = main(["plan", "--workload", "bbw", "--ber", "1e-6",
+                     "--rho", "0.999999"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "feasible: True" in out
+        assert "bbw-01" in out
+
+    def test_plan_json(self, capsys):
+        main(["plan", "--workload", "acc", "--json"])
+        out = capsys.readouterr().out
+        rows = json.loads(out[:out.rindex("]") + 1])
+        assert len(rows) == 20
+
+
+class TestRun:
+    def test_run_small(self, capsys):
+        code = main(["run", "--workload", "synthetic", "--count", "5",
+                     "--aperiodic", "0", "--duration-ms", "50",
+                     "--scheduler", "coefficient"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coefficient" in out
+        assert "deadline_miss_ratio" in out
+
+    def test_run_json(self, capsys):
+        code = main(["run", "--workload", "synthetic", "--count", "5",
+                     "--aperiodic", "0", "--duration-ms", "50",
+                     "--scheduler", "fspec", "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["scheduler"] == "fspec"
+
+
+class TestFigures:
+    def test_figure_3_small(self, capsys):
+        code = main(["figures", "3", "--duration-ms", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coefficient" in out
+        assert "fspec" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "--skip-running-time",
+                     "--duration-ms", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# CoEfficient reproduction report" in out
+        assert "Figure 5" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(["report", "--skip-running-time",
+                     "--duration-ms", "60", "--output", str(target)])
+        assert code == 0
+        assert target.exists()
+        assert "Table II" in target.read_text()
+
+
+class TestBreakdown:
+    def test_breakdown_single_scheduler(self, capsys):
+        code = main(["breakdown", "--scheduler", "coefficient",
+                     "--duration-ms", "80", "--minislots", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "breakdown_factor" in out

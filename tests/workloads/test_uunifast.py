@@ -1,0 +1,108 @@
+"""Unit and property tests for the UUniFast workload generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStream
+from repro.workloads.uunifast import uunifast_signals, uunifast_utilizations
+
+
+class TestUtilizations:
+    def test_sum_exact(self):
+        rng = RngStream(5, "uuf-test")
+        values = uunifast_utilizations(10, 0.7, rng)
+        assert sum(values) == pytest.approx(0.7)
+        assert len(values) == 10
+
+    def test_all_positive(self):
+        rng = RngStream(5, "uuf-test")
+        for __ in range(20):
+            values = uunifast_utilizations(8, 0.5, rng)
+            assert all(v > 0 for v in values)
+
+    def test_single_task(self):
+        rng = RngStream(5, "uuf-test")
+        assert uunifast_utilizations(1, 0.3, rng) == [0.3]
+
+    def test_rejects_bad_inputs(self):
+        rng = RngStream(5, "uuf-test")
+        with pytest.raises(ValueError):
+            uunifast_utilizations(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            uunifast_utilizations(5, 0.0, rng)
+
+    @settings(max_examples=30, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=30),
+           total=st.floats(min_value=0.05, max_value=2.0),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_property_sum_and_positivity(self, count, total, seed):
+        rng = RngStream(seed, "uuf-prop")
+        values = uunifast_utilizations(count, total, rng)
+        assert sum(values) == pytest.approx(total, rel=1e-9)
+        assert all(v >= 0 for v in values)
+
+    def test_distribution_not_degenerate(self):
+        """UUniFast spreads mass: the max share varies across draws."""
+        rng = RngStream(5, "uuf-dist")
+        maxima = [max(uunifast_utilizations(5, 1.0, rng))
+                  for __ in range(200)]
+        assert min(maxima) < 0.5 < max(maxima)
+
+
+class TestSignals:
+    def test_target_utilization_achieved(self):
+        # A physically representable target: at a 2 ms period one
+        # FlexRay frame can carry up to ~0.1 of the channel, so 15
+        # messages at 0.15 total fit without clamping.
+        signals = uunifast_signals(15, total_utilization=0.15, seed=2,
+                                   periods_ms=(2.0, 5.0, 10.0))
+        # total_utilization() is bits/ms; one channel = 10_000 bits/ms.
+        achieved = signals.total_utilization() / 10_000.0
+        assert achieved == pytest.approx(0.15, rel=0.1)
+
+    def test_unreachable_target_clamps_gracefully(self):
+        # 0.6 over 15 messages at >= 5 ms periods exceeds the payload
+        # ceiling; the generator clamps instead of failing.
+        signals = uunifast_signals(15, total_utilization=0.6, seed=2)
+        achieved = signals.total_utilization() / 10_000.0
+        assert 0.0 < achieved < 0.6
+
+    def test_count_and_names(self):
+        signals = uunifast_signals(7, 0.2)
+        assert len(signals) == 7
+        assert "uuf-001" in signals
+
+    def test_periods_from_choices(self):
+        signals = uunifast_signals(20, 0.3, periods_ms=(5.0, 10.0))
+        assert all(s.period_ms in (5.0, 10.0) for s in signals)
+
+    def test_sizes_clamped(self):
+        signals = uunifast_signals(3, 3.0, max_size_bits=500)
+        assert all(s.size_bits <= 500 for s in signals)
+
+    def test_aperiodic_mode(self):
+        signals = uunifast_signals(5, 0.2, aperiodic=True)
+        assert all(s.aperiodic for s in signals)
+        assert all(s.min_interarrival_ms == s.period_ms for s in signals)
+
+    def test_deadline_factor(self):
+        signals = uunifast_signals(5, 0.2, deadline_factor=0.5)
+        assert all(s.deadline_ms == pytest.approx(s.period_ms * 0.5)
+                   for s in signals)
+
+    def test_reproducible(self):
+        a = [s.size_bits for s in uunifast_signals(10, 0.4, seed=9)]
+        b = [s.size_bits for s in uunifast_signals(10, 0.4, seed=9)]
+        assert a == b
+
+    def test_runs_through_the_stack(self, small_params):
+        """A UUniFast set survives packing, scheduling and simulation."""
+        from repro.experiments.runner import run_experiment
+        signals = uunifast_signals(
+            6, 0.1, periods_ms=(0.8, 1.6, 3.2), max_size_bits=216)
+        result = run_experiment(
+            params=small_params, scheduler="coefficient",
+            periodic=signals, ber=0.0, duration_ms=20.0,
+        )
+        assert result.metrics.produced_instances > 0

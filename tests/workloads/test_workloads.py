@@ -1,0 +1,160 @@
+"""Unit tests for the workload generators (case studies + synthetic)."""
+
+import pytest
+
+from repro.workloads.acc import ACC_TABLE, acc_signals
+from repro.workloads.bbw import BBW_TABLE, bbw_signals
+from repro.workloads.sae import sae_aperiodic_signals
+from repro.workloads.synthetic import SYNTHETIC_PERIODS_MS, synthetic_signals
+
+
+class TestBbwTable:
+    """Table II regeneration: every value verbatim from the paper."""
+
+    def test_twenty_messages(self):
+        assert len(BBW_TABLE) == 20
+        assert len(bbw_signals()) == 20
+
+    def test_spot_check_rows(self):
+        # Rows 1, 3, 17, 20 of the paper's Table II.
+        assert BBW_TABLE[0] == (0.28, 8, 8, 1292)
+        assert BBW_TABLE[2] == (0.58, 1, 1, 1574)
+        assert BBW_TABLE[16] == (0.56, 1, 1, 1742)
+        assert BBW_TABLE[19] == (0.68, 1, 1, 878)
+
+    def test_period_distribution(self):
+        periods = [row[1] for row in BBW_TABLE]
+        assert periods.count(1) == 9
+        assert periods.count(8) == 11
+
+    def test_implicit_deadlines(self):
+        assert all(row[1] == row[2] for row in BBW_TABLE)
+
+    def test_size_range(self):
+        sizes = [row[3] for row in BBW_TABLE]
+        assert min(sizes) == 285
+        assert max(sizes) == 1742
+
+    def test_signal_names(self):
+        signals = bbw_signals()
+        assert "bbw-01" in signals
+        assert "bbw-20" in signals
+
+    def test_ecu_assignment(self):
+        signals = bbw_signals(ecu_count=5)
+        assert signals.ecu_count() == 5
+        assert signals["bbw-01"].ecu == 0
+        assert signals["bbw-06"].ecu == 0  # round-robin wraps
+
+    def test_rejects_bad_ecu_count(self):
+        with pytest.raises(ValueError):
+            bbw_signals(ecu_count=0)
+
+
+class TestAccTable:
+    """Table III regeneration."""
+
+    def test_twenty_messages(self):
+        assert len(ACC_TABLE) == 20
+
+    def test_spot_check_rows(self):
+        assert ACC_TABLE[0] == (0.42, 16, 16, 1024)
+        assert ACC_TABLE[12] == (0.31, 32, 32, 1280)
+        assert ACC_TABLE[15] == (0.32, 32, 32, 256)
+        assert ACC_TABLE[19] == (0.35, 32, 32, 256)
+
+    def test_period_distribution(self):
+        periods = [row[1] for row in ACC_TABLE]
+        assert periods.count(16) == 5
+        assert periods.count(24) == 7
+        assert periods.count(32) == 8
+
+    def test_sizes_from_paper_alphabet(self):
+        sizes = {row[3] for row in ACC_TABLE}
+        assert sizes == {256, 1024, 1280}
+
+    def test_signals(self):
+        signals = acc_signals()
+        assert len(signals) == 20
+        assert signals["acc-13"].size_bits == 1280
+
+
+class TestSynthetic:
+    def test_count(self):
+        assert len(synthetic_signals(25)) == 25
+
+    def test_seeded_reproducibility(self):
+        a = synthetic_signals(20, seed=5)
+        b = synthetic_signals(20, seed=5)
+        for left, right in zip(a, b):
+            assert left == right
+
+    def test_different_seeds_differ(self):
+        a = [s.size_bits for s in synthetic_signals(20, seed=5)]
+        b = [s.size_bits for s in synthetic_signals(20, seed=6)]
+        assert a != b
+
+    def test_paper_parameter_ranges(self):
+        signals = synthetic_signals(100, seed=1)
+        for signal in signals:
+            assert 5.0 <= signal.period_ms <= 50.0
+            assert 1.0 <= signal.deadline_ms <= 20.0
+            assert signal.deadline_ms <= signal.period_ms
+            assert 64 <= signal.size_bits <= 336
+
+    def test_periods_cycle_aligned(self):
+        signals = synthetic_signals(50, seed=2)
+        for signal in signals:
+            assert signal.period_ms in SYNTHETIC_PERIODS_MS
+
+    def test_custom_deadlines(self):
+        signals = synthetic_signals(30, seed=1,
+                                    deadlines_ms=(5.0, 10.0))
+        assert all(s.deadline_ms in (5.0, 10.0) for s in signals)
+
+    def test_ecu_round_robin(self):
+        signals = synthetic_signals(20, ecu_count=10)
+        assert signals.ecu_count() == 10
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            synthetic_signals(0)
+        with pytest.raises(ValueError):
+            synthetic_signals(5, ecu_count=0)
+        with pytest.raises(ValueError):
+            synthetic_signals(5, min_size_bits=100, max_size_bits=50)
+
+
+class TestSae:
+    def test_paper_defaults(self):
+        signals = sae_aperiodic_signals()
+        assert len(signals) == 30
+        assert all(s.aperiodic for s in signals)
+        assert all(s.period_ms == 50.0 for s in signals)
+        assert all(s.deadline_ms == 50.0 for s in signals)
+
+    def test_priorities_follow_index(self):
+        signals = sae_aperiodic_signals()
+        priorities = [s.effective_priority for s in signals]
+        assert priorities == sorted(priorities)
+
+    def test_spread_over_ten_nodes(self):
+        signals = sae_aperiodic_signals()
+        assert signals.ecu_count() == 10
+
+    def test_reproducible(self):
+        a = [s.size_bits for s in sae_aperiodic_signals(seed=4)]
+        b = [s.size_bits for s in sae_aperiodic_signals(seed=4)]
+        assert a == b
+
+    def test_custom_sizes(self):
+        signals = sae_aperiodic_signals(min_size_bits=100, max_size_bits=200)
+        assert all(100 <= s.size_bits <= 200 for s in signals)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            sae_aperiodic_signals(count=0)
+        with pytest.raises(ValueError):
+            sae_aperiodic_signals(ecu_count=0)
+        with pytest.raises(ValueError):
+            sae_aperiodic_signals(min_size_bits=0)
