@@ -36,6 +36,21 @@ def print_rows(title: str, rows: Sequence[Dict], columns: Sequence[str],
     print()
 
 
+def print_counters(title: str, obs, prefixes: Sequence[str]) -> None:
+    """Print the observability counters a benchmark run collected.
+
+    Benchmarks thread an enabled ``Observability`` through the runs they
+    time so the same counters the ``--metrics-out`` CLI flag exports are
+    visible next to the timing numbers.
+    """
+    snapshot = obs.deterministic_snapshot()["counters"]
+    print(f"== {title}: counters ==")
+    for name, value in sorted(snapshot.items()):
+        if any(name.startswith(p) for p in prefixes):
+            print(f"   {name:<44s} {value:>12d}")
+    print()
+
+
 def pairs_by(rows: Sequence[Dict], key_fields: Sequence[str]) -> Dict:
     """Group coefficient/fspec row pairs by a composite key.
 

@@ -8,22 +8,31 @@ point, FSPEC's worst point is at least 4x CoEfficient's average, and
 both improve (weakly) as the dynamic segment grows.
 """
 
-from benchmarks.conftest import pairs_by, print_rows
+from benchmarks.conftest import pairs_by, print_counters, print_rows
 from repro.experiments.figures import fig5_deadline_miss_ratio
+from repro.obs import Observability
 
 _COLUMNS = ("minislots", "ber", "scheduler", "deadline_miss_ratio",
             "produced")
 
 
 def test_fig5_deadline_miss_ratio(benchmark):
+    obs = Observability()
     rows = benchmark.pedantic(
         fig5_deadline_miss_ratio,
-        kwargs=dict(duration_ms=1000.0),
+        kwargs=dict(duration_ms=1000.0, obs=obs),
         rounds=1, iterations=1,
     )
     print_rows("Figure 5 -- deadline miss ratio vs minislots", rows,
                _COLUMNS,
                paper_note="CoEfficient 4.8/3.2 % vs FSPEC 21.3/19.5 % avg")
+    # The same counters `--metrics-out` exports, next to the timings.
+    print_counters("Figure 5", obs,
+                   prefixes=("engine.", "slack.", "retransmission."))
+    counters = obs.deterministic_snapshot()["counters"]
+    assert counters["engine.cycles"] > 0
+    assert counters["slack.table_queries"] > 0
+    assert counters["retransmission.plan.budget_total"] >= 0
     pairs = pairs_by(rows, ("minislots", "ber"))
     for key, pair in pairs.items():
         assert pair["coefficient"]["deadline_miss_ratio"] <= \

@@ -46,3 +46,5 @@ class DynamicPriorityPolicy(QueueingPolicyBase):
                        end_mt: int) -> None:
         # Fault-oblivious: corrupted frames are simply lost.
         self.counters["retx_abandoned"] += 1
+        if self.obs.enabled:
+            self.obs.inc("baseline.unrecovered_failures")

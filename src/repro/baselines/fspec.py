@@ -83,6 +83,8 @@ class FspecPolicy(QueueingPolicyBase):
         key = (pending.message_id, pending.frame.chunk)
         placements = self._placements.get(key, ())
         if len(placements) >= 2:
+            if self.obs.enabled:
+                self.obs.inc("baseline.duplicate_covered")
             return 0  # already duplicated in the static schedule
         return self._retransmission_copies
 
@@ -97,6 +99,13 @@ class FspecPolicy(QueueingPolicyBase):
             return
         self.push_retransmission(pending.retry(end_mt))
         self.counters["retx_enqueued"] += 1
+        if self.obs.enabled:
+            # Best-effort ARQ admits unconditionally -- the contrast
+            # with CoEfficient's acceptance test in the event stream.
+            self.obs.emit("policy.retx_admission",
+                          message_id=pending.message_id,
+                          instance=pending.instance,
+                          admitted=True, open_loop=False)
 
     # No slack_frame_for override: idle static slots stay idle (the
     # separate-scheduling waste the paper criticizes).

@@ -48,3 +48,5 @@ class StaticOnlyPolicy(QueueingPolicyBase):
                        end_mt: int) -> None:
         # Fault tolerance is the pre-scheduled duplicate or nothing.
         self.counters["retx_abandoned"] += 1
+        if self.obs.enabled:
+            self.obs.inc("baseline.unrecovered_failures")

@@ -25,6 +25,13 @@ from repro.experiments import figures as figures_module
 from repro.experiments.runner import SCHEDULERS, run_experiment
 from repro.faults.ber import BitErrorRateModel
 from repro.core.retransmission import plan_retransmissions
+from repro.obs import (
+    NULL_OBS,
+    Observability,
+    attach_event_capture,
+    format_profile,
+    write_metrics_jsonl,
+)
 from repro.flexray.params import paper_dynamic_preset, paper_static_preset
 from repro.flexray.signal import SignalSet
 from repro.workloads.acc import acc_signals
@@ -76,7 +83,46 @@ def _emit(rows: List[Dict], as_json: bool) -> None:
         print("  ".join(cells))
 
 
+def _make_observability(args):
+    """Build an observability context iff a flag asks for one.
+
+    Returns ``(obs, events)``: the shared :data:`NULL_OBS` no-op (and
+    ``None``) unless ``--profile`` or ``--metrics-out`` was given, in
+    which case a live context with a bounded event recorder attached.
+    """
+    wants_profile = getattr(args, "profile", False)
+    wants_export = getattr(args, "metrics_out", None)
+    if not wants_profile and not wants_export:
+        return NULL_OBS, None
+    if wants_export:
+        # Fail fast on an unwritable path: the export happens after the
+        # whole simulation, which is too late to discover a typo.
+        try:
+            open(wants_export, "w").close()
+        except OSError as error:
+            raise SystemExit(
+                f"repro: cannot write --metrics-out {wants_export}: {error}")
+    obs = Observability()
+    events = attach_event_capture(obs)
+    return obs, events
+
+
+def _finish_observability(args, obs, events, **meta) -> None:
+    """Export / print whatever the enabled observability collected."""
+    if not obs.enabled:
+        return
+    path = getattr(args, "metrics_out", None)
+    if path:
+        meta.setdefault("tool", "repro-cli")
+        count = write_metrics_jsonl(path, obs, meta=meta, events=events)
+        print(f"wrote {path} ({count} records)", file=sys.stderr)
+    if getattr(args, "profile", False):
+        print(file=sys.stderr)
+        print(format_profile(obs.profiler), file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
+    obs, events = _make_observability(args)
     periodic = _periodic_workload(args.workload, args.count, args.seed)
     aperiodic = sae_aperiodic_signals(count=args.aperiodic) \
         if args.aperiodic > 0 else None
@@ -92,33 +138,41 @@ def _cmd_run(args) -> int:
             seed=args.seed,
             duration_ms=args.duration_ms,
             reliability_goal=args.rho,
+            obs=obs,
         )
         row = result.row()
         row["produced"] = result.metrics.produced_instances
         row["delivered"] = result.metrics.delivered_instances
         rows.append(row)
     _emit(rows, args.json)
+    _finish_observability(args, obs, events, command="run",
+                          workload=args.workload, seed=args.seed,
+                          ber=args.ber,
+                          schedulers=",".join(args.scheduler))
     return 0
 
 
 def _cmd_figures(args) -> int:
+    obs, events = _make_observability(args)
     figure = args.figure
     if figure == "1":
-        rows = figures_module.fig1_2_running_time(ber=1e-7)
+        rows = figures_module.fig1_2_running_time(ber=1e-7, obs=obs)
     elif figure == "2":
-        rows = figures_module.fig1_2_running_time(ber=1e-9)
+        rows = figures_module.fig1_2_running_time(ber=1e-9, obs=obs)
     elif figure == "3":
         rows = figures_module.fig3_bandwidth_utilization(
-            duration_ms=args.duration_ms)
+            duration_ms=args.duration_ms, obs=obs)
     elif figure == "4":
         rows = figures_module.fig4_transmission_latency(
-            duration_ms=args.duration_ms)
+            duration_ms=args.duration_ms, obs=obs)
     elif figure == "5":
         rows = figures_module.fig5_deadline_miss_ratio(
-            duration_ms=args.duration_ms)
+            duration_ms=args.duration_ms, obs=obs)
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(f"unknown figure {figure}")
     _emit(rows, args.json)
+    _finish_observability(args, obs, events, command="figures",
+                          figure=figure, duration_ms=args.duration_ms)
     return 0
 
 
@@ -226,8 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit JSON instead of a table")
 
+    def observability(p):
+        p.add_argument("--profile", action="store_true",
+                       help="print a wall-clock profile to stderr")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write observability counters/gauges/events "
+                            "as JSONL to PATH")
+
     run_parser = sub.add_parser("run", help="run one experiment")
     common(run_parser)
+    observability(run_parser)
     run_parser.add_argument("--scheduler", nargs="+", choices=SCHEDULERS,
                             default=["coefficient", "fspec"])
     run_parser.add_argument("--minislots", type=int, default=100)
@@ -241,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("figure", choices=_FIGURES)
     figure_parser.add_argument("--duration-ms", type=float, default=500.0)
     figure_parser.add_argument("--json", action="store_true")
+    observability(figure_parser)
     figure_parser.set_defaults(handler=_cmd_figures)
 
     table_parser = sub.add_parser("tables",

@@ -164,7 +164,19 @@ class CoEfficientPolicy(QueueingPolicyBase):
         self._planner = SelectiveSlackPlanner(
             idle_table, self.params,
             dynamic_retransmission_share=dynamic_share,
+            obs=self.obs,
         )
+        if self.obs.enabled:
+            self.obs.merge_counters("retransmission.plan", {
+                "selected_messages": len(self.plan.selected_messages()),
+                "planned_messages": len(self.plan.budgets),
+                "budget_total": sum(self.plan.budgets.values()),
+                "feasible": self.plan.feasible,
+                "achieved_probability": self.plan.achieved_probability,
+            })
+            self.obs.emit("retransmission.plan", feasible=self.plan.feasible,
+                          selected=len(self.plan.selected_messages()),
+                          budget_total=sum(self.plan.budgets.values()))
 
     @property
     def slack_planner(self) -> SelectiveSlackPlanner:
@@ -195,6 +207,8 @@ class CoEfficientPolicy(QueueingPolicyBase):
         assert self.plan is not None and self._planner is not None
         budget = self.plan.budget_for(pending.message_id)
         if pending.attempt >= budget:
+            if self.obs.enabled:
+                self.obs.inc("retransmission.budget_exhausted")
             return  # budget exhausted or message not selected
         if end_mt >= pending.deadline_mt:
             self.counters["retx_abandoned"] += 1
@@ -205,9 +219,19 @@ class CoEfficientPolicy(QueueingPolicyBase):
         if self._selective:
             if not self._planner.try_promise(retry, end_mt):
                 self.counters["retx_abandoned"] += 1
+                if self.obs.enabled:
+                    self.obs.emit("policy.retx_admission",
+                                  message_id=pending.message_id,
+                                  instance=pending.instance,
+                                  admitted=False, open_loop=False)
                 return
         self.push_retransmission(retry)
         self.counters["retx_enqueued"] += 1
+        if self.obs.enabled:
+            self.obs.emit("policy.retx_admission",
+                          message_id=pending.message_id,
+                          instance=pending.instance,
+                          admitted=True, open_loop=False)
 
     def on_retx_discard(self, pending: PendingFrame) -> None:
         if self._selective and self._planner is not None:

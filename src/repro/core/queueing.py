@@ -272,10 +272,16 @@ class QueueingPolicyBase(SchedulerPolicy):
             for __ in range(copies):
                 copy = previous.retry(pending.generation_time_mt)
                 previous = copy
-                if self.enqueue_copy(copy, pending.generation_time_mt):
+                admitted = self.enqueue_copy(copy, pending.generation_time_mt)
+                if admitted:
                     self.counters["retx_enqueued"] += 1
                 else:
                     self.counters["retx_abandoned"] += 1
+                if self.obs.enabled:
+                    self.obs.emit("policy.retx_admission",
+                                  message_id=pending.message_id,
+                                  instance=pending.instance,
+                                  admitted=admitted, open_loop=True)
 
     def on_cycle_start(self, cycle: int, start_mt: int) -> None:
         self._now_mt = start_mt
@@ -308,6 +314,12 @@ class QueueingPolicyBase(SchedulerPolicy):
         stolen = self.slack_frame_for(channel, cycle, slot_id, action_point_mt)
         if stolen is not None:
             self.counters["slack_steals"] += 1
+            if self.obs.enabled:
+                self.obs.emit("policy.slack_steal", channel=channel.name,
+                              cycle=cycle, slot_id=slot_id,
+                              message_id=stolen.message_id,
+                              kind=stolen.kind.name,
+                              deadline_mt=stolen.deadline_mt)
         return stolen
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.analysis.slack_table import IdleSlotTable
 from repro.core.slack_stealing import SlackStealer
 from repro.flexray.frame import PendingFrame
 from repro.flexray.params import FlexRayParams
+from repro.obs import NULL_OBS
 
 __all__ = ["max_level_slack", "SelectiveSlackPlanner"]
 
@@ -77,15 +78,20 @@ class SelectiveSlackPlanner:
             in the dynamic segment, in frames per cycle (CoEfficient
             reserves the highest-priority dynamic frame ID, worth one
             frame per cycle per channel when the segment is long enough).
+        obs: Observability context; acceptance-test outcomes are
+            recorded as ``slack.*`` counters and ``slack.promise`` hook
+            events when enabled.
     """
 
     def __init__(self, idle_table: IdleSlotTable, params: FlexRayParams,
-                 dynamic_retransmission_share: float = 0.0) -> None:
+                 dynamic_retransmission_share: float = 0.0,
+                 obs=NULL_OBS) -> None:
         if dynamic_retransmission_share < 0:
             raise ValueError("dynamic share must be >= 0")
         self._idle_table = idle_table
         self._params = params
         self._dynamic_share = dynamic_retransmission_share
+        self._obs = obs
         # Outstanding promises as a sorted list of absolute deadlines:
         # a new candidate only competes with promises due no later than
         # itself (the retransmission queue is EDF, so later-deadline
@@ -158,6 +164,12 @@ class SelectiveSlackPlanner:
                 )
         window_cycles = max(last_full - first_full, 0)
         dynamic = int(self._dynamic_share * window_cycles)
+        if self._obs.enabled:
+            # Table "hit": the idle-slot table found structural slack in
+            # the window; a miss falls back to the dynamic share only.
+            self._obs.inc("slack.table_queries")
+            self._obs.inc("slack.table_hits" if structural > 0
+                          else "slack.table_misses")
         return structural + dynamic
 
     def _idle_slots_in_window(self, cycle: int, from_mt: int,
@@ -196,6 +208,8 @@ class SelectiveSlackPlanner:
         fits_static = self.fits_slot(pending)
         if not fits_static and self._dynamic_share <= 0:
             self._rejected += 1
+            self._note_outcome(pending, now_mt, granted=False,
+                               fits_static=False, supply=0, competing=0)
             return False
         supply = self.supply_between(
             now_mt, pending.deadline_mt, include_structural=fits_static
@@ -204,10 +218,31 @@ class SelectiveSlackPlanner:
                                         pending.deadline_mt)
         if supply <= competing:
             self._rejected += 1
+            self._note_outcome(pending, now_mt, granted=False,
+                               fits_static=fits_static, supply=supply,
+                               competing=competing)
             return False
         bisect.insort(self._outstanding, pending.deadline_mt)
         self._granted += 1
+        self._note_outcome(pending, now_mt, granted=True,
+                           fits_static=fits_static, supply=supply,
+                           competing=competing)
         return True
+
+    def _note_outcome(self, pending: PendingFrame, now_mt: int,
+                      granted: bool, fits_static: bool, supply: int,
+                      competing: int) -> None:
+        """Record one acceptance-test outcome (no-op when disabled)."""
+        if not self._obs.enabled:
+            return
+        self._obs.inc("slack.promise_granted" if granted
+                      else "slack.promise_rejected")
+        self._obs.emit("slack.promise", granted=granted,
+                       message_id=pending.message_id,
+                       instance=pending.instance, now_mt=now_mt,
+                       deadline_mt=pending.deadline_mt,
+                       fits_static=fits_static, supply=supply,
+                       competing=competing)
 
     def consume(self) -> None:
         """A promised slot was used (retransmission transmitted).
@@ -217,7 +252,12 @@ class SelectiveSlackPlanner:
         """
         if self._outstanding:
             self._outstanding.pop(0)
+            if self._obs.enabled:
+                self._obs.inc("slack.promise_consumed")
 
     def release(self) -> None:
         """A promise lapsed (frame expired before transmission)."""
-        self.consume()
+        if self._outstanding:
+            self._outstanding.pop(0)
+            if self._obs.enabled:
+                self._obs.inc("slack.promise_released")

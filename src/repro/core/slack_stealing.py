@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.tasks import AperiodicTask, PeriodicTask, TaskSet
+from repro.obs import NULL_OBS
 
 __all__ = ["SlackStealer", "ScheduleOutcome", "CompletedJob"]
 
@@ -111,8 +112,10 @@ class SlackStealer:
             slack stealer's guarantees are conditional on that).
     """
 
-    def __init__(self, tasks: TaskSet, horizon: Optional[int] = None) -> None:
+    def __init__(self, tasks: TaskSet, horizon: Optional[int] = None,
+                 obs=NULL_OBS) -> None:
         self._tasks = tasks
+        self._obs = obs
         self._n = len(tasks)
         self._horizon = horizon or max(1, tasks.analysis_horizon())
         self._level_idle_prefix = self._compute_level_idle_prefix()
@@ -212,6 +215,8 @@ class SlackStealer:
     def _slack_at(self, states: List[_JobState], consumed: int,
                   inactivity: List[int]) -> int:
         """S*(t) = min_i (A_i(r_i+1) - C(t) - I_i(t)) with current state."""
+        if self._obs.enabled:
+            self._obs.inc("slackstealer.slack_queries")
         slack = None
         for i in range(self._n):
             state = states[i]
@@ -269,11 +274,14 @@ class SlackStealer:
 
             periodic_level = self._highest_pending_level(states)
             serve_aperiodic = False
+            stolen = False
             if active:
                 if periodic_level is None:
                     serve_aperiodic = True  # free idle time
                 elif self._slack_at(states, consumed, inactivity) > 0:
-                    serve_aperiodic = True
+                    serve_aperiodic = stolen = True
+            if stolen and self._obs.enabled:
+                self._obs.inc("slackstealer.units_stolen")
 
             if serve_aperiodic:
                 task, remaining = active[0]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.obs import NULL_OBS
 
 __all__ = ["MetricSummary", "CampaignResult", "run_campaign",
            "compare_campaigns"]
@@ -115,6 +116,7 @@ def run_campaign(
     scheduler: str,
     seeds: Sequence[int],
     metrics: Optional[Sequence[str]] = None,
+    obs=NULL_OBS,
     **experiment_kwargs,
 ) -> CampaignResult:
     """Run one configuration across many seeds.
@@ -124,6 +126,9 @@ def run_campaign(
         seeds: Seeds to run (each is one independent sample: workload
             jitter and fault pattern both re-drawn).
         metrics: Metric names to summarize (default: all known).
+        obs: Observability context shared by every seeded run; counters
+            accumulate across seeds and ``campaign.runs`` records the
+            sample count.
         **experiment_kwargs: Forwarded to
             :func:`repro.experiments.runner.run_experiment` (everything
             except ``scheduler`` and ``seed``).
@@ -139,9 +144,14 @@ def run_campaign(
         raise ValueError(f"unknown metrics: {sorted(unknown)}")
 
     results = [
-        run_experiment(scheduler=scheduler, seed=seed, **experiment_kwargs)
+        run_experiment(scheduler=scheduler, seed=seed, obs=obs,
+                       **experiment_kwargs)
         for seed in seeds
     ]
+    if obs.enabled:
+        obs.inc("campaign.runs", len(results))
+        obs.emit("campaign.finished", scheduler=scheduler,
+                 seeds=len(results))
     summaries = {
         name: MetricSummary.of(
             name, [_METRIC_EXTRACTORS[name](r) for r in results])

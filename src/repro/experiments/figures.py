@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import run_experiment
 from repro.flexray.params import FlexRayParams, paper_dynamic_preset, paper_static_preset
+from repro.obs import NULL_OBS
 from repro.flexray.signal import SignalSet
 from repro.packing.frame_packing import derive_params_for
 from repro.workloads.acc import acc_signals
@@ -184,6 +185,7 @@ def fig1_2_running_time(
     synthetic_counts: Sequence[int] = (20, 40),
     static_slot_options: Sequence[int] = (80, 120),
     seed: int = 42,
+    obs=NULL_OBS,
 ) -> List[Dict[str, float]]:
     """Figure 1 (BER = 1e-7) / Figure 2 (BER = 1e-9): running time.
 
@@ -228,6 +230,7 @@ def fig1_2_running_time(
                     instance_limit=limit,
                     reliability_goal=rho,
                     drop_expired_dynamic=False,
+                    obs=obs,
                     **_policy_kwargs(scheduler),
                 )
                 rows.append({
@@ -259,6 +262,7 @@ def fig1_2_running_time(
                     instance_limit=20,
                     reliability_goal=rho,
                     drop_expired_dynamic=False,
+                    obs=obs,
                     **_policy_kwargs(scheduler),
                 )
                 rows.append({
@@ -285,6 +289,7 @@ def fig3_bandwidth_utilization(
     ber: float = 1e-7,
     duration_ms: float = 500.0,
     seed: int = 42,
+    obs=NULL_OBS,
 ) -> List[Dict[str, float]]:
     """Figure 3: bandwidth utilization vs gNumberOfMinislots.
 
@@ -305,6 +310,7 @@ def fig3_bandwidth_utilization(
                 seed=seed,
                 duration_ms=duration_ms,
                 reliability_goal=rho,
+                obs=obs,
             )
             rows.append({
                 "figure": "3",
@@ -327,6 +333,7 @@ def fig4_transmission_latency(
     bers: Sequence[float] = (1e-7, 1e-9),
     duration_ms: float = 500.0,
     seed: int = 42,
+    obs=NULL_OBS,
 ) -> List[Dict[str, float]]:
     """Figure 4: average static/dynamic latency, synthetic + case studies.
 
@@ -350,6 +357,7 @@ def fig4_transmission_latency(
                     seed=seed,
                     duration_ms=duration_ms,
                     reliability_goal=rho,
+                    obs=obs,
                 )
                 rows.append({
                     "figure": "4ac",
@@ -373,6 +381,7 @@ def fig4_transmission_latency(
                     seed=seed,
                     duration_ms=duration_ms,
                     reliability_goal=rho,
+                    obs=obs,
                 )
                 rows.append({
                     "figure": "4bd",
@@ -395,6 +404,7 @@ def fig5_deadline_miss_ratio(
     bers: Sequence[float] = (1e-7, 1e-9),
     duration_ms: float = 500.0,
     seed: int = 42,
+    obs=NULL_OBS,
 ) -> List[Dict[str, float]]:
     """Figure 5: deadline miss ratio vs gNumberOfMinislots.
 
@@ -416,6 +426,7 @@ def fig5_deadline_miss_ratio(
                     seed=seed,
                     duration_ms=duration_ms,
                     reliability_goal=rho,
+                    obs=obs,
                 )
                 rows.append({
                     "figure": "5",

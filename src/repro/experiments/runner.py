@@ -22,6 +22,7 @@ from repro.flexray.cluster import FlexRayCluster
 from repro.flexray.params import FlexRayParams
 from repro.flexray.policy import SchedulerPolicy
 from repro.flexray.signal import SignalSet
+from repro.obs import NULL_OBS
 from repro.packing.frame_packing import PackingResult, pack_signals
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.rng import RngStream
@@ -126,6 +127,7 @@ def run_experiment(
     time_unit_ms: float = DEFAULT_TIME_UNIT_MS,
     node_count: int = 10,
     max_cycles: int = 200_000,
+    obs=NULL_OBS,
     **policy_kwargs,
 ) -> ExperimentResult:
     """Run one workload under one scheduler and return its metrics.
@@ -151,6 +153,10 @@ def run_experiment(
         time_unit_ms: Theorem-1 time unit.
         node_count: Cluster size (paper: 10 nodes).
         max_cycles: Safety cap in completion mode.
+        obs: Observability context threaded through the policy, the
+            cluster and the metric reduction; policy counters and
+            slack-planner statistics are merged into its registry when
+            the run ends.
         **policy_kwargs: Forwarded to the policy constructor.
 
     Returns:
@@ -159,30 +165,36 @@ def run_experiment(
     if duration_ms is None and instance_limit is None:
         raise ValueError("set duration_ms or instance_limit")
     workload = _merge(periodic, aperiodic)
-    packing = pack_signals(workload, params)
-    rng = RngStream(seed, scope="experiment")
-    ber_model = BitErrorRateModel(ber_channel_a=ber)
-    injector = TransientFaultInjector(ber_model, rng)
-    policy = make_policy(
-        scheduler, packing, ber_model,
-        reliability_goal=reliability_goal,
-        time_unit_ms=time_unit_ms,
-        **policy_kwargs,
-    )
-    sources = packing.build_sources(rng, instance_limit=instance_limit)
-    cluster = FlexRayCluster(
-        params=params,
-        policy=policy,
-        sources=sources,
-        corrupts=injector,
-        node_count=node_count,
-    )
-    if duration_ms is not None:
-        cycles = cluster.run_for_ms(duration_ms)
-    else:
-        cycles = cluster.run_until_complete(max_cycles=max_cycles)
+    with obs.section("experiment.setup"):
+        packing = pack_signals(workload, params)
+        rng = RngStream(seed, scope="experiment")
+        ber_model = BitErrorRateModel(ber_channel_a=ber)
+        injector = TransientFaultInjector(ber_model, rng)
+        policy = make_policy(
+            scheduler, packing, ber_model,
+            reliability_goal=reliability_goal,
+            time_unit_ms=time_unit_ms,
+            **policy_kwargs,
+        )
+        policy.attach_observability(obs)
+        sources = packing.build_sources(rng, instance_limit=instance_limit)
+        cluster = FlexRayCluster(
+            params=params,
+            policy=policy,
+            sources=sources,
+            corrupts=injector,
+            node_count=node_count,
+            obs=obs,
+        )
+    with obs.section("experiment.run"):
+        if duration_ms is not None:
+            cycles = cluster.run_for_ms(duration_ms)
+        else:
+            cycles = cluster.run_until_complete(max_cycles=max_cycles)
     metrics = cluster.metrics()
     counters = dict(getattr(policy, "counters", {}))
+    if obs.enabled:
+        _export_run_observability(obs, scheduler, policy, counters, cycles)
     return ExperimentResult(
         scheduler=scheduler,
         metrics=metrics,
@@ -191,6 +203,19 @@ def run_experiment(
         params=params,
         cluster=cluster,
     )
+
+
+def _export_run_observability(obs, scheduler: str,
+                              policy: SchedulerPolicy,
+                              counters: Dict[str, int],
+                              cycles: int) -> None:
+    """Merge end-of-run policy state into the observability registry."""
+    obs.merge_counters("policy", counters)
+    obs.set_gauge("engine.cycles_run", cycles)
+    planner = getattr(policy, "_planner", None)
+    if planner is not None:
+        obs.merge_counters("slack.planner", planner.stats)
+    obs.emit("experiment.finished", scheduler=scheduler, cycles=cycles)
 
 
 def _merge(periodic: Optional[SignalSet],

@@ -30,6 +30,7 @@ from repro.flexray.params import FlexRayParams
 from repro.flexray.policy import SchedulerPolicy
 from repro.flexray.static_segment import StaticSegmentEngine
 from repro.flexray.topology import BusTopology, Topology
+from repro.obs import NULL_OBS
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.trace import TraceRecorder
 
@@ -54,6 +55,8 @@ class FlexRayCluster:
         topology: Interconnect; defaults to a bus sized to the sources'
             producing ECUs (minimum 2 nodes).
         node_count: Explicit node count override (>= max producer index).
+        obs: Observability context; when enabled, the cluster records
+            ``engine.*`` counters and per-segment profiler sections.
     """
 
     def __init__(
@@ -64,9 +67,12 @@ class FlexRayCluster:
         corrupts: Optional[FaultOracle] = None,
         topology: Optional[Topology] = None,
         node_count: Optional[int] = None,
+        obs=NULL_OBS,
     ) -> None:
         self.params = params
         self.policy = policy
+        self._obs = obs
+        self._observed = obs.enabled
         self.layout = CycleLayout(params)
         self.channels = ChannelSet(params.channel_count)
         self.trace = TraceRecorder()
@@ -192,17 +198,41 @@ class FlexRayCluster:
         """Run one full communication cycle (static + dynamic segments)."""
         cycle = self._cycle
         start_mt = self.layout.cycle_start(cycle)
-        self._deliver_arrivals_until(start_mt)
-        self.policy.on_cycle_start(cycle, start_mt)
-        self._static_engine.execute_cycle(cycle, self._deliver_arrivals_until)
-        self._dynamic_engine.execute_cycle(cycle, self._deliver_arrivals_until)
+        if self._observed:
+            self._execute_one_cycle_observed(cycle, start_mt)
+        else:
+            self._deliver_arrivals_until(start_mt)
+            self.policy.on_cycle_start(cycle, start_mt)
+            self._static_engine.execute_cycle(
+                cycle, self._deliver_arrivals_until)
+            self._dynamic_engine.execute_cycle(
+                cycle, self._deliver_arrivals_until)
         # Arrivals landing in the symbol window / NIT wait for the next
         # cycle's delivery pass by construction.
         self._cycle = cycle + 1
 
+    def _execute_one_cycle_observed(self, cycle: int, start_mt: int) -> None:
+        """The same cycle walk, with per-segment timing and counters."""
+        obs = self._obs
+        with obs.section("cluster.arrivals"):
+            self._deliver_arrivals_until(start_mt)
+        self.policy.on_cycle_start(cycle, start_mt)
+        with obs.section("cluster.static_segment"):
+            self._static_engine.execute_cycle(
+                cycle, self._deliver_arrivals_until)
+        with obs.section("cluster.dynamic_segment"):
+            self._dynamic_engine.execute_cycle(
+                cycle, self._deliver_arrivals_until)
+        obs.inc("engine.cycles")
+        obs.set_gauge("engine.trace_records", len(self.trace))
+        obs.emit("engine.cycle", cycle=cycle, start_mt=start_mt,
+                 pending_work=self.policy.pending_work())
+
     def _deliver_arrivals_until(self, time_mt: int) -> None:
         """Flush host releases with generation time <= ``time_mt``."""
         for release in self._multiplexer.pop_until(time_mt):
+            if self._observed:
+                self._obs.inc("engine.arrivals_delivered")
             self.trace.note_instance(
                 release.message_id, release.instance,
                 release.generation_time_mt, release.deadline_mt,
@@ -230,6 +260,7 @@ class FlexRayCluster:
         collector = MetricsCollector(
             macrotick_us=self.params.gd_macrotick_us,
             channel_count=self.params.channel_count,
+            obs=self._obs,
         )
         self.policy.on_horizon_end(self.now_mt)
         return collector.compute(self.trace, horizon_mt)

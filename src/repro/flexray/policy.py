@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.flexray.channel import Channel
 from repro.flexray.frame import PendingFrame
+from repro.obs import NULL_OBS
 from repro.sim.trace import TransmissionOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -46,6 +47,20 @@ class SchedulerPolicy(abc.ABC):
 
     #: Human-readable policy name used in experiment tables.
     name: str = "abstract"
+
+    #: Observability context; the shared no-op by default.  Hot-path
+    #: instrumentation in policies must guard on ``self.obs.enabled``.
+    obs = NULL_OBS
+
+    def attach_observability(self, obs) -> None:
+        """Attach an observability context (before ``bind``).
+
+        Attaching is observation-only by contract: counters, hook events
+        and timings are recorded, but scheduling decisions are
+        unchanged -- the determinism tests compare instrumented and
+        bare runs event-for-event.
+        """
+        self.obs = obs
 
     @abc.abstractmethod
     def bind(self, cluster: "FlexRayCluster") -> None:

@@ -1,0 +1,141 @@
+"""JSONL export of observability snapshots.
+
+One record per line, every record a flat JSON object with a ``record``
+discriminator.  Schema (version 1):
+
+- ``{"record": "meta", "schema": 1, ...}`` -- exactly one, first line;
+  free-form context fields (command, scheduler, seed ...).
+- ``{"record": "counter", "name": str, "value": int}``
+- ``{"record": "gauge", "name": str, "value": float, "max": float}``
+- ``{"record": "timer", "name": str, "count": int, "total_ns": int,
+  "max_ns": int}`` -- wall clock; excluded from determinism checks.
+- ``{"record": "profile", "section": str, "count": int,
+  "total_ns": int}``
+- ``{"record": "event", "event": str, ...fields}`` -- optional captured
+  hook events (bounded; see :func:`attach_event_capture`).
+
+Counters/gauges sort by name, so two exports of the same deterministic
+run diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.hooks import HookRecorder
+from repro.obs.observability import Observability
+
+__all__ = ["SCHEMA_VERSION", "attach_event_capture",
+           "write_metrics_jsonl", "read_metrics_jsonl",
+           "snapshot_records"]
+
+#: Current JSONL schema version (the ``meta`` record carries it).
+SCHEMA_VERSION = 1
+
+#: Default cap on captured hook events per export -- structured events
+#: are a debugging aid, not a trace format; the TraceRecorder owns the
+#: full transmission history.
+DEFAULT_EVENT_LIMIT = 10_000
+
+
+def attach_event_capture(obs: Observability,
+                         limit: int = DEFAULT_EVENT_LIMIT) -> HookRecorder:
+    """Subscribe a bounded recorder to every hook event of ``obs``.
+
+    Returns the recorder; pass it to :func:`write_metrics_jsonl` as
+    ``events`` to include the captured events in the export.
+    """
+    recorder = HookRecorder(limit=limit)
+    obs.hooks.subscribe_all(recorder)
+    return recorder
+
+
+def snapshot_records(obs: Observability,
+                     meta: Optional[Mapping[str, object]] = None,
+                     events: Optional[HookRecorder] = None) -> List[Dict]:
+    """The export as a list of record dicts (the JSONL lines, parsed)."""
+    records: List[Dict] = [dict({"record": "meta", "schema": SCHEMA_VERSION},
+                                **(meta or {}))]
+    snapshot = obs.snapshot()
+    for name, value in snapshot.get("counters", {}).items():
+        records.append({"record": "counter", "name": name, "value": value})
+    for name, gauge in snapshot.get("gauges", {}).items():
+        records.append({"record": "gauge", "name": name,
+                        "value": gauge["value"], "max": gauge["max"]})
+    for name, timer in snapshot.get("timers", {}).items():
+        records.append({"record": "timer", "name": name,
+                        "count": timer["count"],
+                        "total_ns": timer["total_ns"],
+                        "max_ns": timer["max_ns"]})
+    for section, data in snapshot.get("profile", {}).items():
+        records.append({"record": "profile", "section": section,
+                        "count": data["count"],
+                        "total_ns": data["total_ns"]})
+    if events is not None:
+        for event, fields in events.events:
+            record = {"record": "event", "event": event}
+            record.update(fields)
+            records.append(record)
+    return records
+
+
+def write_metrics_jsonl(path: str, obs: Observability,
+                        meta: Optional[Mapping[str, object]] = None,
+                        events: Optional[HookRecorder] = None) -> int:
+    """Write the snapshot of ``obs`` to ``path`` as JSONL.
+
+    Args:
+        path: Output file (overwritten).
+        obs: The observability context to export.
+        meta: Extra fields for the leading ``meta`` record.
+        events: Captured hook events to append (see
+            :func:`attach_event_capture`).
+
+    Returns:
+        The number of records written.
+    """
+    records = snapshot_records(obs, meta=meta, events=events)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+    return len(records)
+
+
+def read_metrics_jsonl(path: str) -> List[Dict]:
+    """Parse a metrics JSONL file back into record dicts.
+
+    Raises:
+        ValueError: On an empty file, a missing/invalid meta record, a
+            record without a ``record`` discriminator, or malformed JSON
+            -- the validation the regression tests lean on.
+    """
+    records: List[Dict] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid JSON: {error}"
+                ) from error
+            if not isinstance(record, dict) or "record" not in record:
+                raise ValueError(
+                    f"{path}:{line_no}: missing 'record' discriminator"
+                )
+            records.append(record)
+    if not records:
+        raise ValueError(f"{path}: empty metrics file")
+    head = records[0]
+    if head.get("record") != "meta":
+        raise ValueError(f"{path}: first record must be 'meta'")
+    if head.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported schema {head.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return records

@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.obs import NULL_OBS
 from repro.sim.events import EventKind
 
 __all__ = ["Event", "SimulationEngine"]
@@ -65,13 +66,25 @@ class SimulationEngine:
         [10]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs=NULL_OBS) -> None:
         self._queue: List[tuple] = []
         self._sequence = itertools.count()
         self._now = 0
         self._handlers: Dict[EventKind, List[Callable[["SimulationEngine", Event], None]]] = {}
         self._processed = 0
         self._stopped = False
+        self._obs = obs
+        self._observed = obs.enabled
+
+    def set_observability(self, obs) -> None:
+        """Attach (or detach, with ``NULL_OBS``) an observability context.
+
+        Attaching is observation-only: it changes which counters and hook
+        events are recorded, never the dispatch order or clock -- the
+        determinism property tests pin this.
+        """
+        self._obs = obs
+        self._observed = obs.enabled
 
     @property
     def now(self) -> int:
@@ -117,6 +130,9 @@ class SimulationEngine:
         event = Event(time=int(time), kind=kind, sequence=next(self._sequence),
                       payload=payload)
         heapq.heappush(self._queue, (event.sort_key(), event))
+        if self._observed:
+            self._obs.inc("engine.events_scheduled")
+            self._obs.set_gauge("engine.queue_depth", len(self._queue))
         return event
 
     def schedule_in(self, delay: int, kind: EventKind, payload: object = None) -> Event:
@@ -140,8 +156,26 @@ class SimulationEngine:
         __, event = heapq.heappop(self._queue)
         self._now = event.time
         self._processed += 1
+        if self._observed:
+            return self._step_observed(event)
         for handler in self._handlers.get(event.kind, ()):
             handler(self, event)
+        return event
+
+    def _step_observed(self, event: Event) -> Event:
+        """Instrumented dispatch: counters, per-kind timing, hook event."""
+        obs = self._obs
+        kind_name = event.kind.name
+        started_ns = obs.now_ns()
+        for handler in self._handlers.get(event.kind, ()):
+            handler(self, event)
+        obs.observe_ns(f"engine.handler.{kind_name}",
+                       obs.now_ns() - started_ns)
+        obs.inc("engine.events_dispatched")
+        obs.inc(f"engine.dispatch.{kind_name}")
+        obs.set_gauge("engine.queue_depth", len(self._queue))
+        obs.emit("engine.dispatch", time=event.time, kind=kind_name,
+                 sequence=event.sequence)
         return event
 
     def run_until(self, horizon: int, max_events: Optional[int] = None) -> int:

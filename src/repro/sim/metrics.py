@@ -24,6 +24,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import NULL_OBS
 from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
 
 __all__ = ["LatencyStats", "SimulationMetrics", "MetricsCollector"]
@@ -131,15 +132,20 @@ class MetricsCollector:
         channel_count: Number of physical channels the medium offers
             (2 for a dual-channel FlexRay cluster); the utilization
             denominator is ``horizon * channel_count``.
+        obs: Observability context; reductions are profiled under
+            ``metrics.compute`` and headline counts exported as
+            ``metrics.*`` gauges when enabled.
     """
 
-    def __init__(self, macrotick_us: float, channel_count: int = 2) -> None:
+    def __init__(self, macrotick_us: float, channel_count: int = 2,
+                 obs=NULL_OBS) -> None:
         if macrotick_us <= 0:
             raise ValueError(f"macrotick_us must be positive, got {macrotick_us}")
         if channel_count < 1:
             raise ValueError(f"channel_count must be >= 1, got {channel_count}")
         self._macrotick_us = macrotick_us
         self._channel_count = channel_count
+        self._obs = obs
 
     def compute(self, trace: TraceRecorder, horizon_mt: int) -> SimulationMetrics:
         """Reduce a trace over ``[0, horizon_mt]`` to a metric set.
@@ -148,6 +154,35 @@ class MetricsCollector:
             trace: Completed transmission trace.
             horizon_mt: Simulated duration in macroticks (> 0).
         """
+        with self._obs.section("metrics.compute"):
+            metrics = self._compute(trace, horizon_mt)
+        if self._obs.enabled:
+            self._export(metrics)
+        return metrics
+
+    def _export(self, metrics: "SimulationMetrics") -> None:
+        """Publish headline counts as gauges (idempotent across calls)."""
+        obs = self._obs
+        obs.set_gauge("metrics.produced_instances",
+                      metrics.produced_instances)
+        obs.set_gauge("metrics.delivered_instances",
+                      metrics.delivered_instances)
+        obs.set_gauge("metrics.total_attempts", metrics.total_attempts)
+        obs.set_gauge("metrics.corrupted_attempts",
+                      metrics.corrupted_attempts)
+        obs.set_gauge("metrics.retransmission_attempts",
+                      metrics.retransmission_attempts)
+        obs.set_gauge("metrics.deadline_miss_ratio",
+                      metrics.deadline_miss_ratio)
+        obs.set_gauge("metrics.bandwidth_utilization",
+                      metrics.bandwidth_utilization)
+        obs.emit("metrics.computed", horizon_mt=metrics.horizon_mt,
+                 produced=metrics.produced_instances,
+                 delivered=metrics.delivered_instances,
+                 miss_ratio=metrics.deadline_miss_ratio)
+
+    def _compute(self, trace: TraceRecorder,
+                 horizon_mt: int) -> "SimulationMetrics":
         if horizon_mt <= 0:
             raise ValueError(f"horizon must be positive, got {horizon_mt}")
 

@@ -1,0 +1,124 @@
+"""Unit tests for the JSONL exporter and its validating reader."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    Observability,
+    attach_event_capture,
+    read_metrics_jsonl,
+    snapshot_records,
+    write_metrics_jsonl,
+)
+
+
+@pytest.fixture
+def populated_obs():
+    obs = Observability()
+    obs.inc("engine.events_dispatched", 12)
+    obs.set_gauge("engine.queue_depth", 3)
+    obs.observe_ns("engine.handler.CUSTOM", 4200)
+    with obs.section("experiment.run"):
+        pass
+    return obs
+
+
+class TestSnapshotRecords:
+    def test_meta_record_leads_with_schema(self, populated_obs):
+        records = snapshot_records(populated_obs, meta={"seed": 42})
+        head = records[0]
+        assert head["record"] == "meta"
+        assert head["schema"] == SCHEMA_VERSION
+        assert head["seed"] == 42
+
+    def test_every_record_kind_present(self, populated_obs):
+        events = attach_event_capture(populated_obs)
+        populated_obs.emit("slack.promise", granted=True)
+        records = snapshot_records(populated_obs, events=events)
+        kinds = {r["record"] for r in records}
+        assert kinds == {"meta", "counter", "gauge", "timer",
+                         "profile", "event"}
+
+    def test_counters_sorted_by_name(self, populated_obs):
+        populated_obs.inc("a.first")
+        records = snapshot_records(populated_obs)
+        counters = [r["name"] for r in records if r["record"] == "counter"]
+        assert counters == sorted(counters)
+
+
+class TestWriteAndRead:
+    def test_roundtrip(self, populated_obs, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        count = write_metrics_jsonl(str(path), populated_obs,
+                                    meta={"command": "test"})
+        records = read_metrics_jsonl(str(path))
+        assert len(records) == count
+        counters = {r["name"]: r["value"]
+                    for r in records if r["record"] == "counter"}
+        assert counters["engine.events_dispatched"] == 12
+        gauges = {r["name"]: r for r in records if r["record"] == "gauge"}
+        assert gauges["engine.queue_depth"]["value"] == 3
+
+    def test_one_json_object_per_line(self, populated_obs, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(str(path), populated_obs)
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_captured_events_exported(self, populated_obs, tmp_path):
+        events = attach_event_capture(populated_obs)
+        populated_obs.emit("engine.dispatch", time=7, kind="CUSTOM")
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(str(path), populated_obs, events=events)
+        records = read_metrics_jsonl(str(path))
+        event_records = [r for r in records if r["record"] == "event"]
+        assert event_records == [{"record": "event",
+                                  "event": "engine.dispatch",
+                                  "time": 7, "kind": "CUSTOM"}]
+
+    def test_event_capture_is_bounded(self):
+        obs = Observability()
+        recorder = attach_event_capture(obs, limit=3)
+        for i in range(10):
+            obs.emit("e", i=i)
+        assert len(recorder) == 3
+
+
+class TestReaderValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_metrics_jsonl(str(path))
+
+    def test_missing_meta_rejected(self, tmp_path):
+        path = tmp_path / "no_meta.jsonl"
+        path.write_text('{"record": "counter", "name": "c", "value": 1}\n')
+        with pytest.raises(ValueError, match="meta"):
+            read_metrics_jsonl(str(path))
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "schema.jsonl"
+        path.write_text('{"record": "meta", "schema": 999}\n')
+        with pytest.raises(ValueError, match="schema"):
+            read_metrics_jsonl(str(path))
+
+    def test_missing_discriminator_rejected(self, tmp_path):
+        path = tmp_path / "discriminator.jsonl"
+        path.write_text('{"record": "meta", "schema": 1}\n{"name": "x"}\n')
+        with pytest.raises(ValueError, match="discriminator"):
+            read_metrics_jsonl(str(path))
+
+    def test_malformed_json_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "meta", "schema": 1}\nnot json{\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_metrics_jsonl(str(path))
+
+    def test_blank_lines_tolerated(self, populated_obs, tmp_path):
+        path = tmp_path / "blanks.jsonl"
+        write_metrics_jsonl(str(path), populated_obs)
+        path.write_text(path.read_text().replace("\n", "\n\n"))
+        read_metrics_jsonl(str(path))  # must not raise

@@ -1,0 +1,137 @@
+"""Property tests for Theorem 1's retransmission-budget planner.
+
+For random fault environments (BER x frame size), SIL-style reliability
+goals, and workload rates, the differentiated plan must
+
+1. satisfy Theorem 1's bound  prod_z (1 - p_z^{k_z+1})^{u/T_z} >= rho
+   whenever it claims feasibility, and
+2. be *minimal* under uniform costs: decrementing any single message's
+   budget breaks the bound.
+
+Minimality is only guaranteed for uniform costs (``bandwidth_cost=None``):
+greedy accepts gains in non-increasing order there, so every accepted
+gain is at least the final (threshold-crossing) one and removing any of
+them drops the product below rho.  With heterogeneous costs the greedy
+optimizes gain *per cost* and a decrement-check is not a valid
+optimality certificate, so these properties deliberately pin the
+uniform-cost contract.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.retransmission import (
+    MAX_RETRANSMISSIONS,
+    plan_retransmissions,
+    uniform_retransmission_plan,
+)
+from repro.faults.analysis import log_message_success_probability
+from repro.faults.ber import frame_failure_probability
+
+# SIL-flavoured reliability goals: 90 % up to "five nines plus".
+sil_goals = st.sampled_from(
+    [0.9, 0.99, 0.999, 0.9999, 0.99999, 1.0 - 1e-6])
+
+# A workload message: wire size in bits and instance rate u / T_z.
+message_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=64, max_value=2000),   # frame bits
+        st.floats(min_value=0.5, max_value=50.0),    # instances per unit
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+bers = st.floats(min_value=1e-10, max_value=1e-3)
+
+
+def _workload(ber, specs):
+    """Failure probabilities and instance rates for a random workload."""
+    failure = {}
+    instances = {}
+    for index, (bits, rate) in enumerate(specs):
+        name = f"m{index}"
+        failure[name] = frame_failure_probability(ber, bits)
+        instances[name] = rate
+    return failure, instances
+
+
+def _theorem1_log(failure, instances, budgets):
+    """Theorem 1's log-product recomputed from scratch."""
+    return sum(
+        log_message_success_probability(p, budgets.get(m, 0), instances[m])
+        for m, p in failure.items()
+    )
+
+
+def _goal_log(rho):
+    gamma = 1.0 - rho
+    return math.log1p(-gamma) if gamma < 0.5 else math.log(rho)
+
+
+@given(ber=bers, specs=message_specs, rho=sil_goals)
+@settings(max_examples=150, deadline=None)
+def test_feasible_plans_satisfy_the_theorem1_bound(ber, specs, rho):
+    failure, instances = _workload(ber, specs)
+    plan = plan_retransmissions(failure, instances, rho)
+    achieved = _theorem1_log(failure, instances, plan.budgets)
+    goal = _goal_log(rho)
+    if plan.feasible:
+        assert achieved >= goal - 1e-9
+        # The linear-space product is a genuine probability >= rho.
+        assert math.exp(achieved) >= rho - 1e-9
+    else:
+        # Infeasibility claim must be honest: even the reported budgets
+        # fall short, and every fallible message is maxed out.
+        assert achieved < goal
+        for message, p_z in failure.items():
+            if p_z > 0.0:
+                assert plan.budgets[message] == MAX_RETRANSMISSIONS
+
+
+@given(ber=bers, specs=message_specs, rho=sil_goals)
+@settings(max_examples=150, deadline=None)
+def test_feasible_plans_are_minimal_under_uniform_costs(ber, specs, rho):
+    failure, instances = _workload(ber, specs)
+    plan = plan_retransmissions(failure, instances, rho)
+    if not plan.feasible:
+        return
+    goal = _goal_log(rho)
+    for message, budget in plan.budgets.items():
+        if budget == 0:
+            continue
+        decremented = dict(plan.budgets)
+        decremented[message] = budget - 1
+        assert _theorem1_log(failure, instances, decremented) < goal + 1e-9
+
+
+@given(ber=bers, specs=message_specs, rho=sil_goals)
+@settings(max_examples=100, deadline=None)
+def test_budgets_are_sane(ber, specs, rho):
+    failure, instances = _workload(ber, specs)
+    plan = plan_retransmissions(failure, instances, rho)
+    assert set(plan.budgets) == set(failure)
+    for message, budget in plan.budgets.items():
+        assert 0 <= budget <= MAX_RETRANSMISSIONS
+        if failure[message] == 0.0:
+            # A message that cannot fail is never selected.
+            assert budget == 0
+    assert plan.selected_messages() == {
+        m: k for m, k in plan.budgets.items() if k > 0
+    }
+
+
+@given(ber=bers, specs=message_specs, rho=sil_goals)
+@settings(max_examples=100, deadline=None)
+def test_differentiated_never_costs_more_than_uniform(ber, specs, rho):
+    # The selectivity claim behind the paper's bandwidth savings: the
+    # differentiated plan never buys more retransmissions than the
+    # "same k for everyone" strawman needs for the same goal.
+    failure, instances = _workload(ber, specs)
+    plan = plan_retransmissions(failure, instances, rho)
+    uniform = uniform_retransmission_plan(failure, instances, rho)
+    if plan.feasible and uniform.feasible:
+        assert (sum(plan.budgets.values())
+                <= sum(uniform.budgets.values()))

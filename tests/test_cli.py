@@ -26,6 +26,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figures", "9"])
 
+    def test_observability_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.profile is False
+        assert args.metrics_out is None
+
+    def test_observability_flags_on_run_and_figures(self):
+        args = build_parser().parse_args(
+            ["run", "--profile", "--metrics-out", "out.jsonl"])
+        assert args.profile is True
+        assert args.metrics_out == "out.jsonl"
+        args = build_parser().parse_args(
+            ["figures", "5", "--metrics-out", "fig.jsonl"])
+        assert args.metrics_out == "fig.jsonl"
+
 
 class TestTables:
     def test_table2(self, capsys):
