@@ -3,8 +3,13 @@
 The figure benchmarks run one seed each; this one runs the headline
 CoEfficient-vs-FSPEC comparison across several seeds and requires the
 95 % confidence intervals to *separate* -- the claim holds with error
-bars, not just on one draw.
+bars, not just on one draw.  A second benchmark records serial vs
+parallel wall-clock for the worker-pool executor and requires the two
+modes to produce bit-identical summaries.
 """
+
+import os
+import time
 
 from benchmarks.conftest import print_rows
 from repro.experiments.campaign import compare_campaigns, run_campaign
@@ -53,3 +58,49 @@ def test_campaign_separation(benchmark):
     )
     assert miss["coefficient"] < miss["fspec"]
     assert latency["coefficient"] < latency["fspec"]
+
+
+def test_campaign_parallel_speedup(benchmark):
+    """Serial vs parallel wall-clock on a 16-seed campaign.
+
+    Records both wall-clocks side by side.  The speedup assertion
+    (parallel <= 0.5x serial with 8 workers) only applies on machines
+    with at least 4 real cores -- on smaller runners the workers
+    timeshare one core and the bit-identity check is the meaningful
+    part.
+    """
+    seeds = tuple(range(1, 17))
+    workers = min(8, os.cpu_count() or 1)
+    kwargs = dict(
+        params=paper_dynamic_preset(25),
+        periodic=dynamic_study_periodic(),
+        aperiodic=dynamic_study_aperiodic(),
+        ber=1e-7,
+        duration_ms=250.0,
+        reliability_goal=1 - 1e-4,
+        metrics=["deadline_miss_ratio", "delivered_fraction"],
+    )
+
+    start = time.perf_counter()
+    serial = run_campaign("coefficient", seeds=seeds, **kwargs)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_campaign("coefficient", seeds=seeds,
+                             workers=workers, **kwargs),
+        rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - start
+
+    print()
+    print(f"== Campaign executor -- 16 seeds, workers={workers} ==")
+    print(f"   serial:   {serial_s:8.2f} s")
+    print(f"   parallel: {parallel_s:8.2f} s  "
+          f"(speedup {serial_s / max(parallel_s, 1e-9):.2f}x)")
+
+    assert serial.summaries == parallel.summaries
+    assert not parallel.failures
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_s <= 0.5 * serial_s, (
+            f"expected >= 2x speedup with {workers} workers: "
+            f"serial {serial_s:.2f}s vs parallel {parallel_s:.2f}s")

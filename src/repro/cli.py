@@ -3,6 +3,9 @@
 Four subcommands mirror the library's main entry points:
 
 - ``run`` -- one experiment: workload x scheduler x fault environment;
+- ``campaign`` -- a multi-seed Monte-Carlo campaign with confidence
+  intervals (``--workers`` fans seeds over processes, ``--cache-dir``
+  skips already-simulated seeds);
 - ``figures`` -- regenerate a paper figure's data series;
 - ``tables`` -- print the case-study message tables;
 - ``plan`` -- show the differentiated retransmission plan for a
@@ -22,6 +25,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import figures as figures_module
+from repro.experiments.campaign import CAMPAIGN_METRICS, run_campaign
 from repro.experiments.runner import SCHEDULERS, run_experiment
 from repro.faults.ber import BitErrorRateModel
 from repro.core.retransmission import plan_retransmissions
@@ -150,6 +154,47 @@ def _cmd_run(args) -> int:
                           ber=args.ber,
                           schedulers=",".join(args.scheduler))
     return 0
+
+
+def _cmd_campaign(args) -> int:
+    obs, events = _make_observability(args)
+    periodic = _periodic_workload(args.workload, args.count, args.seed)
+    aperiodic = sae_aperiodic_signals(count=args.aperiodic) \
+        if args.aperiodic > 0 else None
+    params = _params_for(args)
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    rows = []
+    failed = 0
+    for scheduler in args.scheduler:
+        campaign = run_campaign(
+            scheduler,
+            seeds=seeds,
+            metrics=args.metric or None,
+            params=params,
+            periodic=periodic,
+            aperiodic=aperiodic,
+            ber=args.ber,
+            duration_ms=args.duration_ms,
+            reliability_goal=args.rho,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            obs=obs,
+        )
+        row = campaign.table_row()
+        row["cache_hits"] = campaign.cache_hits
+        row["simulated"] = campaign.simulations_run
+        row["failures"] = len(campaign.failures)
+        rows.append(row)
+        failed += len(campaign.failures)
+        for failure in campaign.failures:
+            print(f"repro: {scheduler}: seed {failure.seed} failed "
+                  f"after {failure.attempts} attempts", file=sys.stderr)
+    _emit(rows, args.json)
+    _finish_observability(args, obs, events, command="campaign",
+                          workload=args.workload, seeds=args.seeds,
+                          workers=args.workers or 1,
+                          schedulers=",".join(args.scheduler))
+    return 1 if failed else 0
 
 
 def _cmd_figures(args) -> int:
@@ -297,6 +342,35 @@ def build_parser() -> argparse.ArgumentParser:
                             help="SAE aperiodic message count (0 = none)")
     run_parser.add_argument("--duration-ms", type=float, default=500.0)
     run_parser.set_defaults(handler=_cmd_run)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="multi-seed Monte-Carlo campaign with confidence intervals")
+    common(campaign_parser)
+    observability(campaign_parser)
+    campaign_parser.add_argument("--scheduler", nargs="+",
+                                 choices=SCHEDULERS,
+                                 default=["coefficient", "fspec"])
+    campaign_parser.add_argument("--minislots", type=int, default=100)
+    campaign_parser.add_argument("--aperiodic", type=int, default=30,
+                                 help="SAE aperiodic message count "
+                                      "(0 = none)")
+    campaign_parser.add_argument("--duration-ms", type=float, default=200.0)
+    campaign_parser.add_argument("--seeds", type=int, default=8,
+                                 help="number of seeds, counted up from "
+                                      "--seed (default: 8)")
+    campaign_parser.add_argument("--workers", type=int, default=None,
+                                 help="worker processes to fan seeds "
+                                      "over (default: serial)")
+    campaign_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                                 help="content-addressed on-disk cache; "
+                                      "completed seeds are skipped on "
+                                      "re-runs")
+    campaign_parser.add_argument("--metric", nargs="+", default=None,
+                                 choices=list(CAMPAIGN_METRICS),
+                                 help="metrics to summarize "
+                                      "(default: all)")
+    campaign_parser.set_defaults(handler=_cmd_campaign)
 
     figure_parser = sub.add_parser("figures",
                                    help="regenerate a paper figure")

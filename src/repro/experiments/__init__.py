@@ -3,10 +3,18 @@
 - :mod:`repro.experiments.runner` -- one-call experiment execution:
   workload x scheduler x fault environment -> metrics;
 - :mod:`repro.experiments.figures` -- regenerates the data series behind
-  every figure and table of the paper's evaluation (Section IV).
+  every figure and table of the paper's evaluation (Section IV);
+- :mod:`repro.experiments.campaign` -- multi-seed Monte-Carlo campaigns
+  with confidence intervals, optional worker-pool parallelism, and
+  deterministic seed-order merging;
+- :mod:`repro.experiments.cache` -- the content-addressed on-disk cache
+  completed campaign seed runs persist in.
 """
 
+from repro.experiments.cache import CampaignCache
 from repro.experiments.campaign import (
+    CAMPAIGN_METRICS,
+    CampaignFailure,
     CampaignResult,
     MetricSummary,
     compare_campaigns,
@@ -21,6 +29,9 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "CAMPAIGN_METRICS",
+    "CampaignCache",
+    "CampaignFailure",
     "CampaignResult",
     "MetricSummary",
     "SCHEDULERS",

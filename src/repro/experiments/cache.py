@@ -1,0 +1,153 @@
+"""Content-addressed on-disk cache for campaign seed runs.
+
+A campaign seed run is a pure function of ``(scheduler, seed,
+experiment kwargs)``: the simulator is deterministic, so the same
+configuration always reproduces the same :class:`ExperimentResult` and
+the same deterministic observability snapshot.  That makes seed runs
+safely cacheable -- repeated sweeps (iterating on a figure, re-running
+a campaign with more seeds, CI re-runs) skip every seed they have
+already simulated.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the SHA-256 of
+a canonical JSON fingerprint of the configuration (plus a format
+version).  Entries are written atomically (temp file + ``os.replace``)
+so a crashed or concurrent writer can never leave a torn entry; any
+entry that fails to load or validate is treated as a miss and silently
+overwritten.  A cached entry stores the full result *and* the per-seed
+:class:`~repro.obs.snapshot.ObsSnapshot` (when the producing run
+collected one), so a warm-cache campaign merges byte-identical
+deterministic counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.flexray.signal import SignalSet
+from repro.obs import ObsSnapshot
+
+__all__ = ["CACHE_VERSION", "CacheEntry", "CampaignCache",
+           "cache_key", "fingerprint"]
+
+#: Bump on any change to the cached payload shape or to simulation
+#: semantics that should invalidate old entries wholesale.
+CACHE_VERSION = 1
+
+
+def fingerprint(value: object) -> object:
+    """Canonical, JSON-able description of one configuration value.
+
+    Dataclasses (``FlexRayParams``, ``Signal`` ...) decompose into their
+    fields, signal sets into their ordered signals, floats into their
+    exact ``repr`` (so 0.1 and 0.1000000000000001 differ), and anything
+    unrecognized falls back to ``repr`` -- a conservative choice that
+    can only cause spurious misses, never false hits between genuinely
+    different configurations.
+    """
+    if isinstance(value, SignalSet):
+        return {"__signal_set__": value.name,
+                "signals": [fingerprint(s) for s in value]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__,
+                "fields": fingerprint(dataclasses.asdict(value))}
+    if isinstance(value, Mapping):
+        return {str(key): fingerprint(val)
+                for key, val in sorted(value.items(),
+                                       key=lambda item: str(item[0]))}
+    if isinstance(value, (list, tuple)):
+        return [fingerprint(item) for item in value]
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return {"__repr__": repr(value)}
+
+
+def cache_key(scheduler: str, seed: int,
+              experiment_kwargs: Mapping[str, object]) -> str:
+    """SHA-256 content key of one seed run's full configuration."""
+    payload = {
+        "version": CACHE_VERSION,
+        "scheduler": scheduler,
+        "seed": seed,
+        "kwargs": fingerprint(experiment_kwargs),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached seed run: the result plus its obs snapshot (if any)."""
+
+    result: object
+    snapshot: Optional[ObsSnapshot]
+
+
+class CampaignCache:
+    """Filesystem-backed store of completed campaign seed runs."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    def key_for(self, scheduler: str, seed: int,
+                experiment_kwargs: Mapping[str, object]) -> str:
+        return cache_key(scheduler, seed, experiment_kwargs)
+
+    def load(self, key: str, need_obs: bool = False) -> Optional[CacheEntry]:
+        """Fetch an entry, or ``None`` on miss.
+
+        ``need_obs=True`` demands a stored observability snapshot: an
+        entry produced by an unobserved run cannot serve an observed
+        campaign (its counters would silently vanish from the
+        aggregate), so it reads as a miss and gets re-simulated.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Missing, torn, or written by an incompatible code version:
+            # all of them are just misses.
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CACHE_VERSION
+                or "result" not in payload):
+            return None
+        snapshot = payload.get("snapshot")
+        if need_obs and snapshot is None:
+            return None
+        return CacheEntry(result=payload["result"], snapshot=snapshot)
+
+    def store(self, key: str, result: object,
+              snapshot: Optional[ObsSnapshot]) -> None:
+        """Atomically persist one seed run under its content key."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"version": CACHE_VERSION, "result": result,
+                   "snapshot": snapshot}
+        fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path),
+                                         suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise

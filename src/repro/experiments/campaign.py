@@ -6,40 +6,78 @@ configuration across many seeds and reports mean / spread / confidence
 intervals per metric, so claims like "CoEfficient's miss ratio is lower"
 can be made with error bars instead of single draws.
 
-Confidence intervals use the t-distribution via the normal approximation
-for n >= 30 and Student-t critical values for small n (table-free
-two-sided 95 %), keeping the module dependency-light.
+Execution model
+---------------
+
+Seeds are embarrassingly parallel: each one is an independent sample
+with its own workload jitter and fault pattern.  ``run_campaign(...,
+workers=N)`` fans them out over a spawn-safe ``multiprocessing`` pool;
+every seed runs in its **own fresh observability context** (no shared
+registry to race on or leak across seeds) and the parent merges the
+per-seed results and :class:`~repro.obs.ObsSnapshot`\\ s back together
+**in seed order**, so summaries, counters, and deterministic JSONL
+exports are identical to a serial run over the same seeds regardless of
+worker count or completion order.  Timers and profiler sections are
+wall clock and therefore excluded from that guarantee.
+
+A seed whose worker raises is retried once (``retries=1``); a seed that
+fails again is surfaced in :attr:`CampaignResult.failures` instead of
+killing the campaign, and summaries cover the seeds that completed.
+
+With ``cache_dir=`` set, completed seed runs persist in a
+content-addressed on-disk cache (see :mod:`repro.experiments.cache`)
+keyed by scheduler + seed + the full experiment configuration; a warm
+re-run of the same campaign performs zero new simulations.
+
+Statistics
+----------
+
+Confidence intervals use two-sided 95 % Student-t critical values for
+df = 1..29 and the normal approximation (1.96) from df >= 30.  A df
+that somehow falls between table entries rounds *down* to the nearest
+tabulated df, which has the larger critical value -- the conservative
+direction for a confidence interval.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
 import statistics
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.experiments.cache import CampaignCache
 from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.obs import NULL_OBS
+from repro.obs import NULL_OBS, Observability, ObsSnapshot, \
+    attach_event_capture
 
-__all__ = ["MetricSummary", "CampaignResult", "run_campaign",
-           "compare_campaigns"]
+__all__ = ["CAMPAIGN_METRICS", "MetricSummary", "CampaignFailure",
+           "CampaignResult", "run_campaign", "compare_campaigns"]
 
-#: Two-sided 95 % Student-t critical values for small sample sizes
-#: (df = n - 1); falls back to 1.96 beyond the table.
-_T_95 = {1: 12.71, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
-         7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
-         25: 2.060, 29: 2.045}
+#: Two-sided 95 % Student-t critical values for df = 1..29; from df >= 30
+#: the normal approximation (1.96) applies.
+_T_95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+         7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+         13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110,
+         18: 2.101, 19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074,
+         23: 2.069, 24: 2.064, 25: 2.060, 26: 2.056, 27: 2.052,
+         28: 2.048, 29: 2.045}
 
 
 def _t_critical(df: int) -> float:
     if df <= 0:
         return float("inf")
-    if df in _T_95:
-        return _T_95[df]
-    for bound in sorted(_T_95):
-        if df <= bound:
-            return _T_95[bound]
-    return 1.96
+    if df >= 30:
+        return 1.96
+    value = _T_95.get(df)
+    if value is not None:
+        return value
+    # Between table entries, round down to the nearest tabulated df:
+    # the smaller df has the *larger* critical value, so the interval
+    # stays conservative rather than anti-conservative.
+    return _T_95[max(bound for bound in _T_95 if bound <= df)]
 
 
 @dataclass(frozen=True)
@@ -69,27 +107,65 @@ class MetricSummary:
             minimum=min(values), maximum=max(values),
         )
 
+    @staticmethod
+    def skipped(name: str) -> "MetricSummary":
+        """A zero-sample summary (every seed's value was undefined)."""
+        nan = float("nan")
+        return MetricSummary(name=name, samples=0, mean=nan, stdev=nan,
+                             ci_low=nan, ci_high=nan, minimum=nan,
+                             maximum=nan)
+
     def overlaps(self, other: "MetricSummary") -> bool:
         """Whether the two 95 % CIs overlap (a quick separation check)."""
         return not (self.ci_high < other.ci_low
                     or other.ci_high < self.ci_low)
 
 
+@dataclass(frozen=True)
+class CampaignFailure:
+    """One seed that kept failing after its retry.
+
+    Attributes:
+        seed: The failing seed.
+        attempts: How many times it was tried.
+        error: Formatted traceback of the final attempt.
+    """
+
+    seed: int
+    attempts: int
+    error: str
+
+
 @dataclass
 class CampaignResult:
-    """All per-seed results plus per-metric summaries."""
+    """All per-seed results plus per-metric summaries.
+
+    ``results`` (and ``obs_snapshots`` when observability was enabled)
+    are ordered by the input seed order, covering the seeds that
+    completed; ``failures`` lists the seeds that did not.
+    """
 
     scheduler: str
     seeds: List[int]
     results: List[ExperimentResult]
     summaries: Dict[str, MetricSummary] = field(default_factory=dict)
+    failures: List[CampaignFailure] = field(default_factory=list)
+    obs_snapshots: List[ObsSnapshot] = field(default_factory=list)
+    cache_hits: int = 0
+    simulations_run: int = 0
+
+    @property
+    def completed_seeds(self) -> List[int]:
+        """Seeds that produced a result, in input order."""
+        failed = {failure.seed for failure in self.failures}
+        return [seed for seed in self.seeds if seed not in failed]
 
     def summary(self, metric: str) -> MetricSummary:
         return self.summaries[metric]
 
     def table_row(self) -> Dict[str, object]:
         row: Dict[str, object] = {"scheduler": self.scheduler,
-                                  "seeds": len(self.seeds)}
+                                  "seeds": len(self.results)}
         for name, summary in self.summaries.items():
             row[name] = round(summary.mean, 4)
             row[f"{name}_ci"] = (f"[{summary.ci_low:.4f}, "
@@ -106,17 +182,139 @@ _METRIC_EXTRACTORS: Dict[str, Callable[[ExperimentResult], float]] = {
         lambda r: r.metrics.dynamic_latency.mean_ms,
     "static_latency_ms":
         lambda r: r.metrics.static_latency.mean_ms,
+    # A run that produced zero instances has no delivered fraction: it
+    # reports NaN and is excluded from the summary as a skipped sample
+    # (0.0 would silently drag the campaign mean down).
     "delivered_fraction":
         lambda r: (r.metrics.delivered_instances
-                   / max(1, r.metrics.produced_instances)),
+                   / r.metrics.produced_instances)
+        if r.metrics.produced_instances else float("nan"),
 }
 
+#: Public metric catalogue (the CLI's ``--metric`` choices).
+CAMPAIGN_METRICS: Tuple[str, ...] = tuple(_METRIC_EXTRACTORS)
+
+
+def _summarize(name: str, values: Sequence[float]) -> MetricSummary:
+    """Summarize one metric, excluding NaN (skipped) samples."""
+    finite = [value for value in values if not math.isnan(value)]
+    if not finite:
+        return MetricSummary.skipped(name)
+    return MetricSummary.of(name, finite)
+
+
+# ----------------------------------------------------------------------
+# Seed execution (runs in the parent or in a spawn worker)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _SeedTask:
+    """Everything one seed attempt needs; must pickle under spawn."""
+
+    index: int
+    seed: int
+    attempt: int
+    scheduler: str
+    collect_obs: bool
+    crash_attempts: int
+    experiment_kwargs: Dict[str, object]
+
+
+def _execute_seed(task: _SeedTask) \
+        -> Tuple[ExperimentResult, Optional[ObsSnapshot]]:
+    """Run one seed in an isolated observability context.
+
+    ``crash_attempts`` is the fault-injection hook the robustness tests
+    use: the first that-many attempts raise before simulating, which
+    exercises the retry/failure machinery across real process
+    boundaries without any cross-process shared state.
+    """
+    if task.attempt < task.crash_attempts:
+        raise RuntimeError(
+            f"injected crash: seed {task.seed} attempt {task.attempt}")
+    if task.collect_obs:
+        child = Observability()
+        recorder = attach_event_capture(child)
+        result = run_experiment(scheduler=task.scheduler, seed=task.seed,
+                                obs=child, **task.experiment_kwargs)
+        return result, ObsSnapshot.capture(child, events=recorder)
+    result = run_experiment(scheduler=task.scheduler, seed=task.seed,
+                            **task.experiment_kwargs)
+    return result, None
+
+
+def _campaign_worker(task: _SeedTask):
+    """Pool entry point: exceptions travel home as formatted strings.
+
+    Catching here keeps the pool healthy (an excepted seed never tears
+    down its worker's queue) and keeps the parent's retry logic
+    identical between serial and parallel execution.
+    """
+    try:
+        result, snapshot = _execute_seed(task)
+        return task.index, "ok", (result, snapshot)
+    except Exception:
+        return task.index, "error", traceback.format_exc()
+
+
+def _run_serial(tasks: Sequence[_SeedTask], max_attempts: int,
+                outcomes: Dict[int, tuple]) -> None:
+    for task in tasks:
+        attempt = task.attempt
+        while True:
+            try:
+                result, snapshot = _execute_seed(
+                    replace(task, attempt=attempt))
+            except Exception:
+                attempt += 1
+                if attempt >= max_attempts:
+                    outcomes[task.index] = (
+                        "failed", traceback.format_exc(), attempt)
+                    break
+            else:
+                outcomes[task.index] = ("ok", result, snapshot)
+                break
+
+
+def _run_parallel(tasks: Sequence[_SeedTask], workers: int,
+                  max_attempts: int, outcomes: Dict[int, tuple]) -> None:
+    """Fan tasks over a spawn pool; retries resubmit in waves.
+
+    Spawn (rather than fork) keeps workers import-clean on every
+    platform and guarantees no state -- RNG, registries, caches --
+    leaks from the parent into a seed run.
+    """
+    context = multiprocessing.get_context("spawn")
+    pending = list(tasks)
+    with context.Pool(processes=min(workers, len(tasks))) as pool:
+        while pending:
+            handles = [(task, pool.apply_async(_campaign_worker, (task,)))
+                       for task in pending]
+            pending = []
+            for task, handle in handles:
+                index, status, payload = handle.get()
+                if status == "ok":
+                    result, snapshot = payload
+                    outcomes[index] = ("ok", result, snapshot)
+                elif task.attempt + 1 < max_attempts:
+                    pending.append(replace(task, attempt=task.attempt + 1))
+                else:
+                    outcomes[index] = ("failed", payload, task.attempt + 1)
+
+
+# ----------------------------------------------------------------------
+# The campaign driver
+# ----------------------------------------------------------------------
 
 def run_campaign(
     scheduler: str,
     seeds: Sequence[int],
     metrics: Optional[Sequence[str]] = None,
     obs=NULL_OBS,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    retries: int = 1,
+    _crash_plan: Optional[Mapping[int, int]] = None,
     **experiment_kwargs,
 ) -> CampaignResult:
     """Run one configuration across many seeds.
@@ -126,15 +324,34 @@ def run_campaign(
         seeds: Seeds to run (each is one independent sample: workload
             jitter and fault pattern both re-drawn).
         metrics: Metric names to summarize (default: all known).
-        obs: Observability context shared by every seeded run; counters
-            accumulate across seeds and ``campaign.runs`` records the
-            sample count.
+        obs: Parent observability context.  Every seed runs in its own
+            isolated child context; the per-seed snapshots merge into
+            ``obs`` in seed order when the campaign ends (so aggregate
+            totals match what a shared context would have accumulated,
+            while per-seed attribution stays exact via
+            :attr:`CampaignResult.obs_snapshots`).  ``campaign.runs``
+            records the sample count.
+        workers: Fan seeds over this many spawn-safe worker processes;
+            ``None``/``0``/``1`` runs serially.  Results are merged in
+            seed order either way, so the two modes produce identical
+            summaries, counters, and deterministic exports.
+        cache_dir: Content-addressed on-disk cache for completed seed
+            runs; hits skip the simulation entirely.
+        retries: Extra attempts for a seed whose run raises (default 1;
+            a seed failing every attempt lands in
+            :attr:`CampaignResult.failures`).
+        _crash_plan: Test-only fault injection: ``{seed: n}`` makes the
+            first ``n`` attempts of that seed raise.
         **experiment_kwargs: Forwarded to
             :func:`repro.experiments.runner.run_experiment` (everything
             except ``scheduler`` and ``seed``).
 
     Returns:
         A :class:`CampaignResult` with per-metric summaries.
+
+    Raises:
+        ValueError: No seeds, or an unknown metric name.
+        RuntimeError: Every seed failed.
     """
     if not seeds:
         raise ValueError("campaign needs at least one seed")
@@ -143,22 +360,86 @@ def run_campaign(
     if unknown:
         raise ValueError(f"unknown metrics: {sorted(unknown)}")
 
-    results = [
-        run_experiment(scheduler=scheduler, seed=seed, obs=obs,
-                       **experiment_kwargs)
-        for seed in seeds
-    ]
+    collect_obs = obs.enabled
+    cache = CampaignCache(cache_dir) if cache_dir else None
+    crash_plan = dict(_crash_plan or {})
+
+    outcomes: Dict[int, tuple] = {}
+    cache_keys: Dict[int, str] = {}
+    tasks: List[_SeedTask] = []
+    for index, seed in enumerate(seeds):
+        if cache is not None:
+            key = cache.key_for(scheduler, seed, experiment_kwargs)
+            cache_keys[index] = key
+            entry = cache.load(key, need_obs=collect_obs)
+            if entry is not None:
+                outcomes[index] = ("cached", entry.result, entry.snapshot)
+                continue
+        tasks.append(_SeedTask(
+            index=index, seed=seed, attempt=0, scheduler=scheduler,
+            collect_obs=collect_obs,
+            crash_attempts=crash_plan.get(seed, 0),
+            experiment_kwargs=dict(experiment_kwargs),
+        ))
+
+    max_attempts = max(1, retries + 1)
+    if tasks:
+        if workers and workers > 1 and len(tasks) > 1:
+            _run_parallel(tasks, workers, max_attempts, outcomes)
+        else:
+            _run_serial(tasks, max_attempts, outcomes)
+
+    # Deterministic merge: walk the *input* seed order, never the
+    # completion order.
+    results: List[ExperimentResult] = []
+    snapshots: List[ObsSnapshot] = []
+    failures: List[CampaignFailure] = []
+    cache_hits = simulations_run = 0
+    for index, seed in enumerate(seeds):
+        outcome = outcomes[index]
+        kind = outcome[0]
+        if kind == "failed":
+            failures.append(CampaignFailure(
+                seed=seed, attempts=outcome[2], error=outcome[1]))
+            continue
+        result, snapshot = outcome[1], outcome[2]
+        if kind == "cached":
+            cache_hits += 1
+        else:
+            simulations_run += 1
+            if cache is not None:
+                cache.store(cache_keys[index], result, snapshot)
+        results.append(result)
+        if snapshot is not None:
+            snapshots.append(snapshot)
+    if not results:
+        detail = failures[0].error if failures else ""
+        raise RuntimeError(
+            f"campaign failed on every seed "
+            f"{[failure.seed for failure in failures]}\n{detail}")
+
     if obs.enabled:
+        for snapshot in snapshots:
+            snapshot.apply_to(obs)
         obs.inc("campaign.runs", len(results))
+        if cache_hits:
+            obs.inc("campaign.cache_hits", cache_hits)
+        if failures:
+            obs.inc("campaign.seed_failures", len(failures))
         obs.emit("campaign.finished", scheduler=scheduler,
                  seeds=len(results))
+
     summaries = {
-        name: MetricSummary.of(
-            name, [_METRIC_EXTRACTORS[name](r) for r in results])
+        name: _summarize(
+            name, [_METRIC_EXTRACTORS[name](result) for result in results])
         for name in names
     }
-    return CampaignResult(scheduler=scheduler, seeds=list(seeds),
-                          results=results, summaries=summaries)
+    return CampaignResult(
+        scheduler=scheduler, seeds=list(seeds), results=results,
+        summaries=summaries, failures=failures,
+        obs_snapshots=snapshots if collect_obs else [],
+        cache_hits=cache_hits, simulations_run=simulations_run,
+    )
 
 
 def compare_campaigns(

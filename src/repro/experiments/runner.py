@@ -194,7 +194,8 @@ def run_experiment(
     metrics = cluster.metrics()
     counters = dict(getattr(policy, "counters", {}))
     if obs.enabled:
-        _export_run_observability(obs, scheduler, policy, counters, cycles)
+        _export_run_observability(obs, scheduler, policy, counters, cycles,
+                                  seed)
     return ExperimentResult(
         scheduler=scheduler,
         metrics=metrics,
@@ -208,14 +209,15 @@ def run_experiment(
 def _export_run_observability(obs, scheduler: str,
                               policy: SchedulerPolicy,
                               counters: Dict[str, int],
-                              cycles: int) -> None:
+                              cycles: int, seed: int) -> None:
     """Merge end-of-run policy state into the observability registry."""
     obs.merge_counters("policy", counters)
     obs.set_gauge("engine.cycles_run", cycles)
     planner = getattr(policy, "_planner", None)
     if planner is not None:
         obs.merge_counters("slack.planner", planner.stats)
-    obs.emit("experiment.finished", scheduler=scheduler, cycles=cycles)
+    obs.emit("experiment.finished", scheduler=scheduler, cycles=cycles,
+             seed=seed)
 
 
 def _merge(periodic: Optional[SignalSet],

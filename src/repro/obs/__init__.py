@@ -6,7 +6,9 @@ The subsystem has four layers, assembled by the
 - :mod:`repro.obs.registry` -- metric primitives and the registry;
 - :mod:`repro.obs.hooks` -- the structured event-hook bus;
 - :mod:`repro.obs.profile` -- the wall-clock section profiler;
-- :mod:`repro.obs.export` -- the JSONL snapshot exporter.
+- :mod:`repro.obs.export` -- the JSONL snapshot exporter;
+- :mod:`repro.obs.snapshot` -- mergeable, picklable per-run snapshots
+  (how campaigns isolate per-seed contexts and fold them back together).
 
 Instrumented components default to :data:`~repro.obs.NULL_OBS`, the
 shared no-op context, and guard hot-path instrumentation behind
@@ -30,6 +32,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     TimerMetric,
 )
+from repro.obs.snapshot import ObsSnapshot
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -41,6 +44,7 @@ __all__ = [
     "HookRecorder",
     "NULL_OBS",
     "NullObservability",
+    "ObsSnapshot",
     "Observability",
     "Profiler",
     "format_profile",

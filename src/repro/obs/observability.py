@@ -70,6 +70,17 @@ class Observability:
         """Wall-clock nanoseconds (indirection point for tests)."""
         return time.perf_counter_ns()
 
+    # -- isolation -----------------------------------------------------
+
+    def child(self) -> "Observability":
+        """A fresh, isolated context for one sub-run (e.g. one seed).
+
+        The child shares nothing with its parent; capture it into an
+        :class:`~repro.obs.snapshot.ObsSnapshot` when the sub-run ends
+        and ``apply_to`` the parent to fold the totals back in.
+        """
+        return Observability()
+
     # -- snapshots -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict]:
@@ -123,6 +134,10 @@ class NullObservability:
 
     def emit(self, event: str, **fields: object) -> None:
         return None
+
+    def child(self) -> "NullObservability":
+        """Disabled contexts have disabled children."""
+        return self
 
     def section(self, name: str) -> _NullSection:
         return _NULL_SECTION

@@ -52,6 +52,13 @@ class Profiler:
     def total_ns(self, name: str) -> int:
         return self._totals_ns.get(name, 0)
 
+    def merge(self, sections: Dict[str, Dict[str, int]]) -> None:
+        """Fold another profiler's snapshot into this one (totals add)."""
+        for name, data in sections.items():
+            self._totals_ns[name] = (self._totals_ns.get(name, 0)
+                                     + data["total_ns"])
+            self._counts[name] = self._counts.get(name, 0) + data["count"]
+
     def rows(self) -> List[Dict[str, object]]:
         """Per-section rows sorted by total time, descending."""
         rows = []

@@ -141,6 +141,30 @@ class MetricsRegistry:
             else:
                 self.counter(name).inc(value)
 
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold a registry snapshot (or a subset of one) into this registry.
+
+        The merge is the moral equivalent of replaying the source
+        registry's writes after this registry's own: counters add,
+        gauges take the incoming last-written value and the maximum of
+        both maxima, timers accumulate counts/totals and keep the larger
+        peak.  Merging per-seed snapshots in seed order therefore leaves
+        exactly the totals a single shared registry would have seen.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, data in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.value = data["value"]
+            if data["max"] > gauge.maximum:
+                gauge.maximum = data["max"]
+        for name, data in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.count += data["count"]
+            timer.total_ns += data["total_ns"]
+            if data["max_ns"] > timer.max_ns:
+                timer.max_ns = data["max_ns"]
+
     # -- read paths ----------------------------------------------------
 
     def counter_value(self, name: str) -> int:
