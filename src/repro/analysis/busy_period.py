@@ -17,7 +17,7 @@ reproduction).
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 __all__ = ["synchronous_busy_period", "level_i_busy_period"]
 

@@ -19,10 +19,10 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.flexray.params import FlexRayParams
-from repro.flexray.signal import Signal, SignalSet
+from repro.flexray.signal import SignalSet
 
 __all__ = ["scale_aperiodic_load", "bisect_breakdown",
            "aperiodic_breakdown_factor", "BreakdownResult"]

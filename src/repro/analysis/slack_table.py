@@ -24,8 +24,6 @@ import math
 from typing import Dict, List, Sequence, Tuple
 
 from repro.flexray.channel import Channel
-from repro.flexray.cycle import CycleLayout
-from repro.flexray.params import FlexRayParams
 from repro.flexray.schedule import ScheduleTable
 
 __all__ = ["IdleSlotTable"]

@@ -11,7 +11,10 @@ Four subcommands mirror the library's main entry points:
 - ``plan`` -- show the differentiated retransmission plan for a
   workload/goal without running a simulation;
 - ``report`` -- regenerate the whole evaluation as a markdown report;
-- ``breakdown`` -- breakdown-load search per scheduler (extension).
+- ``breakdown`` -- breakdown-load search per scheduler (extension);
+- ``verify-config`` -- statically verify a cluster configuration,
+  schedule, and Theorem-1 plan without simulating (exit 1 on errors);
+- ``lint`` -- determinism lint over source paths (exit 1 on errors).
 
 Invoke as ``python -m repro <subcommand>``; every subcommand supports
 ``--help``.
@@ -36,7 +39,7 @@ from repro.obs import (
     format_profile,
     write_metrics_jsonl,
 )
-from repro.flexray.params import paper_dynamic_preset, paper_static_preset
+from repro.flexray.params import paper_dynamic_preset
 from repro.flexray.signal import SignalSet
 from repro.workloads.acc import acc_signals
 from repro.workloads.bbw import bbw_signals
@@ -157,6 +160,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    from repro.verify import ConfigurationError
+
     obs, events = _make_observability(args)
     periodic = _periodic_workload(args.workload, args.count, args.seed)
     aperiodic = sae_aperiodic_signals(count=args.aperiodic) \
@@ -166,20 +171,27 @@ def _cmd_campaign(args) -> int:
     rows = []
     failed = 0
     for scheduler in args.scheduler:
-        campaign = run_campaign(
-            scheduler,
-            seeds=seeds,
-            metrics=args.metric or None,
-            params=params,
-            periodic=periodic,
-            aperiodic=aperiodic,
-            ber=args.ber,
-            duration_ms=args.duration_ms,
-            reliability_goal=args.rho,
-            workers=args.workers,
-            cache_dir=args.cache_dir,
-            obs=obs,
-        )
+        try:
+            campaign = run_campaign(
+                scheduler,
+                seeds=seeds,
+                metrics=args.metric or None,
+                params=params,
+                periodic=periodic,
+                aperiodic=aperiodic,
+                ber=args.ber,
+                duration_ms=args.duration_ms,
+                reliability_goal=args.rho,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                validate=args.validate,
+                obs=obs,
+            )
+        except ConfigurationError as error:
+            print(f"repro: {scheduler}: configuration failed "
+                  f"validation:", file=sys.stderr)
+            print(error.report.format(), file=sys.stderr)
+            return 1
         row = campaign.table_row()
         row["cache_hits"] = campaign.cache_hits
         row["simulated"] = campaign.simulations_run
@@ -302,6 +314,91 @@ def _cmd_breakdown(args) -> int:
     return 0
 
 
+_VERIFY_WORKLOADS = ("sae", "bbw", "acc", "synthetic")
+
+
+def _verify_target(workload: str, args) -> Dict[str, object]:
+    """Assemble the ``verify_experiment`` inputs for one bundled workload.
+
+    The defaults mirror the pairings the evaluation actually runs: the
+    case studies (``bbw``/``acc``) on the 50-minislot case-study
+    cluster, the SAE/synthetic dynamic studies on the 100-minislot
+    paper preset.
+    """
+    minislots = args.minislots
+    if minislots is None:
+        minislots = 50 if workload in ("bbw", "acc") else 100
+    aperiodic = sae_aperiodic_signals(count=args.aperiodic) \
+        if args.aperiodic > 0 else None
+    if workload == "sae":
+        # The SAE set is the paper's aperiodic study: no periodic half.
+        count = args.aperiodic if args.aperiodic > 0 else 30
+        return {
+            "params": paper_dynamic_preset(minislots),
+            "periodic": None,
+            "aperiodic": sae_aperiodic_signals(count=count),
+        }
+    if workload in ("bbw", "acc"):
+        params = figures_module.case_study_params(workload,
+                                                  minislots=minislots)
+        periodic = bbw_signals() if workload == "bbw" else acc_signals()
+        return {"params": params, "periodic": periodic,
+                "aperiodic": aperiodic}
+    return {
+        "params": paper_dynamic_preset(minislots),
+        "periodic": synthetic_signals(args.count, seed=args.seed,
+                                      max_size_bits=216),
+        "aperiodic": aperiodic,
+    }
+
+
+def _cmd_verify_config(args) -> int:
+    from repro.verify import verify_experiment
+
+    workloads = _VERIFY_WORKLOADS if args.workload == "all" \
+        else (args.workload,)
+    rows = []
+    failed = False
+    for workload in workloads:
+        try:
+            target = _verify_target(workload, args)
+        except ValueError as error:
+            # The cluster factory itself rejected the pairing (e.g. a
+            # case-study workload forced onto too many minislots).
+            print(f"{workload}: setup error: {error}", file=sys.stderr)
+            failed = True
+            rows.append({"workload": workload, "errors": 1,
+                         "warnings": 0, "rules": "(setup)"})
+            continue
+        report = verify_experiment(
+            ber=args.ber,
+            reliability_goal=args.rho,
+            **target,
+        )
+        failed = failed or report.has_errors
+        rows.append({
+            "workload": workload,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "rules": ",".join(report.rule_ids()) or "-",
+        })
+        for diagnostic in report:
+            print(f"{workload}: {diagnostic.format()}", file=sys.stderr)
+    _emit(rows, args.json)
+    return 1 if failed else 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import lint_paths
+
+    report = lint_paths(args.paths)
+    if args.json:
+        print(json.dumps([d.to_row() for d in report], indent=2))
+    else:
+        print(report.format())
+    return 1 if report.has_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -370,6 +467,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  choices=list(CAMPAIGN_METRICS),
                                  help="metrics to summarize "
                                       "(default: all)")
+    campaign_parser.add_argument("--validate", action="store_true",
+                                 help="statically verify the "
+                                      "configuration before running "
+                                      "any seed")
     campaign_parser.set_defaults(handler=_cmd_campaign)
 
     figure_parser = sub.add_parser("figures",
@@ -411,6 +512,42 @@ def build_parser() -> argparse.ArgumentParser:
     breakdown_parser.add_argument("--duration-ms", type=float,
                                   default=400.0)
     breakdown_parser.set_defaults(handler=_cmd_breakdown)
+
+    verify_parser = sub.add_parser(
+        "verify-config",
+        help="statically verify configuration + schedule + plan "
+             "invariants without simulating")
+    verify_parser.add_argument("--workload",
+                               choices=_VERIFY_WORKLOADS + ("all",),
+                               default="all",
+                               help="workload to verify (default: all)")
+    verify_parser.add_argument("--count", type=int, default=20,
+                               help="synthetic message count (default: 20)")
+    verify_parser.add_argument("--seed", type=int, default=42)
+    verify_parser.add_argument("--ber", type=float, default=1e-7,
+                               help="bit error rate (default: 1e-7)")
+    verify_parser.add_argument("--rho", type=float, default=1 - 1e-4,
+                               help="reliability goal (default: 1-1e-4)")
+    verify_parser.add_argument("--minislots", type=int, default=None,
+                               help="minislot count (default: 50 for the "
+                                    "case studies, 100 otherwise)")
+    verify_parser.add_argument("--aperiodic", type=int, default=0,
+                               help="SAE aperiodic message count to mix "
+                                    "into periodic workloads (0 = none; "
+                                    "the sae workload itself defaults "
+                                    "to 30)")
+    verify_parser.add_argument("--json", action="store_true",
+                               help="emit JSON instead of a table")
+    verify_parser.set_defaults(handler=_cmd_verify_config)
+
+    lint_parser = sub.add_parser(
+        "lint", help="determinism lint (DET* rules) over source paths")
+    lint_parser.add_argument("paths", nargs="*", default=["src/repro"],
+                             help="files or directories "
+                                  "(default: src/repro)")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="emit JSON instead of text")
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -26,8 +26,8 @@ keeps admission exact, which the property tests rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.slack_stealing import SlackStealer
 from repro.core.tasks import AperiodicTask, TaskSet

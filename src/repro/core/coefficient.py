@@ -52,6 +52,7 @@ from repro.flexray.channel import Channel
 from repro.flexray.frame import FrameKind, PendingFrame
 from repro.flexray.schedule import ChannelStrategy
 from repro.packing.frame_packing import PackingResult
+from repro.sim.trace import TransmissionOutcome
 
 __all__ = ["CoEfficientPolicy"]
 
@@ -238,7 +239,8 @@ class CoEfficientPolicy(QueueingPolicyBase):
             self._planner.release()
 
     def on_outcome(self, pending: PendingFrame, channel: Channel,
-                   segment: str, outcome, end_mt: int) -> None:
+                   segment: str, outcome: TransmissionOutcome,
+                   end_mt: int) -> None:
         # A transmitted retransmission used its promised slack slot,
         # whichever path (stolen static slot or the reserved dynamic
         # slot) carried it.

@@ -24,7 +24,7 @@ current configuration is untouched on rejection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.slack_table import IdleSlotTable

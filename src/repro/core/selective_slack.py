@@ -21,14 +21,14 @@ from __future__ import annotations
 
 import bisect
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.analysis.slack_table import IdleSlotTable
 from repro.core.slack_stealing import SlackStealer
 from repro.flexray.frame import PendingFrame
 from repro.flexray.params import FlexRayParams
-from repro.obs import NULL_OBS
+from repro.obs import NULL_OBS, ObsLike
 
 __all__ = ["max_level_slack", "SelectiveSlackPlanner"]
 
@@ -85,7 +85,7 @@ class SelectiveSlackPlanner:
 
     def __init__(self, idle_table: IdleSlotTable, params: FlexRayParams,
                  dynamic_retransmission_share: float = 0.0,
-                 obs=NULL_OBS) -> None:
+                 obs: ObsLike = NULL_OBS) -> None:
         if dynamic_retransmission_share < 0:
             raise ValueError("dynamic share must be >= 0")
         self._idle_table = idle_table

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.tasks import AperiodicTask, PeriodicTask, TaskSet
-from repro.obs import NULL_OBS
+from repro.obs import NULL_OBS, ObsLike
 
 __all__ = ["SlackStealer", "ScheduleOutcome", "CompletedJob"]
 
@@ -113,7 +113,7 @@ class SlackStealer:
     """
 
     def __init__(self, tasks: TaskSet, horizon: Optional[int] = None,
-                 obs=NULL_OBS) -> None:
+                 obs: ObsLike = NULL_OBS) -> None:
         self._tasks = tasks
         self._obs = obs
         self._n = len(tasks)

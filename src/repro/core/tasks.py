@@ -12,7 +12,7 @@ them.  All times are integers in a single unit (macroticks).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
 __all__ = ["PeriodicTask", "AperiodicTask", "TaskSet"]

@@ -306,6 +306,39 @@ def _run_parallel(tasks: Sequence[_SeedTask], workers: int,
 # The campaign driver
 # ----------------------------------------------------------------------
 
+#: ``run_experiment`` keyword arguments the pre-campaign gate can check
+#: statically (the subset :func:`repro.verify.verifier.verify_experiment`
+#: understands).
+_VALIDATABLE_KWARGS = ("params", "periodic", "aperiodic", "ber",
+                       "reliability_goal", "time_unit_ms")
+
+
+def _validate_campaign(obs, **experiment_kwargs) -> None:
+    """Statically verify a campaign configuration before simulating.
+
+    Runs the simulation-free checks of :mod:`repro.verify` over the
+    forwarded experiment configuration and raises with the full
+    structured report when any ERROR-severity finding fires -- so a
+    thousand-seed campaign fails in milliseconds instead of after the
+    first full simulation (or worse, after all of them).
+    """
+    from repro.verify import ConfigurationError, verify_experiment
+
+    if "params" not in experiment_kwargs:
+        raise ValueError(
+            "validate=True needs an explicit params= configuration")
+    relevant = {key: experiment_kwargs[key]
+                for key in _VALIDATABLE_KWARGS
+                if key in experiment_kwargs}
+    report = verify_experiment(**relevant)
+    if obs.enabled:
+        obs.inc("campaign.validations")
+        if report.has_errors:
+            obs.inc("campaign.validation_failures")
+    if report.has_errors:
+        raise ConfigurationError(report)
+
+
 def run_campaign(
     scheduler: str,
     seeds: Sequence[int],
@@ -314,6 +347,7 @@ def run_campaign(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     retries: int = 1,
+    validate: bool = False,
     _crash_plan: Optional[Mapping[int, int]] = None,
     **experiment_kwargs,
 ) -> CampaignResult:
@@ -340,6 +374,11 @@ def run_campaign(
         retries: Extra attempts for a seed whose run raises (default 1;
             a seed failing every attempt lands in
             :attr:`CampaignResult.failures`).
+        validate: Run the simulation-free invariant checks of
+            :mod:`repro.verify` over the configuration *before* any
+            seed executes; ERROR findings raise
+            :class:`repro.verify.ConfigurationError` (carrying the full
+            report) instead of burning seeds on a broken setup.
         _crash_plan: Test-only fault injection: ``{seed: n}`` makes the
             first ``n`` attempts of that seed raise.
         **experiment_kwargs: Forwarded to
@@ -351,10 +390,14 @@ def run_campaign(
 
     Raises:
         ValueError: No seeds, or an unknown metric name.
+        repro.verify.ConfigurationError: ``validate=True`` and the
+            configuration fails a static invariant check.
         RuntimeError: Every seed failed.
     """
     if not seeds:
         raise ValueError("campaign needs at least one seed")
+    if validate:
+        _validate_campaign(obs, **experiment_kwargs)
     names = list(metrics or _METRIC_EXTRACTORS)
     unknown = set(names) - set(_METRIC_EXTRACTORS)
     if unknown:

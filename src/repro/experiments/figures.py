@@ -26,7 +26,7 @@ Configuration notes (the full rationale is in DESIGN.md / EXPERIMENTS.md):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import run_experiment
 from repro.flexray.params import FlexRayParams, paper_dynamic_preset, paper_static_preset

@@ -16,8 +16,7 @@ values, every series plotted, axis labels present).
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 __all__ = ["ascii_bar_chart", "ascii_line_chart"]
 

@@ -13,7 +13,7 @@ lives in EXPERIMENTS.md.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments import figures
 

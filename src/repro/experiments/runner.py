@@ -9,8 +9,8 @@ the same code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.baselines.dynamic_priority import DynamicPriorityPolicy
 from repro.baselines.fspec import FspecPolicy

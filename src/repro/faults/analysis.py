@@ -17,7 +17,7 @@ analysis is about.
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Sequence
+from typing import Mapping
 
 __all__ = [
     "message_success_probability",

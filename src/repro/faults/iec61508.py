@@ -15,7 +15,6 @@ ceiling is used as gamma for the chosen time unit.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 __all__ = ["SafetyIntegrityLevel", "reliability_goal_for"]
 

@@ -19,7 +19,7 @@ single fault domain.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.flexray.channel import Channel
 

@@ -73,6 +73,7 @@ __all__ = [
     "EcuNode",
     "FRAME_OVERHEAD_BITS",
     "FlexRayCluster",
+    "patterns_conflict",
     "FlexRayParams",
     "Frame",
     "FrameKind",

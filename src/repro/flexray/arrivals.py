@@ -18,12 +18,11 @@ instances, then measure the simulated time until the last is delivered.
 from __future__ import annotations
 
 import abc
-import dataclasses
 import heapq
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-from repro.flexray.frame import Frame, FrameKind, PendingFrame
+from repro.flexray.frame import Frame, PendingFrame
 from repro.sim.rng import RngStream
 
 __all__ = ["Release", "MessageSource", "PeriodicSource", "SporadicSource",

@@ -24,8 +24,7 @@ The tests and the fault-injection example quantify the difference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set
 
 from repro.flexray.channel import Channel
 from repro.flexray.cycle import CycleLayout

@@ -11,7 +11,6 @@ which frame goes on which channel is entirely the scheduler's decision.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 from repro.flexray.slots import SlotCounter

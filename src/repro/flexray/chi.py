@@ -17,8 +17,7 @@ host and CC."  Two buffer types exist:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
 
 from repro.flexray.frame import PendingFrame
 

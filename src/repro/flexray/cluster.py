@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from repro.flexray.arrivals import ArrivalMultiplexer, MessageSource, Release
+from repro.flexray.arrivals import ArrivalMultiplexer, MessageSource
 from repro.flexray.channel import Channel, ChannelSet
 from repro.flexray.cycle import CycleLayout
 from repro.flexray.dynamic_segment import DynamicSegmentEngine

@@ -14,8 +14,7 @@ node owns, protocol-phase sanity, and send/receive counters that the node
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import List, Set
 
 from repro.flexray.chi import ControllerHostInterface
 

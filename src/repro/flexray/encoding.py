@@ -24,7 +24,7 @@ zero (and at 2^-24 per corrupted frame, negligibly so).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence
 
 __all__ = [
     "HEADER_CRC_POLY", "HEADER_CRC_INIT", "FRAME_CRC_POLY",

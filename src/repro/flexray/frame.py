@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 

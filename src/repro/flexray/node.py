@@ -12,7 +12,7 @@ CHI and a local clock into the unit the cluster is assembled from.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.flexray.chi import ControllerHostInterface
 from repro.flexray.clock import MacrotickClock

@@ -26,12 +26,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.flexray.channel import Channel
-from repro.flexray.frame import Frame, FrameKind
+from repro.flexray.frame import Frame
 from repro.flexray.params import FlexRayParams
-from repro.flexray.signal import Signal
 
 __all__ = ["SlotAssignment", "ScheduleTable", "build_schedule",
            "build_dual_schedule", "ChannelStrategy",

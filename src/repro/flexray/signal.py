@@ -9,8 +9,8 @@ case-study tables (BBW, ACC) are given in; the frame-packing substrate
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
 
 __all__ = ["Signal", "SignalSet"]
 

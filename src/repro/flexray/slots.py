@@ -14,7 +14,6 @@ separate makes that logic directly testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 __all__ = ["SlotCounter", "MinislotCounter"]
 

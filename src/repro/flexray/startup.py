@@ -22,8 +22,8 @@ operational coldstart nodes never starts), which the tests assert.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.sim.rng import RngStream
 

@@ -14,11 +14,11 @@ The engine enforces the physical rules the policy cannot be trusted with:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import Callable
 
 from repro.flexray.channel import Channel, ChannelSet
 from repro.flexray.cycle import CycleLayout
-from repro.flexray.frame import PendingFrame, frame_duration_mt
+from repro.flexray.frame import frame_duration_mt
 from repro.flexray.params import FlexRayParams
 from repro.flexray.policy import SchedulerPolicy
 from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome

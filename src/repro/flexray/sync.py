@@ -26,8 +26,8 @@ action-point offset -- the slack that absorbs residual disagreement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.flexray.clock import MacrotickClock
 

@@ -14,8 +14,8 @@ connectivity through these classes.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Set
 
 __all__ = ["Topology", "BusTopology", "StarTopology", "HybridTopology"]
 

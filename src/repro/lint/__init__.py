@@ -1,0 +1,29 @@
+"""AST-based determinism linter for the repro source tree.
+
+PR 2's parallel campaigns promise bit-identical results across worker
+counts; that promise only holds while the simulation code stays
+deterministic.  This package *statically* enforces the coding rules the
+promise rests on (see :mod:`repro.lint.rules` for the ``DET*``
+catalogue) and shares the structured-diagnostic shape of the
+configuration verifier (:mod:`repro.verify`).
+
+Entry points:
+
+- :func:`lint_paths` -- lint files/directories (the ``repro lint`` CLI);
+- :func:`lint_source` -- lint a source string (tests, tooling);
+- :data:`LINT_RULES` -- the rule catalogue behind
+  ``docs/static_analysis.md``.
+"""
+
+from repro.lint.checker import FileChecker, LintScope
+from repro.lint.engine import lint_paths, lint_source, scope_for_path
+from repro.lint.rules import LINT_RULES
+
+__all__ = [
+    "FileChecker",
+    "LintScope",
+    "LINT_RULES",
+    "lint_paths",
+    "lint_source",
+    "scope_for_path",
+]

@@ -1,0 +1,339 @@
+"""AST checker implementing the ``DET*`` determinism rules.
+
+One :class:`FileChecker` instance lints one module.  The checker is a
+plain :class:`ast.NodeVisitor`; every rule is a method over syntax, no
+imports are executed, and the diagnostics come out in source order, so
+linting is deterministic and safe to run over arbitrary code.
+
+Suppressions
+------------
+
+A finding is suppressed by a trailing comment on the offending line::
+
+    elapsed = time.time()  # lint-ok: DET101 host-side profiling only
+
+The rule id must match and a reason is required; a bare
+``# lint-ok: DET101`` suppresses the finding but earns a ``DET100``
+warning, so silent suppressions are visible in review.  Several ids may
+be listed comma-separated: ``# lint-ok: DET101,DET102 reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.verify.diagnostics import Diagnostic, Severity
+
+__all__ = ["FileChecker", "LintScope"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint-ok:\s*(?P<ids>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+    r"(?:\s+(?P<reason>\S.*))?"
+)
+
+#: Dotted call targets that read the wall clock (DET101).
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+#: Names whose call with these roots is a global RNG draw (DET102).
+_RNG_ROOTS = ("random", "np.random", "numpy.random")
+
+#: Time-valued identifier suffixes for DET104.  Macrotick names
+#: (``*_mt``) are integers and deliberately excluded: integer equality
+#: is exact and idiomatic in the engine.
+_TIME_SUFFIX_RE = re.compile(r"(_ms|_us)$")
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+@dataclass(frozen=True)
+class LintScope:
+    """Which path-dependent rules apply to the file being linted."""
+
+    restricted: bool = True        # DET101 / DET102 apply
+    ordered_output: bool = True    # DET105 applies
+    rng_module: bool = False       # the sanctioned wrapper: DET102 exempt
+
+
+@dataclass
+class _Suppression:
+    ids: Set[str]
+    has_reason: bool
+    used: bool = False
+
+
+class FileChecker(ast.NodeVisitor):
+    """Lint one module's AST against every applicable ``DET*`` rule.
+
+    Args:
+        path: Display path for diagnostic locations.
+        source: Module source text (used for suppression comments).
+        scope: Path-dependent rule applicability.
+    """
+
+    def __init__(self, path: str, source: str,
+                 scope: Optional[LintScope] = None) -> None:
+        self._path = path
+        self._scope = scope or LintScope()
+        self._suppressions = self._parse_suppressions(source)
+        self._aliases: Dict[str, str] = {}
+        self.diagnostics: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse_suppressions(source: str) -> Dict[int, _Suppression]:
+        suppressions: Dict[int, _Suppression] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                ids = {part.strip()
+                       for part in match.group("ids").split(",")}
+                suppressions[lineno] = _Suppression(
+                    ids=ids, has_reason=bool(match.group("reason")))
+        return suppressions
+
+    def _report(self, rule_id: str, node: ast.AST, message: str,
+                fix_hint: str, severity: Severity = Severity.ERROR) -> None:
+        lineno = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        suppression = self._suppressions.get(lineno)
+        if suppression and rule_id in suppression.ids:
+            suppression.used = True
+            if not suppression.has_reason:
+                self.diagnostics.append(Diagnostic(
+                    rule_id="DET100", severity=Severity.WARNING,
+                    location=f"{self._path}:{lineno}:{col}",
+                    message=f"suppression of {rule_id} has no reason",
+                    fix_hint="write '# lint-ok: "
+                             f"{rule_id} <why this is safe>'",
+                ))
+            return
+        self.diagnostics.append(Diagnostic(
+            rule_id=rule_id, severity=severity,
+            location=f"{self._path}:{lineno}:{col}",
+            message=message, fix_hint=fix_hint,
+        ))
+
+    def _dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted string, expanding
+        import aliases at the root (``npr.rand`` -> ``numpy.random.rand``)."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self._aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------
+    # Import tracking (for alias resolution)
+    # ------------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._aliases[alias.asname or alias.name.split(".")[0]] = \
+                alias.name if alias.asname else alias.name.split(".")[0]
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # DET101 / DET102: calls
+    # ------------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted_name(node.func)
+        if dotted is not None:
+            if self._scope.restricted and dotted in _WALL_CLOCK_CALLS:
+                self._report(
+                    "DET101", node,
+                    f"wall-clock read {dotted}() in simulation code",
+                    "use the engine's simulated clock, or move the "
+                    "timing into repro.obs",
+                )
+            elif (self._scope.restricted and not self._scope.rng_module
+                    and self._is_unseeded_rng(dotted, node)):
+                self._report(
+                    "DET102", node,
+                    f"global RNG draw {dotted}() bypasses the seeded "
+                    f"streams",
+                    "take an RngStream (repro.sim.rng) and draw from it",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_unseeded_rng(dotted: str, node: ast.Call) -> bool:
+        for root in _RNG_ROOTS:
+            if dotted == root or dotted.startswith(root + "."):
+                # A seeded Generator construction is the one sanctioned
+                # use: np.random.default_rng(seed) with an argument.
+                if dotted.endswith(".default_rng") \
+                        and (node.args or node.keywords):
+                    return False
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # DET103: mutable default arguments
+    # ------------------------------------------------------------------
+
+    def _check_defaults(self, node, arguments: ast.arguments) -> None:
+        names = [arg.arg for arg in arguments.posonlyargs + arguments.args]
+        defaults: List[Tuple[str, Optional[ast.AST]]] = list(zip(
+            names[len(names) - len(arguments.defaults):],
+            arguments.defaults,
+        ))
+        defaults.extend(
+            (arg.arg, default) for arg, default
+            in zip(arguments.kwonlyargs, arguments.kw_defaults)
+        )
+        for name, default in defaults:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.DictComp,
+                                           ast.SetComp))
+            if not mutable and isinstance(default, ast.Call) \
+                    and isinstance(default.func, ast.Name) \
+                    and default.func.id in _MUTABLE_CONSTRUCTORS:
+                mutable = True
+            if mutable:
+                self._report(
+                    "DET103", default,
+                    f"argument {name!r} has a mutable default",
+                    "default to None and create the container inside "
+                    "the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # DET104: float equality on time-valued expressions
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _terminal_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def _is_time_valued(self, node: ast.AST) -> bool:
+        name = self._terminal_name(node)
+        return name is not None and bool(_TIME_SUFFIX_RE.search(name))
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if self._is_time_valued(side):
+                    name = self._terminal_name(side)
+                    self._report(
+                        "DET104", node,
+                        f"float time value {name!r} compared with "
+                        f"{'==' if isinstance(op, ast.Eq) else '!='}",
+                        "compare integer macroticks, or use "
+                        "math.isclose / an explicit tolerance",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # DET105: set iteration on ordered-output paths
+    # ------------------------------------------------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id in ("set", "frozenset"):
+                return True
+        return False
+
+    def _iterates_set(self, iterable: ast.AST) -> bool:
+        if self._is_set_expr(iterable):
+            return True
+        # Set algebra over literals/constructors or dict-key views:
+        # `a.keys() - b`, `set(x) | set(y)` -- all hash-ordered.
+        if isinstance(iterable, ast.BinOp) \
+                and isinstance(iterable.op, (ast.BitOr, ast.BitAnd,
+                                             ast.BitXor, ast.Sub)):
+            sides = (iterable.left, iterable.right)
+            if any(self._is_set_expr(side) for side in sides):
+                return True
+            if any(isinstance(side, ast.Call)
+                   and isinstance(side.func, ast.Attribute)
+                   and side.func.attr == "keys" for side in sides):
+                return True
+        return False
+
+    def _check_iteration(self, iterable: ast.AST, node: ast.AST) -> None:
+        if self._scope.ordered_output and self._iterates_set(iterable):
+            self._report(
+                "DET105", node,
+                "iteration over a set feeds hash-dependent order into "
+                "an ordered-output path",
+                "wrap the iterable in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter, node.iter)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def check(self, tree: ast.AST) -> List[Diagnostic]:
+        """Visit the tree and return diagnostics in source order."""
+        self.visit(tree)
+
+        def position(diagnostic: Diagnostic) -> Tuple[int, int, str]:
+            __, line, col = diagnostic.location.rsplit(":", 2)
+            return int(line), int(col), diagnostic.rule_id
+
+        self.diagnostics.sort(key=position)
+        return self.diagnostics

@@ -1,0 +1,99 @@
+"""File walking and scope assignment for the determinism linter.
+
+The engine decides, from a file's path, which path-dependent rules
+apply (see :mod:`repro.lint.rules`), parses the file, and runs the
+:class:`~repro.lint.checker.FileChecker` over it.  Files are visited in
+sorted order so reports are deterministic regardless of filesystem
+enumeration order -- the linter practices what it preaches.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.checker import FileChecker, LintScope
+from repro.lint.rules import (
+    ORDERED_OUTPUT_PACKAGES,
+    RESTRICTED_PACKAGES,
+    RNG_MODULE_SUFFIX,
+)
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+
+__all__ = ["scope_for_path", "lint_source", "lint_paths"]
+
+
+def scope_for_path(path: str) -> LintScope:
+    """Derive the applicable rule scopes from a file path.
+
+    Args:
+        path: Path of the module (absolute or relative); the directory
+            names decide which package the file belongs to.
+
+    Returns:
+        The :class:`LintScope` the checker should run under.
+    """
+    parts = tuple(os.path.normpath(path).replace(os.sep, "/").split("/"))
+    return LintScope(
+        restricted=bool(RESTRICTED_PACKAGES.intersection(parts)),
+        ordered_output=bool(ORDERED_OUTPUT_PACKAGES.intersection(parts)),
+        rng_module=parts[-2:] == RNG_MODULE_SUFFIX,
+    )
+
+
+def lint_source(source: str, path: str = "<string>",
+                scope: Optional[LintScope] = None) -> List[Diagnostic]:
+    """Lint one module given as text.
+
+    Args:
+        source: Module source code.
+        path: Display path; also decides the scope unless ``scope`` is
+            given explicitly.
+        scope: Explicit scope override (tests use this).
+
+    Returns:
+        Diagnostics in source order.  A file that does not parse yields
+        a single ``DET999`` error for the syntax error.
+    """
+    if scope is None:
+        scope = scope_for_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Diagnostic(
+            rule_id="DET999", severity=Severity.ERROR,
+            location=f"{path}:{error.lineno or 0}:{error.offset or 0}",
+            message=f"file does not parse: {error.msg}",
+            fix_hint="fix the syntax error first",
+        )]
+    return FileChecker(path, source, scope).check(tree)
+
+
+def _python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(paths: Sequence[str]) -> Report:
+    """Lint every ``.py`` file under the given files/directories.
+
+    Args:
+        paths: Files or directory roots.
+
+    Returns:
+        A :class:`Report` over all files, in sorted path order.
+    """
+    report = Report()
+    for path in _python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        report.extend(lint_source(source, path=path))
+    return report

@@ -1,0 +1,70 @@
+"""Rule catalogue of the determinism linter.
+
+The ``DET*`` namespace covers hazards that break the bit-identical
+reproducibility the parallel Monte-Carlo campaigns (PR 2) rely on:
+wall-clock reads, RNG draws that bypass the seeded
+:mod:`repro.sim.rng` streams, mutable default arguments (shared state
+across calls), float equality on time values, and iteration over sets
+on paths that feed ordered output.
+
+Severity semantics match the verifier's: ``ERROR`` findings fail
+``repro lint`` (and CI); ``WARNING`` findings are surfaced only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.verify.diagnostics import Severity
+from repro.verify.rules import Rule
+
+__all__ = ["LINT_RULES", "RESTRICTED_PACKAGES", "ORDERED_OUTPUT_PACKAGES",
+           "RNG_MODULE_SUFFIX"]
+
+#: Sub-packages of ``repro`` in which simulated time and randomness are
+#: load-bearing: wall-clock and unseeded-RNG rules apply here.
+RESTRICTED_PACKAGES = frozenset({"sim", "core", "flexray", "analysis"})
+
+#: Sub-packages whose output ordering is part of the determinism
+#: contract (campaign merge, observability export): the set-iteration
+#: rule applies here.
+ORDERED_OUTPUT_PACKAGES = frozenset({"experiments", "obs"})
+
+#: The sanctioned RNG wrapper itself is exempt from DET102.
+RNG_MODULE_SUFFIX = ("sim", "rng.py")
+
+
+def _catalogue(*rules: Rule) -> Dict[str, Rule]:
+    return {rule.rule_id: rule for rule in rules}
+
+
+#: Every rule the determinism linter can emit, keyed by id.
+LINT_RULES: Dict[str, Rule] = _catalogue(
+    Rule("DET100", "suppression-missing-reason", Severity.WARNING,
+         "A '# lint-ok: <RULE>' suppression has no reason text; "
+         "suppressions must say why the finding is safe."),
+    Rule("DET101", "wall-clock-read", Severity.ERROR,
+         "time.time()/datetime.now()-style wall-clock reads inside "
+         "sim/, core/, flexray/ or analysis/ make runs "
+         "irreproducible; simulated time comes from the engine."),
+    Rule("DET102", "unseeded-rng", Severity.ERROR,
+         "Global random.* or numpy.random.* draws (including "
+         "np.random.default_rng() without a seed) inside sim/, core/, "
+         "flexray/ or analysis/ bypass the seeded stream-splitting "
+         "design; route through repro.sim.rng.RngStream."),
+    Rule("DET103", "mutable-default-argument", Severity.ERROR,
+         "A mutable default argument (list/dict/set literal or "
+         "constructor) is shared across calls and mutates global "
+         "state."),
+    Rule("DET104", "float-time-equality", Severity.ERROR,
+         "== / != on a float time-valued expression (a *_ms / *_us "
+         "name) is representation-dependent; compare macrotick "
+         "integers or use an explicit tolerance."),
+    Rule("DET105", "unordered-set-iteration", Severity.ERROR,
+         "Iterating a set inside experiments/ or obs/ feeds "
+         "hash-order-dependent sequences into merge or export paths; "
+         "wrap the iterable in sorted()."),
+    Rule("DET999", "syntax-error", Severity.ERROR,
+         "The file does not parse; no determinism rule can be "
+         "checked."),
+)

@@ -24,7 +24,12 @@ from repro.obs.export import (
     write_metrics_jsonl,
 )
 from repro.obs.hooks import HookBus, HookRecorder
-from repro.obs.observability import NULL_OBS, NullObservability, Observability
+from repro.obs.observability import (
+    NULL_OBS,
+    NullObservability,
+    ObsLike,
+    Observability,
+)
 from repro.obs.profile import Profiler, format_profile
 from repro.obs.registry import (
     CounterMetric,
@@ -44,6 +49,7 @@ __all__ = [
     "HookRecorder",
     "NULL_OBS",
     "NullObservability",
+    "ObsLike",
     "ObsSnapshot",
     "Observability",
     "Profiler",

@@ -16,13 +16,13 @@ when unused:
 from __future__ import annotations
 
 import time
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Union
 
 from repro.obs.hooks import HookBus
 from repro.obs.profile import Profiler
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["Observability", "NullObservability", "NULL_OBS"]
+__all__ = ["Observability", "NullObservability", "NULL_OBS", "ObsLike"]
 
 
 class Observability:
@@ -154,3 +154,6 @@ class NullObservability:
 
 #: Shared no-op context -- the default everywhere.
 NULL_OBS = NullObservability()
+
+#: What instrumented components accept: a live context or the no-op.
+ObsLike = Union[Observability, NullObservability]

@@ -19,7 +19,7 @@ Design constraints, in order of importance:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Mapping
 
 __all__ = ["CounterMetric", "GaugeMetric", "TimerMetric", "MetricsRegistry"]
 

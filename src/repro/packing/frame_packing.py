@@ -26,12 +26,11 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.flexray.arrivals import MessageSource, PeriodicSource, SporadicSource
 from repro.flexray.frame import Frame, FrameKind
 from repro.flexray.params import FRAME_OVERHEAD_BITS, MAX_PAYLOAD_BITS, FlexRayParams
-from repro.flexray.schedule import repetition_for_period
 from repro.flexray.signal import Signal, SignalSet
 from repro.sim.rng import RngStream
 

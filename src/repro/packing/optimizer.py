@@ -23,8 +23,8 @@ policies' ``optimize_iterations`` knob.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.flexray.channel import Channel
 from repro.flexray.frame import Frame

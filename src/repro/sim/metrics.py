@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import math
 import statistics
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.obs import NULL_OBS
-from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
+from repro.sim.trace import TraceRecorder, TransmissionOutcome
 
 __all__ = ["LatencyStats", "SimulationMetrics", "MetricsCollector"]
 

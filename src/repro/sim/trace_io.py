@@ -14,11 +14,10 @@ it a usable artifact outside the process:
 from __future__ import annotations
 
 import csv
-import io
 import json
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, TextIO
+from typing import Dict, List, TextIO
 
 from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
 

@@ -1,0 +1,55 @@
+"""Simulation-free static verification of FlexRay configurations.
+
+The cheap gate in front of expensive runs: every invariant the
+simulator would only violate at runtime -- slot-table consistency,
+cycle arithmetic, slack-table shape, busy-period convergence
+preconditions, Theorem-1 feasibility -- is checked offline here and
+reported as structured :class:`~repro.verify.diagnostics.Diagnostic`
+records (stable rule id, severity, location, fix hint).
+
+Entry points:
+
+- :func:`verify_configuration` -- check the artifacts you already have;
+- :func:`verify_experiment` -- build-and-check everything one
+  experiment configuration implies (the ``repro verify-config`` CLI and
+  the ``run_campaign(validate=True)`` gate);
+- :data:`VERIFY_RULES` -- the rule catalogue behind
+  ``docs/static_analysis.md``.
+
+The sibling :mod:`repro.lint` package lints the repo's *source code*
+for determinism hazards with the same diagnostic shape.
+"""
+
+from repro.verify.analysis_checks import (
+    check_deadlines,
+    check_retransmission_plan,
+    check_slack_table,
+    check_utilization,
+)
+from repro.verify.config_checks import as_raw_config, check_params
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.rules import VERIFY_RULES, Rule
+from repro.verify.schedule_checks import check_schedule
+from repro.verify.verifier import (
+    ConfigurationError,
+    verify_configuration,
+    verify_experiment,
+)
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "Report",
+    "Rule",
+    "VERIFY_RULES",
+    "as_raw_config",
+    "check_params",
+    "check_schedule",
+    "check_slack_table",
+    "check_utilization",
+    "check_retransmission_plan",
+    "check_deadlines",
+    "verify_configuration",
+    "verify_experiment",
+    "ConfigurationError",
+]

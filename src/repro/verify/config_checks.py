@@ -1,0 +1,207 @@
+"""Cluster-configuration checks (``FRC*`` rules).
+
+The checks accept either a validated :class:`FlexRayParams` or a raw
+mapping of parameter names (the ``FlexRayParams`` field names, plus the
+optional explicit ``nit_mt`` / ``static_segment_mt`` /
+``dynamic_segment_mt`` declarations a hand-written or imported
+configuration may carry).  Working on the raw mapping matters: a
+configuration that ``FlexRayParams.__post_init__`` would reject still
+gets a *diagnosis* here -- rule id, location, fix hint -- instead of a
+bare ``ValueError``, and inconsistent *redundant* declarations (an
+explicit NIT that does not match the segment arithmetic) are only
+checkable before the constructor normalizes them away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Union
+
+from repro.flexray.params import (
+    FRAME_OVERHEAD_BITS,
+    FlexRayParams,
+)
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+
+__all__ = ["check_params", "as_raw_config"]
+
+#: FlexRay protocol constant: the largest static slot id (cStaticSlotIDMax).
+MAX_STATIC_SLOTS = 1023
+
+#: FlexRay protocol constant: the largest minislot count per cycle.
+MAX_MINISLOTS = 7988
+
+_POSITIVE_FIELDS = ("gd_macrotick_us", "gd_cycle_mt", "gd_static_slot_mt",
+                    "gd_minislot_mt", "bit_rate_mbps")
+
+
+def as_raw_config(params: Union[FlexRayParams, Mapping[str, float]]) \
+        -> Dict[str, float]:
+    """Normalize a configuration to the raw-mapping form the checks use."""
+    if isinstance(params, FlexRayParams):
+        return dict(dataclasses.asdict(params))
+    return dict(params)
+
+
+def _get(raw: Mapping[str, float], key: str, default: float) -> float:
+    value = raw.get(key, default)
+    return default if value is None else value
+
+
+def check_params(params: Union[FlexRayParams, Mapping[str, float]]) -> Report:
+    """Run every ``FRC*`` rule against a cluster configuration.
+
+    Args:
+        params: A :class:`FlexRayParams` or a raw mapping using the same
+            field names (unknown keys are ignored; missing keys take the
+            ``FlexRayParams`` defaults).
+
+    Returns:
+        A :class:`Report`; empty when the configuration is sound.
+    """
+    raw = as_raw_config(params)
+    report = Report()
+    defaults = {f.name: f.default for f in dataclasses.fields(FlexRayParams)}
+
+    # FRC009: positivity of every duration/rate parameter.  Checked
+    # first because the arithmetic below divides by several of them.
+    bad_positive = False
+    for name in _POSITIVE_FIELDS:
+        value = _get(raw, name, defaults[name])
+        if value <= 0:
+            bad_positive = True
+            report.add(Diagnostic(
+                rule_id="FRC009", severity=Severity.ERROR,
+                location=f"params.{name}",
+                message=f"{name} must be positive, got {value}",
+                fix_hint="set a positive duration/rate",
+            ))
+    if bad_positive:
+        return report
+
+    cycle = _get(raw, "gd_cycle_mt", defaults["gd_cycle_mt"])
+    slot_mt = _get(raw, "gd_static_slot_mt", defaults["gd_static_slot_mt"])
+    static_slots = _get(raw, "g_number_of_static_slots",
+                        defaults["g_number_of_static_slots"])
+    minislot_mt = _get(raw, "gd_minislot_mt", defaults["gd_minislot_mt"])
+    minislots = _get(raw, "g_number_of_minislots",
+                     defaults["g_number_of_minislots"])
+    symbol = _get(raw, "gd_symbol_window_mt", defaults["gd_symbol_window_mt"])
+    action = _get(raw, "gd_action_point_offset_mt",
+                  defaults["gd_action_point_offset_mt"])
+    latest_tx = _get(raw, "p_latest_tx_minislot",
+                     defaults["p_latest_tx_minislot"])
+    channels = _get(raw, "channel_count", defaults["channel_count"])
+    bit_rate = _get(raw, "bit_rate_mbps", defaults["bit_rate_mbps"])
+    macrotick = _get(raw, "gd_macrotick_us", defaults["gd_macrotick_us"])
+
+    # FRC004: static-slot count within the protocol's id space.
+    if not 2 <= static_slots <= MAX_STATIC_SLOTS:
+        report.add(Diagnostic(
+            rule_id="FRC004", severity=Severity.ERROR,
+            location="params.g_number_of_static_slots",
+            message=f"gNumberOfStaticSlots is {static_slots:g}, must be in "
+                    f"[2, {MAX_STATIC_SLOTS}]",
+            fix_hint="the spec needs >= 2 sync-frame slots and ids "
+                     "<= cStaticSlotIDMax",
+        ))
+    if not 0 <= minislots <= MAX_MINISLOTS:
+        report.add(Diagnostic(
+            rule_id="FRC004", severity=Severity.ERROR,
+            location="params.g_number_of_minislots",
+            message=f"gNumberOfMinislots is {minislots:g}, must be in "
+                    f"[0, {MAX_MINISLOTS}]",
+            fix_hint="shrink the dynamic segment",
+        ))
+
+    static_mt = slot_mt * static_slots
+    dynamic_mt = minislot_mt * minislots
+
+    # FRC005: redundant declarations must agree with the derivation.
+    declared_static = raw.get("static_segment_mt")
+    if declared_static is not None and declared_static != static_mt:
+        report.add(Diagnostic(
+            rule_id="FRC005", severity=Severity.ERROR,
+            location="params.static_segment_mt",
+            message=f"declared static segment {declared_static:g} MT != "
+                    f"gdStaticSlot * gNumberOfStaticSlots = {static_mt:g} MT",
+            fix_hint="drop the explicit length or fix slot count/length",
+        ))
+    declared_dynamic = raw.get("dynamic_segment_mt")
+    if declared_dynamic is not None and declared_dynamic != dynamic_mt:
+        report.add(Diagnostic(
+            rule_id="FRC005", severity=Severity.ERROR,
+            location="params.dynamic_segment_mt",
+            message=f"declared dynamic segment {declared_dynamic:g} MT != "
+                    f"gdMinislot * gNumberOfMinislots = {dynamic_mt:g} MT",
+            fix_hint="drop the explicit length or fix the minislot count",
+        ))
+
+    # FRC002: segments must fit the cycle.
+    used = static_mt + dynamic_mt + symbol
+    derived_nit = cycle - used
+    if derived_nit < 0:
+        report.add(Diagnostic(
+            rule_id="FRC002", severity=Severity.ERROR,
+            location="params.gd_cycle_mt",
+            message=f"segments occupy {used:g} MT but the cycle is only "
+                    f"{cycle:g} MT (NIT would be {derived_nit:g})",
+            fix_hint="lengthen gdCycle or shrink a segment",
+        ))
+    else:
+        # FRC001: an explicit NIT must close the cycle arithmetic
+        # exactly: static + dynamic + symbol + NIT == gdCycle.
+        declared_nit = raw.get("nit_mt")
+        if declared_nit is not None and declared_nit != derived_nit:
+            report.add(Diagnostic(
+                rule_id="FRC001", severity=Severity.ERROR,
+                location="params.nit_mt",
+                message=f"static {static_mt:g} + dynamic {dynamic_mt:g} + "
+                        f"symbol {symbol:g} + NIT {declared_nit:g} = "
+                        f"{used + declared_nit:g} MT != gdCycle {cycle:g} MT",
+                fix_hint=f"NIT must be {derived_nit:g} MT for this geometry",
+            ))
+        # FRC003: a zero NIT leaves no room for clock correction.
+        elif derived_nit == 0:
+            report.add(Diagnostic(
+                rule_id="FRC003", severity=Severity.WARNING,
+                location="params.gd_cycle_mt",
+                message="network idle time is 0 MT; rate/offset correction "
+                        "needs NIT headroom",
+                fix_hint="reserve a few macroticks of NIT",
+            ))
+
+    # FRC006: a slot must hold a non-empty frame after overhead.
+    usable_mt = slot_mt - 2 * action
+    capacity_bits = usable_mt * bit_rate * macrotick - FRAME_OVERHEAD_BITS
+    if capacity_bits <= 0:
+        report.add(Diagnostic(
+            rule_id="FRC006", severity=Severity.ERROR,
+            location="params.gd_static_slot_mt",
+            message=f"static slot of {slot_mt:g} MT carries "
+                    f"{max(capacity_bits, 0):g} payload bits after action "
+                    f"points and the {FRAME_OVERHEAD_BITS}-bit overhead",
+            fix_hint="lengthen gdStaticSlot or reduce the action-point "
+                     "offset",
+        ))
+
+    # FRC007: pLatestTx must stay inside the dynamic segment.
+    if not 0 <= latest_tx <= minislots:
+        report.add(Diagnostic(
+            rule_id="FRC007", severity=Severity.ERROR,
+            location="params.p_latest_tx_minislot",
+            message=f"pLatestTx is {latest_tx:g}, must be in "
+                    f"[0, {minislots:g}]",
+            fix_hint="0 derives the spec-conformant value",
+        ))
+
+    # FRC008: channel count.
+    if channels not in (1, 2):
+        report.add(Diagnostic(
+            rule_id="FRC008", severity=Severity.ERROR,
+            location="params.channel_count",
+            message=f"channel_count is {channels:g}, must be 1 or 2",
+            fix_hint="FlexRay clusters have channels A and optionally B",
+        ))
+
+    return report

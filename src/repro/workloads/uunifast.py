@@ -15,7 +15,7 @@ utilization.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.flexray.signal import Signal, SignalSet
 from repro.sim.rng import RngStream

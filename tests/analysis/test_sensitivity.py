@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.sensitivity import (
-    BreakdownResult,
     aperiodic_breakdown_factor,
     bisect_breakdown,
     scale_aperiodic_load,

@@ -4,9 +4,7 @@ import pytest
 
 from repro.core.coefficient import CoEfficientPolicy
 from repro.faults.ber import BitErrorRateModel
-from repro.flexray.channel import Channel
 from repro.flexray.cluster import FlexRayCluster
-from repro.flexray.frame import FrameKind
 from repro.flexray.schedule import ChannelStrategy
 from repro.packing.frame_packing import pack_signals
 from repro.sim.rng import RngStream

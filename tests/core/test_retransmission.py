@@ -1,6 +1,5 @@
 """Unit tests for differentiated retransmission planning."""
 
-import math
 
 import pytest
 

@@ -130,10 +130,6 @@ class TestAccounting:
         stealer = SlackStealer(light_set)
         job = AperiodicTask(name="j", arrival=0, execution=3)
         outcome = stealer.run([job], until=40)
-        periodic_work = sum(
-            j.completion - j.completion + 1  # placeholder; see below
-            for j in outcome.periodic_jobs
-        )
         # Total time = periodic executions + aperiodic service + idle.
         executed_periodic = sum(
             light_set[0].execution if j.task == "hi"

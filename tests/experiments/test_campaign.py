@@ -9,7 +9,6 @@ from repro.experiments.campaign import (
     _METRIC_EXTRACTORS,
     _summarize,
     _t_critical,
-    CampaignResult,
     MetricSummary,
     compare_campaigns,
     run_campaign,

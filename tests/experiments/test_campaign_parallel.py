@@ -11,7 +11,6 @@ The parallel tests spawn real worker processes, so they use the tiny
 fixture workload and short horizons to keep wall-clock sane.
 """
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for the BER models."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for IEC 61508 levels and the Theorem-1 analysis."""
 
-import math
 
 import pytest
 

@@ -1,12 +1,9 @@
 """Edge-case tests for the cluster's run loops and arrival handling."""
 
-import pytest
 
 from repro.core.coefficient import CoEfficientPolicy
 from repro.faults.ber import BitErrorRateModel
 from repro.flexray.cluster import FlexRayCluster
-from repro.flexray.frame import Frame, FrameKind
-from repro.flexray.arrivals import PeriodicSource
 from repro.packing.frame_packing import pack_signals
 from repro.sim.rng import RngStream
 
@@ -65,11 +62,6 @@ class TestArrivalTiming:
     def test_mid_cycle_arrival_same_cycle_delivery(self, small_params):
         """An instance released mid-cycle rides a later slot of the SAME
         cycle when its slot is phase-aligned after the release."""
-        frame = Frame(frame_id=1, message_id="mid", payload_bits=64,
-                      producer_ecu=0, preferred_phase_mt=120)
-        source = PeriodicSource(chunks=[frame], period_mt=800,
-                                offset_mt=120, deadline_mt=800,
-                                priority=1, limit=1)
         from repro.flexray.signal import Signal, SignalSet
         signals = SignalSet([Signal(name="mid", ecu=0, period_ms=0.8,
                                     offset_ms=0.12, deadline_ms=0.8,

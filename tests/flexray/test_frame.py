@@ -3,7 +3,7 @@
 import pytest
 
 from repro.flexray.frame import Frame, FrameKind, PendingFrame, frame_duration_mt
-from repro.flexray.params import FRAME_OVERHEAD_BITS, MAX_PAYLOAD_BITS, FlexRayParams
+from repro.flexray.params import FRAME_OVERHEAD_BITS, MAX_PAYLOAD_BITS
 
 
 def make_frame(**overrides):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.flexray.channel import Channel
-from repro.flexray.frame import Frame
 from repro.flexray.schedule import (
     ChannelStrategy,
     ScheduleInfeasibleError,

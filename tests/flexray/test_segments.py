@@ -1,6 +1,6 @@
 """Unit tests for the static (TDMA) and dynamic (FTDMA) segment engines."""
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import pytest
 

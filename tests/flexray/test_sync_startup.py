@@ -3,11 +3,7 @@
 import pytest
 
 from repro.flexray.clock import MacrotickClock
-from repro.flexray.startup import (
-    StartupNode,
-    StartupPhase,
-    StartupSimulation,
-)
+from repro.flexray.startup import StartupNode, StartupSimulation
 from repro.flexray.sync import (
     ClockSyncService,
     fault_tolerant_midpoint,

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.flexray.channel import Channel
-from repro.flexray.wakeup import (
-    WakeupNode,
-    WakeupSimulation,
-    WakeupState,
-)
+from repro.flexray.wakeup import WakeupNode, WakeupSimulation
 from repro.sim.rng import RngStream
 
 

@@ -5,7 +5,6 @@ implementation -- CoEfficient beats FSPEC where it should -- plus
 whole-system sanity that unit tests cannot see.
 """
 
-import pytest
 
 from repro.experiments.figures import (
     dynamic_study_aperiodic,
@@ -14,7 +13,6 @@ from repro.experiments.figures import (
 from repro.experiments.runner import run_experiment
 from repro.flexray.params import paper_dynamic_preset
 from repro.workloads.sae import sae_aperiodic_signals
-from repro.workloads.synthetic import synthetic_signals
 
 
 def run(scheduler, minislots=50, ber=1e-7, duration=400.0, **kwargs):

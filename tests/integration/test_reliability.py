@@ -61,11 +61,6 @@ class TestEmpiricalReliability:
             duration_ms=1000.0, reliability_goal=0.999,
             time_unit_ms=100.0,
         )
-        without = run_experiment(
-            params=params, scheduler="static-only",
-            periodic=lossy_workload, ber=2e-4, seed=3,
-            duration_ms=1000.0,
-        )
         def lost(result):
             metrics = result.metrics
             return metrics.produced_instances - metrics.delivered_instances

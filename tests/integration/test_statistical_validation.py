@@ -13,8 +13,7 @@ import math
 import pytest
 
 from repro.experiments.campaign import run_campaign
-from repro.experiments.runner import run_experiment
-from repro.faults.ber import BitErrorRateModel, frame_failure_probability
+from repro.faults.ber import frame_failure_probability
 from repro.flexray.params import paper_dynamic_preset
 from repro.flexray.signal import Signal, SignalSet
 

@@ -1,0 +1,75 @@
+"""Scope assignment, file walking, and the clean-tree contract."""
+
+from pathlib import Path
+
+from repro.lint import LINT_RULES, lint_paths, scope_for_path
+from repro.verify import VERIFY_RULES
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestScopeForPath:
+    def test_simulation_packages_are_restricted(self):
+        for path in ("src/repro/sim/engine.py",
+                     "src/repro/core/coefficient.py",
+                     "src/repro/flexray/cluster.py",
+                     "src/repro/analysis/slack_table.py"):
+            assert scope_for_path(path).restricted, path
+
+    def test_output_packages_are_ordered(self):
+        assert scope_for_path("src/repro/experiments/campaign.py") \
+            .ordered_output
+        assert scope_for_path("src/repro/obs/export.py").ordered_output
+        assert not scope_for_path("src/repro/experiments/campaign.py") \
+            .restricted
+
+    def test_rng_wrapper_is_exempt(self):
+        scope = scope_for_path("src/repro/sim/rng.py")
+        assert scope.rng_module
+        assert scope.restricted
+        assert not scope_for_path("src/repro/sim/engine.py").rng_module
+
+    def test_neutral_packages(self):
+        scope = scope_for_path("src/repro/workloads/sae.py")
+        assert not scope.restricted
+        assert not scope.ordered_output
+
+
+class TestLintPaths:
+    def test_repository_source_tree_is_clean(self):
+        """The acceptance gate: `repro lint src/repro` finds nothing."""
+        report = lint_paths([str(REPO / "src" / "repro")])
+        assert report.rule_ids() == []
+        assert len(report) == 0
+
+    def test_findings_from_a_file_on_disk(self, tmp_path):
+        offender = tmp_path / "sim" / "model.py"
+        offender.parent.mkdir()
+        offender.write_text("import time\nt = time.time()\n")
+        report = lint_paths([str(tmp_path)])
+        assert report.rule_ids() == ["DET101"]
+        assert report.has_errors
+
+    def test_walk_order_is_deterministic(self, tmp_path):
+        for name in ("b.py", "a.py", "c.py"):
+            (tmp_path / name).write_text("def f(x=[]):\n    return x\n")
+        report = lint_paths([str(tmp_path)])
+        files = [d.location.rsplit(":", 2)[0] for d in report]
+        assert files == sorted(files)
+
+
+class TestRuleCatalogues:
+    def test_lint_rule_ids_are_namespaced(self):
+        assert set(LINT_RULES) == {
+            "DET100", "DET101", "DET102", "DET103", "DET104", "DET105",
+            "DET999",
+        }
+
+    def test_catalogues_do_not_collide(self):
+        assert not set(LINT_RULES) & set(VERIFY_RULES)
+
+    def test_every_rule_documents_itself(self):
+        for rule in list(LINT_RULES.values()) + list(VERIFY_RULES.values()):
+            assert rule.rule_id
+            assert rule.title
+            assert rule.description

@@ -7,7 +7,6 @@ and the CLI's ``--metrics-out`` emits a JSONL file the validating reader
 accepts -- including on a Figure-5 campaign run.
 """
 
-import pytest
 
 from repro import cli
 from repro.experiments.campaign import run_campaign
@@ -126,7 +125,6 @@ class TestCliMetricsOut:
         assert meta["figure"] == "5"
         counters = {r["name"]: r["value"]
                     for r in records if r["record"] == "counter"}
-        gauges = {r["name"]: r for r in records if r["record"] == "gauge"}
         # The three counter families the observability layer promises.
         assert counters["engine.cycles"] > 0
         assert counters["slack.table_queries"] > 0

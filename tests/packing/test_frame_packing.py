@@ -3,13 +3,9 @@
 import pytest
 
 from repro.flexray.frame import FrameKind
-from repro.flexray.params import MAX_PAYLOAD_BITS, FlexRayParams
+from repro.flexray.params import MAX_PAYLOAD_BITS
 from repro.flexray.signal import Signal, SignalSet
-from repro.packing.frame_packing import (
-    PackingResult,
-    derive_params_for,
-    pack_signals,
-)
+from repro.packing.frame_packing import derive_params_for, pack_signals
 from repro.sim.rng import RngStream
 
 

@@ -1,13 +1,12 @@
 """Property-based tests on the FlexRay substrate invariants."""
 
-import math
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.flexray.channel import Channel
 from repro.flexray.cycle import CycleLayout
-from repro.flexray.frame import Frame, FrameKind
+from repro.flexray.frame import Frame
 from repro.flexray.params import FRAME_OVERHEAD_BITS, FlexRayParams
 from repro.flexray.schedule import (
     ChannelStrategy,

@@ -1,6 +1,5 @@
 """Property-based tests on the packing substrate's invariants."""
 
-import math
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
@@ -47,7 +46,6 @@ def test_packing_conserves_every_payload_bit(signals, merge):
     except ValueError:
         assume(False)
         return
-    total_in = sum(s.size_bits for s in signals)
     # Group expansion multiplies messages but each instance stream
     # carries the same payload; compare per-release payload by dividing
     # group payloads by their group count... simpler: every original

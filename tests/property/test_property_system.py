@@ -6,7 +6,6 @@ trustworthy at all: physical trace consistency and metric sanity for
 arbitrary workloads, schedulers and fault rates.
 """
 
-import math
 
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.sim.metrics import LatencyStats, MetricsCollector
-from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
+from repro.sim.trace import TraceRecorder, TransmissionOutcome
 
 from tests.sim.test_trace import make_record
 

@@ -1,6 +1,5 @@
 """Unit tests for the seeded RNG streams."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,106 @@
+"""CLI surface of the static-analysis layer: verify-config and lint."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+
+class TestVerifyConfigCli:
+    def test_all_bundled_workloads_pass(self, capsys):
+        assert cli.main(["verify-config"]) == 0
+        captured = capsys.readouterr()
+        for workload in ("sae", "bbw", "acc", "synthetic"):
+            assert workload in captured.out
+        # Clean run: no diagnostics on stderr.
+        assert captured.err == ""
+
+    def test_single_workload_json(self, capsys):
+        assert cli.main(["verify-config", "--workload", "bbw",
+                         "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == [{"workload": "bbw", "errors": 0,
+                         "warnings": 0, "rules": "-"}]
+
+    def test_unreachable_goal_exits_nonzero(self, capsys):
+        code = cli.main(["verify-config", "--workload", "bbw",
+                         "--rho", "1.0"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "ANA204" in captured.err
+        assert "bbw:" in captured.err
+
+    def test_mismatched_cluster_reports_setup_error(self, capsys):
+        # The BBW case-study factory refuses 100 minislots; the CLI
+        # must report the pairing error and exit 1, not crash.
+        code = cli.main(["verify-config", "--workload", "bbw",
+                         "--minislots", "100"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "setup error" in captured.err
+        assert "(setup)" in captured.out
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            cli.main(["verify-config", "--workload", "nope"])
+
+
+class TestLintCli:
+    def test_repository_tree_is_clean(self, capsys):
+        assert cli.main(["lint", str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_offending_file_fails(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "model.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nt = time.time()\n")
+        assert cli.main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out
+        assert "1 error(s)" in out
+
+    def test_json_rows(self, tmp_path, capsys):
+        bad = tmp_path / "sim" / "model.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\nx = random.random()\n")
+        assert cli.main(["lint", str(bad), "--json"]) == 1
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["rule"] == "DET102"
+        assert rows[0]["severity"] == "error"
+
+    def test_multiple_paths(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert cli.main(["lint", str(clean), str(SRC)]) == 0
+        capsys.readouterr()
+
+
+class TestCampaignValidateCli:
+    def test_validation_failure_blocks_the_campaign(self, capsys):
+        code = cli.main([
+            "campaign", "--workload", "bbw", "--minislots", "50",
+            "--aperiodic", "0", "--scheduler", "coefficient",
+            "--seeds", "1", "--duration-ms", "20", "--validate",
+            "--rho", "1.0",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "failed validation" in err
+        assert "ANA204" in err
+
+    def test_validated_campaign_runs(self, capsys):
+        code = cli.main([
+            "campaign", "--workload", "bbw", "--minislots", "50",
+            "--aperiodic", "0", "--scheduler", "coefficient",
+            "--seeds", "1", "--duration-ms", "20", "--validate",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coefficient" in out

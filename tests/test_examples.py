@@ -10,7 +10,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 _EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

@@ -1,0 +1,167 @@
+"""End-to-end verifier: golden experiments, composite checks, errors."""
+
+import math
+
+import pytest
+
+from repro.core.retransmission import plan_retransmissions
+from repro.experiments.figures import case_study_params
+from repro.flexray.params import FlexRayParams, paper_dynamic_preset
+from repro.verify import (
+    ConfigurationError,
+    verify_configuration,
+    verify_experiment,
+)
+from repro.workloads.acc import acc_signals
+from repro.workloads.bbw import bbw_signals
+from repro.workloads.sae import sae_aperiodic_signals
+from repro.workloads.synthetic import synthetic_signals
+
+
+class TestGoldenExperiments:
+    """The bundled workloads, paired with their evaluation clusters,
+    must verify clean -- this is the same gate `repro verify-config`
+    runs in CI."""
+
+    def test_bbw_case_study(self):
+        report = verify_experiment(
+            params=case_study_params("bbw", minislots=50),
+            periodic=bbw_signals(),
+        )
+        assert len(report) == 0
+
+    def test_acc_case_study(self):
+        report = verify_experiment(
+            params=case_study_params("acc", minislots=50),
+            periodic=acc_signals(),
+        )
+        assert len(report) == 0
+
+    def test_sae_aperiodic_study(self):
+        report = verify_experiment(
+            params=paper_dynamic_preset(100),
+            aperiodic=sae_aperiodic_signals(count=30),
+        )
+        assert len(report) == 0
+
+    def test_synthetic_dynamic_study(self):
+        report = verify_experiment(
+            params=paper_dynamic_preset(100),
+            periodic=synthetic_signals(20, seed=42, max_size_bits=216),
+        )
+        assert len(report) == 0
+
+
+class TestBrokenExperiments:
+    def test_ana205_no_workload(self):
+        report = verify_experiment(params=paper_dynamic_preset(100))
+        assert report.rule_ids() == ["ANA205"]
+        assert report.has_errors
+
+    def test_frs107_workload_does_not_fit_cluster(self):
+        # The BBW set needs the case-study cluster; on the 100-minislot
+        # dynamic preset its frames cannot be packed into a schedule.
+        report = verify_experiment(
+            params=paper_dynamic_preset(100),
+            periodic=bbw_signals(),
+        )
+        assert "FRS107" in report.rule_ids()
+
+    def test_ana204_unreachable_reliability_goal(self):
+        report = verify_experiment(
+            params=case_study_params("bbw", minislots=50),
+            periodic=bbw_signals(),
+            reliability_goal=1.0,
+        )
+        assert report.has_errors
+        assert "ANA204" in report.rule_ids()
+        # The planner also records its own infeasibility as a warning.
+        assert "ANA207" in report.rule_ids()
+
+    def test_geometry_errors_short_circuit_schedule_checks(self):
+        # Segments overflow the 100 MT cycle: the verifier must report
+        # the geometry error and stop, not chase it into the builders.
+        bad = dict(
+            gd_macrotick_us=1.0, gd_cycle_mt=100, gd_static_slot_mt=40,
+            g_number_of_static_slots=80, gd_minislot_mt=8,
+            g_number_of_minislots=100, bit_rate_mbps=10.0,
+        )
+        report = verify_experiment(params=bad, periodic=bbw_signals())
+        assert report.has_errors
+        assert any(rule.startswith("FRC") for rule in report.rule_ids())
+        assert "FRS107" not in report.rule_ids()
+
+
+class TestVerifyConfiguration:
+    def test_composite_report_merges_groups(self):
+        report = verify_configuration(
+            params={"gd_cycle_mt": 0},
+            workload=[("late", 20.0, 10.0)],
+            tasks=[(11.0, 10.0)],
+            slack_table=[[-1.0]],
+        )
+        assert set(report.rule_ids()) == {
+            "FRC009", "ANA205", "ANA203", "ANA201",
+        }
+
+    def test_schedule_without_params_instance_raises(self):
+        with pytest.raises(ValueError, match="FlexRayParams"):
+            verify_configuration(params={"gd_cycle_mt": 5000},
+                                 schedule={})
+
+    def test_plain_plan_needs_context(self):
+        with pytest.raises(ValueError, match="failure_probabilities"):
+            verify_configuration(plan={"a": 1})
+
+    def test_retransmission_plan_object_carries_its_goal(self):
+        failure = {"a": 1e-4}
+        instances = {"a": 100.0}
+        plan = plan_retransmissions(failure, instances, rho=0.9999)
+        assert plan.feasible
+        report = verify_configuration(
+            plan=plan,
+            failure_probabilities=failure,
+            instances=instances,
+        )
+        assert len(report) == 0
+
+    def test_ana207_infeasible_planner_output(self):
+        failure = {"a": 0.5}
+        instances = {"a": 1000.0}
+        plan = plan_retransmissions(failure, instances,
+                                    rho=1.0 - 1e-12, max_budget=1)
+        assert not plan.feasible
+        report = verify_configuration(
+            plan=plan,
+            failure_probabilities=failure,
+            instances=instances,
+        )
+        assert "ANA207" in report.rule_ids()
+        assert "ANA204" in report.rule_ids()
+        warning_rules = {d.rule_id for d in report.warnings}
+        assert "ANA207" in warning_rules
+
+    def test_empty_call_is_clean(self):
+        assert len(verify_configuration()) == 0
+
+
+class TestConfigurationError:
+    def test_carries_the_report(self):
+        report = verify_experiment(params=FlexRayParams())
+        error = ConfigurationError(report)
+        assert error.report is report
+        assert "ANA205" in str(error)
+
+    def test_is_a_value_error(self):
+        report = verify_experiment(params=FlexRayParams())
+        assert isinstance(ConfigurationError(report), ValueError)
+
+
+class TestTheorem1Wiring:
+    def test_reported_goal_matches_log_space_math(self):
+        """verify_experiment's plan check and the planner agree on the
+        goal encoding (log(rho), not 1-gamma approximations)."""
+        failure = {"a": 1e-3}
+        instances = {"a": 10.0}
+        plan = plan_retransmissions(failure, instances, rho=0.999)
+        assert plan.goal_log_probability == pytest.approx(math.log(0.999))
