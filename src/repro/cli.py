@@ -14,7 +14,11 @@ Four subcommands mirror the library's main entry points:
 - ``breakdown`` -- breakdown-load search per scheduler (extension);
 - ``verify-config`` -- statically verify a cluster configuration,
   schedule, and Theorem-1 plan without simulating (exit 1 on errors);
-- ``lint`` -- determinism lint over source paths (exit 1 on errors).
+- ``lint`` -- determinism lint over source paths (exit 1 on errors);
+- ``serve`` -- run the online admission-control service (JSON lines
+  over TCP; see ``docs/service.md``);
+- ``loadgen`` -- fire a deterministic seeded Poisson request stream at
+  a running service and report latency/acceptance percentiles.
 
 Invoke as ``python -m repro <subcommand>``; every subcommand supports
 ``--help``.
@@ -388,6 +392,74 @@ def _cmd_verify_config(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import load_service_setup, serve_forever
+    from repro.verify import ConfigurationError
+
+    obs, events = _make_observability(args)
+    try:
+        setup = load_service_setup(
+            workload=args.workload, count=args.count, seed=args.seed,
+            minislots=args.minislots, ber=args.ber,
+            reliability_goal=args.rho, tick_us=args.tick_us,
+            verify=not args.no_verify)
+    except ConfigurationError as error:
+        print("repro serve: configuration failed static verification:",
+              file=sys.stderr)
+        print(error.report.format(), file=sys.stderr)
+        return 1
+    service = asyncio.run(serve_forever(
+        setup, host=args.host, port=args.port, obs=obs,
+        queue_limit=args.queue_limit, batch_limit=args.batch_limit,
+        request_timeout_s=args.timeout_ms / 1000.0,
+        reconcile_every=args.reconcile_every,
+        audit_every=args.audit_every))
+    rows = [dict(sorted(service.counters.items()))] \
+        if service.counters else []
+    _emit(rows, args.json)
+    _finish_observability(args, obs, events, command="serve",
+                          workload=args.workload, seed=args.seed)
+    divergence = service.counters.get("service.reconcile.divergence", 0)
+    return 1 if divergence else 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.service.loadgen import LoadgenSpec, run_loadgen
+
+    spec = LoadgenSpec(
+        requests=args.requests, seed=args.seed,
+        channels=tuple(args.channels),
+        mean_interarrival_ticks=args.mean_interarrival,
+        execution_min=args.execution_min,
+        execution_max=args.execution_max,
+        deadline_ticks=args.deadline_ticks,
+        release_fraction=args.release_fraction)
+    try:
+        report = asyncio.run(run_loadgen(
+            args.host, args.port, spec, concurrency=args.concurrency,
+            connections=args.connections))
+    except (ConnectionError, OSError) as error:
+        print(f"repro loadgen: cannot reach {args.host}:{args.port}: "
+              f"{error}", file=sys.stderr)
+        return 1
+    row = report.to_row()
+    _emit([row], args.json)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(row, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if report.dropped:
+        print(f"repro loadgen: {report.dropped} requests never got a "
+              f"reply", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import lint_paths
 
@@ -539,6 +611,87 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--json", action="store_true",
                                help="emit JSON instead of a table")
     verify_parser.set_defaults(handler=_cmd_verify_config)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the online admission-control service "
+             "(JSON lines over TCP)")
+    serve_parser.add_argument("--workload",
+                              choices=("bbw", "acc", "synthetic", "sae"),
+                              default="synthetic",
+                              help="configuration to hold live "
+                                   "(default: synthetic)")
+    serve_parser.add_argument("--count", type=int, default=20,
+                              help="synthetic message count (default: 20)")
+    serve_parser.add_argument("--seed", type=int, default=42)
+    serve_parser.add_argument("--ber", type=float, default=1e-7)
+    serve_parser.add_argument("--rho", type=float, default=1 - 1e-4)
+    serve_parser.add_argument("--minislots", type=int, default=None,
+                              help="minislot count (default: 50 for the "
+                                   "case studies, 100 otherwise)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8471,
+                              help="TCP port (0 = ephemeral; the bound "
+                                   "port is printed to stderr)")
+    serve_parser.add_argument("--tick-us", type=int, default=100,
+                              help="service tick in microseconds "
+                                   "(default: 100)")
+    serve_parser.add_argument("--queue-limit", type=int, default=1024,
+                              help="bounded request queue; full = "
+                                   "overload replies (default: 1024)")
+    serve_parser.add_argument("--batch-limit", type=int, default=256,
+                              help="max requests per batch pass "
+                                   "(default: 256)")
+    serve_parser.add_argument("--timeout-ms", type=float, default=5000.0,
+                              help="per-request queue timeout "
+                                   "(default: 5000)")
+    serve_parser.add_argument("--reconcile-every", type=int, default=64,
+                              help="full slack reconciliation every N "
+                                   "batches (default: 64; 0 = off)")
+    serve_parser.add_argument("--audit-every", type=int, default=0,
+                              help="trial-run audit every Nth admission "
+                                   "(default: 0 = off)")
+    serve_parser.add_argument("--no-verify", action="store_true",
+                              help="skip the static verification gate "
+                                   "(tests only)")
+    serve_parser.add_argument("--json", action="store_true",
+                              help="emit final counters as JSON")
+    observability(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="fire a deterministic Poisson request stream at a running "
+             "service")
+    loadgen_parser.add_argument("--host", default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, default=8471)
+    loadgen_parser.add_argument("--requests", type=int, default=1000)
+    loadgen_parser.add_argument("--seed", type=int, default=7)
+    loadgen_parser.add_argument("--channels", nargs="+",
+                                default=["A", "B"])
+    loadgen_parser.add_argument("--mean-interarrival", type=float,
+                                default=8.0,
+                                help="Poisson mean inter-arrival in "
+                                     "ticks (default: 8)")
+    loadgen_parser.add_argument("--execution-min", type=int, default=1)
+    loadgen_parser.add_argument("--execution-max", type=int, default=4)
+    loadgen_parser.add_argument("--deadline-ticks", type=int, default=500,
+                                help="relative deadline in ticks "
+                                     "(default: 500 = SAE 50 ms)")
+    loadgen_parser.add_argument("--release-fraction", type=float,
+                                default=0.0,
+                                help="fraction of accepted requests "
+                                     "followed by a release")
+    loadgen_parser.add_argument("--concurrency", type=int, default=64,
+                                help="max requests in flight")
+    loadgen_parser.add_argument("--connections", type=int, default=4,
+                                help="TCP connections to spread over")
+    loadgen_parser.add_argument("--out", default=None, metavar="PATH",
+                                help="also write the report row as JSON "
+                                     "to PATH")
+    loadgen_parser.add_argument("--json", action="store_true",
+                                help="emit JSON instead of a table")
+    loadgen_parser.set_defaults(handler=_cmd_loadgen)
 
     lint_parser = sub.add_parser(
         "lint", help="determinism lint (DET* rules) over source paths")

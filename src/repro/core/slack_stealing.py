@@ -126,6 +126,11 @@ class SlackStealer:
         ]
         self._assert_periodics_schedulable()
 
+    @property
+    def horizon(self) -> int:
+        """Analysis horizon the A_i tables cover (in time units)."""
+        return self._horizon
+
     # ------------------------------------------------------------------
     # Offline precomputation
     # ------------------------------------------------------------------

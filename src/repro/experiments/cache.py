@@ -10,10 +10,15 @@ already simulated.
 
 Layout: ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the SHA-256 of
 a canonical JSON fingerprint of the configuration (plus a format
-version).  Entries are written atomically (temp file + ``os.replace``)
-so a crashed or concurrent writer can never leave a torn entry; any
-entry that fails to load or validate is treated as a miss and silently
-overwritten.  A cached entry stores the full result *and* the per-seed
+version *and* the installed ``repro`` release, so entries invalidate
+across releases instead of silently serving results produced under
+older simulation semantics).  Entries are written atomically (temp
+file + ``os.replace``) so a crashed or concurrent writer can never
+leave a torn entry; an entry that fails to load or validate is treated
+as a miss and overwritten -- but a *present-yet-unloadable* file is
+surfaced (``cache.corrupt_entries`` counter plus a warning) so
+operators can tell disk rot from ordinary cold misses.  A cached entry
+stores the full result *and* the per-seed
 :class:`~repro.obs.snapshot.ObsSnapshot` (when the producing run
 collected one), so a warm-cache campaign merges byte-identical
 deterministic counters.
@@ -27,11 +32,12 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.flexray.signal import SignalSet
-from repro.obs import ObsSnapshot
+from repro.obs import NULL_OBS, ObsLike, ObsSnapshot
 
 __all__ = ["CACHE_VERSION", "CacheEntry", "CampaignCache",
            "cache_key", "fingerprint"]
@@ -70,11 +76,25 @@ def fingerprint(value: object) -> object:
     return {"__repr__": repr(value)}
 
 
+def _package_version() -> str:
+    """The installed ``repro`` release (lazy: avoids an import cycle)."""
+    from repro import __version__
+
+    return __version__
+
+
 def cache_key(scheduler: str, seed: int,
               experiment_kwargs: Mapping[str, object]) -> str:
-    """SHA-256 content key of one seed run's full configuration."""
+    """SHA-256 content key of one seed run's full configuration.
+
+    The key covers the package release alongside ``CACHE_VERSION``:
+    simulation semantics may change between releases without anyone
+    remembering to bump the cache format, and a stale hit would
+    silently mix results from two different simulators.
+    """
     payload = {
         "version": CACHE_VERSION,
+        "repro_version": _package_version(),
         "scheduler": scheduler,
         "seed": seed,
         "kwargs": fingerprint(experiment_kwargs),
@@ -92,10 +112,17 @@ class CacheEntry:
 
 
 class CampaignCache:
-    """Filesystem-backed store of completed campaign seed runs."""
+    """Filesystem-backed store of completed campaign seed runs.
 
-    def __init__(self, root: str) -> None:
+    Args:
+        root: Cache directory (created if missing).
+        obs: Observability context; corrupt-entry detections increment
+            ``cache.corrupt_entries`` on it.
+    """
+
+    def __init__(self, root: str, obs: ObsLike = NULL_OBS) -> None:
         self.root = root
+        self._obs = obs
         os.makedirs(root, exist_ok=True)
 
     def path_for(self, key: str) -> str:
@@ -112,24 +139,45 @@ class CampaignCache:
         entry produced by an unobserved run cannot serve an observed
         campaign (its counters would silently vanish from the
         aggregate), so it reads as a miss and gets re-simulated.
+
+        A file that exists but cannot be unpickled is still a miss --
+        the seed is simply re-simulated and the entry overwritten --
+        but the event is surfaced (``cache.corrupt_entries`` counter,
+        ``RuntimeWarning``): torn writes are prevented by the atomic
+        store, so an unloadable entry means disk rot or an external
+        writer, which operators should know about.  Entries from other
+        :data:`CACHE_VERSION` s or other code versions load fine and
+        are *valid* misses, not corruption.
         """
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None  # an ordinary cold miss
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # Missing, torn, or written by an incompatible code version:
-            # all of them are just misses.
+                ImportError, IndexError) as error:
+            self._note_corrupt(path, repr(error))
             return None
-        if (not isinstance(payload, dict)
-                or payload.get("version") != CACHE_VERSION
-                or "result" not in payload):
+        if not isinstance(payload, dict) or "result" not in payload:
+            self._note_corrupt(
+                path, f"unexpected payload {type(payload).__name__}")
             return None
+        if payload.get("version") != CACHE_VERSION:
+            return None  # another format version: a valid miss
         snapshot = payload.get("snapshot")
         if need_obs and snapshot is None:
             return None
         return CacheEntry(result=payload["result"], snapshot=snapshot)
+
+    def _note_corrupt(self, path: str, detail: str) -> None:
+        """Surface one unloadable-entry event (counter + warning)."""
+        if self._obs.enabled:
+            self._obs.inc("cache.corrupt_entries")
+        warnings.warn(
+            f"campaign cache entry {path} is unreadable and will be "
+            f"re-simulated ({detail}); check the cache volume for "
+            f"corruption", RuntimeWarning, stacklevel=3)
 
     def store(self, key: str, result: object,
               snapshot: Optional[ObsSnapshot]) -> None:

@@ -404,7 +404,7 @@ def run_campaign(
         raise ValueError(f"unknown metrics: {sorted(unknown)}")
 
     collect_obs = obs.enabled
-    cache = CampaignCache(cache_dir) if cache_dir else None
+    cache = CampaignCache(cache_dir, obs=obs) if cache_dir else None
     crash_plan = dict(_crash_plan or {})
 
     outcomes: Dict[int, tuple] = {}

@@ -1,0 +1,82 @@
+"""Online admission-control service (``repro serve``).
+
+The paper's online mechanism -- acceptance testing of hard aperiodic
+retransmissions against the static schedule's precomputed slack
+(Section III-C) -- packaged as a long-running, observable network
+service instead of an offline library call:
+
+- :mod:`repro.service.config` -- load and statically verify a cluster
+  configuration, derive per-channel periodic task sets;
+- :mod:`repro.service.ledger` -- the incremental slack accountant: a
+  guaranteed-capacity table from the slack stealer plus demand-criterion
+  admission, updated on admit/release/expire instead of recomputed,
+  with full-recompute reconciliation;
+- :mod:`repro.service.protocol` -- the JSON-lines request/response
+  wire format;
+- :mod:`repro.service.server` -- the asyncio TCP server: per-tick
+  request batching, bounded queue with explicit overload replies,
+  per-request timeouts, graceful drain on SIGTERM;
+- :mod:`repro.service.client` -- a pipelining asyncio client;
+- :mod:`repro.service.loadgen` -- deterministic seeded Poisson load
+  generator with latency/throughput/acceptance-ratio reports.
+
+Everything is stdlib + the repro core; see ``docs/service.md`` for the
+protocol reference.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.config import (
+    SERVICE_WORKLOADS,
+    ServiceSetup,
+    build_channel_task_sets,
+    load_service_setup,
+    signal_to_task,
+)
+from repro.service.ledger import (
+    AdmitOutcome,
+    LedgerStats,
+    ReconcileResult,
+    SlackLedger,
+)
+from repro.service.loadgen import (
+    AdmitRequestSpec,
+    LoadgenReport,
+    LoadgenSpec,
+    generate_requests,
+    percentile,
+    run_loadgen,
+)
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    encode_response,
+    parse_request,
+)
+from repro.service.server import AdmissionService, serve_forever
+
+__all__ = [
+    "SERVICE_WORKLOADS",
+    "ServiceSetup",
+    "build_channel_task_sets",
+    "load_service_setup",
+    "signal_to_task",
+    "AdmitOutcome",
+    "LedgerStats",
+    "ReconcileResult",
+    "SlackLedger",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "encode_response",
+    "parse_request",
+    "AdmissionService",
+    "serve_forever",
+    "ServiceClient",
+    "AdmitRequestSpec",
+    "LoadgenReport",
+    "LoadgenSpec",
+    "generate_requests",
+    "percentile",
+    "run_loadgen",
+]

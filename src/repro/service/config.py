@@ -1,0 +1,196 @@
+"""Service configuration: verified cluster -> per-channel task sets.
+
+``repro serve`` does not simulate; it answers admission questions
+against the *analysis* view of a cluster: each channel's hard periodic
+frames become a deadline-monotonic :class:`~repro.core.tasks.TaskSet`
+in integer service ticks, and a :class:`~repro.service.ledger.SlackLedger`
+precomputes the guaranteed aperiodic capacity from it.
+
+Loading is gated through :mod:`repro.verify`: the same simulation-free
+checks the campaign gate runs (``FRC*`` geometry, ``ANA*`` analysis
+rules) must pass before the service will hold the configuration live --
+a service should fail at startup, not on request 40,000.
+
+Quantization: one service tick is ``tick_us`` microseconds (default
+100 us = 0.1 ms).  A signal's execution demand is its wire size (payload
+plus frame overhead) over the channel bit rate, rounded up to whole
+ticks; periods, offsets and deadlines round to nearest.  The mapping is
+deliberately conservative -- rounding execution up can only under-claim
+slack, never over-promise it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.tasks import PeriodicTask, TaskSet
+from repro.flexray.params import FlexRayParams, paper_dynamic_preset
+from repro.flexray.signal import Signal, SignalSet
+from repro.verify import ConfigurationError, verify_experiment
+from repro.workloads.acc import acc_signals
+from repro.workloads.bbw import bbw_signals
+from repro.workloads.sae import sae_aperiodic_signals
+from repro.workloads.synthetic import synthetic_signals
+
+__all__ = ["SERVICE_WORKLOADS", "ServiceSetup", "build_channel_task_sets",
+           "load_service_setup", "signal_to_task"]
+
+#: Workloads ``repro serve`` can hold live.  ``sae`` is the paper's
+#: aperiodic study: the synthetic periodic backdrop with SAE-style
+#: admission traffic expected from the load generator.
+SERVICE_WORKLOADS = ("bbw", "acc", "synthetic", "sae")
+
+#: FlexRay frame overhead in bits (header + trailer), matching the
+#: ``repro plan`` wire-size convention.
+FRAME_OVERHEAD_BITS = 64
+
+#: FlexRay channel bit rate (10 Mbit/s).
+BIT_RATE_BPS = 10_000_000
+
+
+@dataclass(frozen=True)
+class ServiceSetup:
+    """Everything a running admission service holds per configuration.
+
+    Attributes:
+        workload: Workload name the setup was built from.
+        params: The verified cluster configuration.
+        tick_us: Service tick length in microseconds.
+        channel_tasks: Per-channel hard periodic task sets (ticks).
+        verified: Whether the configuration passed the static gate
+            (``False`` only when loading with ``verify=False``).
+    """
+
+    workload: str
+    params: FlexRayParams
+    tick_us: int
+    channel_tasks: Dict[str, TaskSet]
+    verified: bool
+
+    @property
+    def channels(self) -> Tuple[str, ...]:
+        """Channel labels, sorted."""
+        return tuple(sorted(self.channel_tasks))
+
+    def ticks_per_ms(self) -> float:
+        """Service ticks per millisecond."""
+        return 1000.0 / self.tick_us
+
+
+def signal_to_task(signal: Signal, tick_us: int = 100,
+                   bit_rate_bps: int = BIT_RATE_BPS) -> PeriodicTask:
+    """Quantize one periodic signal into a processor-model task.
+
+    Args:
+        signal: A periodic (non-aperiodic) signal.
+        tick_us: Tick length in microseconds.
+        bit_rate_bps: Channel bit rate.
+
+    Returns:
+        A :class:`PeriodicTask` in ticks; execution is the wire time
+        rounded *up*, deadline/period/offset rounded to nearest (with
+        the task-model constraints re-imposed).
+    """
+    if signal.aperiodic:
+        raise ValueError(f"{signal.name}: aperiodic signals do not map "
+                         f"to periodic tasks")
+    ticks_per_ms = 1000.0 / tick_us
+    wire_bits = signal.size_bits + FRAME_OVERHEAD_BITS
+    wire_ms = wire_bits * 1000.0 / bit_rate_bps
+    execution = max(1, math.ceil(wire_ms * ticks_per_ms))
+    period = max(1, round(signal.period_ms * ticks_per_ms))
+    deadline = max(execution,
+                   min(period, round(signal.deadline_ms * ticks_per_ms)))
+    offset = min(period, round(signal.offset_ms * ticks_per_ms))
+    return PeriodicTask(name=signal.name, execution=execution,
+                        period=period, deadline=deadline, offset=offset)
+
+
+def build_channel_task_sets(signals: SignalSet, tick_us: int = 100,
+                            bit_rate_bps: int = BIT_RATE_BPS,
+                            channels: Tuple[str, ...] = ("A", "B"),
+                            ) -> Dict[str, TaskSet]:
+    """Partition periodic signals over channels, balanced by load.
+
+    The cooperative dual-channel idea at analysis altitude: greedy
+    longest-processing-time assignment of each signal to the currently
+    least-utilized channel, then deadline-monotonic priority order per
+    channel.  Deterministic: signals are considered in (utilization,
+    name) order, ties broken toward the alphabetically first channel.
+    """
+    if not channels:
+        raise ValueError("need at least one channel")
+    tasks = [signal_to_task(s, tick_us, bit_rate_bps)
+             for s in signals if not s.aperiodic]
+    ordered = sorted(tasks, key=lambda t: (-t.utilization, t.name))
+    load: Dict[str, float] = {c: 0.0 for c in channels}
+    assigned: Dict[str, list] = {c: [] for c in channels}
+    for task in ordered:
+        target = min(sorted(load), key=lambda c: load[c])
+        assigned[target].append(task)
+        load[target] += task.utilization
+    return {
+        channel: TaskSet.deadline_monotonic(assigned[channel])
+        for channel in sorted(channels)
+    }
+
+
+def _workload_signals(workload: str, count: int, seed: int) -> SignalSet:
+    if workload == "bbw":
+        return bbw_signals()
+    if workload == "acc":
+        return acc_signals()
+    if workload in ("synthetic", "sae"):
+        return synthetic_signals(count, seed=seed, max_size_bits=216)
+    raise ValueError(f"unknown service workload {workload!r}; "
+                     f"expected one of {SERVICE_WORKLOADS}")
+
+
+def load_service_setup(workload: str = "synthetic", count: int = 20,
+                       seed: int = 42, minislots: Optional[int] = None,
+                       ber: float = 1e-7,
+                       reliability_goal: float = 1 - 1e-4,
+                       tick_us: int = 100,
+                       verify: bool = True) -> ServiceSetup:
+    """Build and statically verify one service configuration.
+
+    Args:
+        workload: One of :data:`SERVICE_WORKLOADS`.
+        count: Synthetic signal count (synthetic/sae only).
+        seed: Synthetic workload seed.
+        minislots: Dynamic-segment minislots (default: 50 for the case
+            studies, 100 otherwise).
+        ber: Bit error rate for the verification gate.
+        reliability_goal: rho for the verification gate.
+        tick_us: Service tick length in microseconds.
+        verify: Run the :func:`repro.verify.verify_experiment` gate
+            (raises :class:`~repro.verify.ConfigurationError` on
+            errors).  Disable only in tests.
+
+    Returns:
+        A :class:`ServiceSetup` ready to hand to the server.
+    """
+    from repro.experiments import figures as figures_module
+
+    periodic = _workload_signals(workload, count, seed)
+    if minislots is None:
+        minislots = 50 if workload in ("bbw", "acc") else 100
+    if workload in ("bbw", "acc"):
+        params = figures_module.case_study_params(workload,
+                                                  minislots=minislots)
+    else:
+        params = paper_dynamic_preset(minislots)
+
+    if verify:
+        aperiodic = sae_aperiodic_signals() if workload == "sae" else None
+        report = verify_experiment(params=params, periodic=periodic,
+                                   aperiodic=aperiodic, ber=ber,
+                                   reliability_goal=reliability_goal)
+        if report.has_errors:
+            raise ConfigurationError(report)
+
+    channel_tasks = build_channel_task_sets(periodic, tick_us=tick_us)
+    return ServiceSetup(workload=workload, params=params, tick_us=tick_us,
+                        channel_tasks=channel_tasks, verified=verify)

@@ -1,0 +1,469 @@
+"""Incremental slack accounting for online admission control.
+
+The offline :class:`~repro.core.acceptance.AcceptanceTest` answers one
+admission question with a trial run of the exact slack-stealing
+schedule -- O(horizon) per request.  A service answering thousands of
+requests needs the paper's "fast and accurate slack computation"
+instead: precompute the guaranteed aperiodic capacity once, then keep
+the committed demand *incrementally* as requests are admitted, released
+and expired.
+
+The capacity function comes straight from the slack stealer's
+aperiodic-free tables:
+
+    F(t) = min_i A_i(t)
+
+the processing guaranteed to be available for top-priority aperiodic
+service in ``[0, t]`` no matter how the periodic jobs interleave (idle
+at every level is necessary for top-priority aperiodic service).  F is
+nondecreasing, so an admitted set served earliest-deadline-first over
+this capacity is feasible **iff** the processor-demand criterion holds
+on the variable-capacity resource:
+
+    for every arrival a and deadline d with a < d:
+        demand(a, d) <= F(d) - F(a)
+
+where ``demand(a, d)`` sums the execution of admitted tasks whose
+window ``[arrival, absolute deadline]`` is contained in ``[a, d]``.
+Admitting a candidate only creates pairs that *contain* the candidate's
+window, so the incremental check is restricted to arrivals <= the
+candidate's arrival and deadlines >= the candidate's deadline -- the
+state invariant ("the live set satisfies the criterion") carries the
+rest.
+
+The ledger maintains three incremental aggregates next to the
+authoritative live-set map -- total committed demand, per-deadline
+demand, per-arrival demand -- and :meth:`reconcile` rebuilds all of
+them from scratch, asserting agreement (and self-healing plus counting
+any divergence, which tests and the service's periodic reconciliation
+pass require to be zero).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.slack_stealing import SlackStealer
+from repro.core.tasks import TaskSet
+from repro.obs import NULL_OBS, ObsLike
+
+__all__ = ["AdmitOutcome", "LedgerStats", "ReconcileResult", "SlackLedger"]
+
+
+@dataclass(frozen=True)
+class AdmitOutcome:
+    """Result of one ledger admission attempt."""
+
+    admitted: bool
+    reason: str
+    #: Effective (clamped-to-now) arrival the test used.
+    arrival: int = 0
+    #: Absolute deadline the test used.
+    deadline: int = 0
+    #: F(deadline) - F(arrival) - demand in the window after the
+    #: decision: the guaranteed slack still unclaimed in the window.
+    window_slack: int = 0
+
+
+@dataclass(frozen=True)
+class LedgerStats:
+    """Point-in-time summary of one channel's ledger."""
+
+    live: int
+    committed: int
+    admitted_total: int
+    rejected_total: int
+    released_total: int
+    expired_total: int
+    now: int
+    horizon: int
+    capacity_total: int
+    capacity_remaining: int
+
+
+@dataclass(frozen=True)
+class ReconcileResult:
+    """Outcome of one full-recompute reconciliation pass."""
+
+    divergences: Tuple[str, ...]
+    live: int
+    committed: int
+
+    @property
+    def clean(self) -> bool:
+        """Whether incremental and recomputed state agreed exactly."""
+        return not self.divergences
+
+
+@dataclass(frozen=True)
+class _Admitted:
+    """One live (admitted, not yet released/expired) task."""
+
+    name: str
+    arrival: int
+    deadline: int  # absolute
+    execution: int
+
+
+@dataclass
+class _Aggregates:
+    """The incrementally maintained bookkeeping (reconciliation target)."""
+
+    committed: int = 0
+    demand_by_deadline: Dict[int, int] = field(default_factory=dict)
+    demand_by_arrival: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, task: _Admitted) -> None:
+        self.committed += task.execution
+        self.demand_by_deadline[task.deadline] = (
+            self.demand_by_deadline.get(task.deadline, 0) + task.execution)
+        self.demand_by_arrival[task.arrival] = (
+            self.demand_by_arrival.get(task.arrival, 0) + task.execution)
+
+    def remove(self, task: _Admitted) -> None:
+        self.committed -= task.execution
+        for table, key in ((self.demand_by_deadline, task.deadline),
+                           (self.demand_by_arrival, task.arrival)):
+            remaining = table[key] - task.execution
+            if remaining:
+                table[key] = remaining
+            else:
+                del table[key]
+
+
+class SlackLedger:
+    """Per-channel incremental slack accountant.
+
+    Args:
+        tasks: The channel's hard periodic task set (priority order).
+            May be empty, in which case every tick is capacity and
+            ``horizon`` is required.
+        horizon: Analysis horizon in ticks; defaults to the task set's.
+        obs: Observability context for admission counters.
+        channel: Label used in counters (``service.<channel>...``).
+    """
+
+    def __init__(self, tasks: TaskSet, horizon: Optional[int] = None,
+                 obs: ObsLike = NULL_OBS, channel: str = "A") -> None:
+        self._obs = obs
+        self._channel = channel
+        if len(tasks) == 0:
+            if horizon is None or horizon <= 0:
+                raise ValueError(
+                    "an empty task set needs an explicit positive horizon")
+            self._horizon = horizon
+            self._capacity = list(range(horizon + 1))
+            # No periodics: every tick everywhere is capacity.
+            self._pattern_start = 0
+            self._pattern_length = 1
+            self._pattern_gain = 1
+        else:
+            stealer = SlackStealer(tasks, horizon=horizon)
+            self._horizon = stealer.horizon
+            levels = len(tasks)
+            self._capacity = [
+                min(stealer.available_aperiodic_processing(level, t)
+                    for level in range(levels))
+                for t in range(self._horizon + 1)
+            ]
+            # Steady-state extrapolation: past the analysis horizon the
+            # aperiodic-free schedule repeats with the hyperperiod, so
+            # F grows by a fixed amount per pattern.  The default
+            # horizon (max offset + 2H) always contains one full
+            # steady-state pattern [horizon - H, horizon]; a custom
+            # horizon that does not disables extrapolation (capacity
+            # then saturates and far-future admissions are rejected).
+            hyper = tasks.hyperperiod()
+            start = self._horizon - hyper
+            if hyper > 0 and start >= tasks.max_offset():
+                self._pattern_start = start
+                self._pattern_length = hyper
+                self._pattern_gain = (self._capacity[self._horizon]
+                                      - self._capacity[start])
+            else:
+                self._pattern_start = self._horizon
+                self._pattern_length = 0
+                self._pattern_gain = 0
+        self._now = 0
+        self._live: Dict[str, _Admitted] = {}
+        # (deadline, arrival, name) kept sorted for window scans.
+        self._order: List[Tuple[int, int, str]] = []
+        self._agg = _Aggregates()
+        self._admitted_total = 0
+        self._rejected_total = 0
+        self._released_total = 0
+        self._expired_total = 0
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """Last tick the capacity table covers."""
+        return self._horizon
+
+    @property
+    def now(self) -> int:
+        """Current logical time (ticks)."""
+        return self._now
+
+    @property
+    def live_names(self) -> List[str]:
+        """Names of currently guaranteed tasks (sorted)."""
+        return sorted(self._live)
+
+    def live_tasks(self) -> List[Tuple[str, int, int, int]]:
+        """Live tasks as ``(name, arrival, absolute_deadline, execution)``.
+
+        Sorted by (deadline, arrival, name): the order the capacity is
+        consumed under EDF service.
+        """
+        return [(name, self._live[name].arrival, deadline,
+                 self._live[name].execution)
+                for deadline, __, name in self._order]
+
+    @property
+    def extrapolates(self) -> bool:
+        """Whether capacity extends past the table (steady-state slope)."""
+        return self._pattern_length > 0
+
+    def capacity(self, t: int) -> int:
+        """F(t): guaranteed aperiodic capacity in ``[0, t]``.
+
+        Inside the analysis horizon this is the precomputed table; past
+        it, the steady-state pattern repeats every hyperperiod, so the
+        table's last full pattern is tiled with its per-pattern gain
+        (exact for the cyclic aperiodic-free schedule).
+        """
+        t = max(t, 0)
+        if t <= self._horizon:
+            return self._capacity[t]
+        if not self._pattern_length:
+            return self._capacity[self._horizon]
+        patterns, offset = divmod(t - self._pattern_start,
+                                  self._pattern_length)
+        return (self._capacity[self._pattern_start + offset]
+                + patterns * self._pattern_gain)
+
+    # -- clock ---------------------------------------------------------
+
+    def advance(self, now: int) -> List[str]:
+        """Advance the logical clock (monotone) and expire the past.
+
+        A task whose absolute deadline is ``<= now`` is over -- either
+        it was served in time (its slot consumption is behind us) or it
+        is unsalvageable; either way its window no longer constrains
+        new admissions, so its demand is reclaimed.  Exact-boundary
+        semantics match :meth:`AcceptanceTest.expire`: ``deadline ==
+        now`` expires.
+
+        Returns:
+            Names of expired tasks (deadline order).
+        """
+        if now > self._now:
+            self._now = now
+        expired: List[str] = []
+        while self._order and self._order[0][0] <= self._now:
+            deadline, arrival, name = self._order.pop(0)
+            task = self._live.pop(name)
+            self._agg.remove(task)
+            expired.append(name)
+        if expired:
+            self._expired_total += len(expired)
+            if self._obs.enabled:
+                self._obs.inc(f"service.{self._channel}.expired",
+                              len(expired))
+        return expired
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, name: str, arrival: int, execution: int,
+              deadline: int) -> AdmitOutcome:
+        """Admission-test one hard aperiodic request.
+
+        Args:
+            name: Unique name among live tasks.
+            arrival: Requested arrival tick (clamped up to ``now``).
+            execution: Processing demand in ticks (>= 1).
+            deadline: *Relative* hard deadline in ticks.
+
+        Returns:
+            An :class:`AdmitOutcome`; on admission the task joins the
+            live set and its demand the incremental aggregates.
+        """
+        if execution < 1:
+            return self._reject("execution must be >= 1", 0, 0)
+        if deadline < execution:
+            return self._reject("deadline below execution", 0, 0)
+        effective = max(arrival, self._now)
+        absolute = arrival + deadline
+        if absolute <= effective:
+            return self._reject("deadline already passed", effective,
+                                absolute)
+        if name in self._live:
+            return self._reject(f"name {name!r} already guaranteed",
+                                effective, absolute)
+        if absolute > self._horizon and not self.extrapolates:
+            return self._reject("deadline beyond analysis horizon",
+                                effective, absolute)
+
+        window = self.capacity(absolute) - self.capacity(effective)
+        if window < execution:
+            # The paper's quick-reject: even an empty system lacks the
+            # structural slack.
+            if self._obs.enabled:
+                self._obs.inc(f"service.{self._channel}.quick_rejects")
+            return self._reject("insufficient structural slack in window",
+                                effective, absolute,
+                                window - self._window_demand(
+                                    effective, absolute))
+
+        margin = self._demand_criterion_margin(effective, absolute,
+                                               execution)
+        if margin < 0:
+            return self._reject("committed demand exceeds window slack",
+                                effective, absolute, margin)
+
+        task = _Admitted(name=name, arrival=effective, deadline=absolute,
+                         execution=execution)
+        self._live[name] = task
+        bisect.insort(self._order, (absolute, effective, name))
+        self._agg.add(task)
+        self._admitted_total += 1
+        if self._obs.enabled:
+            self._obs.inc(f"service.{self._channel}.admitted")
+        return AdmitOutcome(
+            admitted=True, reason="window demand within guaranteed slack",
+            arrival=effective, deadline=absolute,
+            window_slack=window - self._window_demand(effective, absolute))
+
+    def _reject(self, reason: str, arrival: int, deadline: int,
+                window_slack: int = 0) -> AdmitOutcome:
+        self._rejected_total += 1
+        if self._obs.enabled:
+            self._obs.inc(f"service.{self._channel}.rejected")
+        return AdmitOutcome(admitted=False, reason=reason, arrival=arrival,
+                            deadline=deadline, window_slack=window_slack)
+
+    def _window_demand(self, start: int, end: int) -> int:
+        """Committed demand of live tasks contained in ``[start, end]``."""
+        return sum(t.execution for t in self._live.values()
+                   if t.arrival >= start and t.deadline <= end)
+
+    def _demand_criterion_margin(self, arrival: int, deadline: int,
+                                 execution: int) -> int:
+        """Min slack margin over every pair the candidate participates in.
+
+        Only pairs ``(a, d)`` with ``a <= arrival`` and ``d >= deadline``
+        gain the candidate's demand; all other pairs held before and are
+        untouched.  Returns ``min (F(d) - F(a) - demand'(a, d))`` over
+        those pairs, where ``demand'`` includes the candidate -- the
+        admission is safe iff the margin is >= 0.
+        """
+        starts = sorted({t.arrival for t in self._live.values()
+                         if t.arrival <= arrival} | {arrival})
+        ends = sorted({t.deadline for t in self._live.values()
+                       if t.deadline >= deadline} | {deadline})
+        # Tasks sorted by deadline once; each start then accumulates
+        # demand in one sweep over the relevant ends.
+        by_deadline = sorted(self._live.values(),
+                             key=lambda t: (t.deadline, t.arrival, t.name))
+        margin: Optional[int] = None
+        for a in starts:
+            cumulative = execution  # the candidate sits in every pair
+            index = 0
+            for d in ends:
+                while (index < len(by_deadline)
+                       and by_deadline[index].deadline <= d):
+                    task = by_deadline[index]
+                    if task.arrival >= a:
+                        cumulative += task.execution
+                    index += 1
+                slack = self.capacity(d) - self.capacity(a) - cumulative
+                if margin is None or slack < margin:
+                    margin = slack
+        return margin if margin is not None else 0
+
+    # -- releases ------------------------------------------------------
+
+    def release(self, name: str) -> bool:
+        """Reclaim a live task's demand (e.g. it completed early).
+
+        Returns:
+            ``True`` if the task was live and is now released.
+        """
+        task = self._live.pop(name, None)
+        if task is None:
+            return False
+        self._order.remove((task.deadline, task.arrival, name))
+        self._agg.remove(task)
+        self._released_total += 1
+        if self._obs.enabled:
+            self._obs.inc(f"service.{self._channel}.released")
+        return True
+
+    # -- reconciliation ------------------------------------------------
+
+    def reconcile(self) -> ReconcileResult:
+        """Recompute every incremental aggregate and assert agreement.
+
+        Rebuilds the committed total, the per-deadline and per-arrival
+        demand tables and the deadline-sorted order from the live-set
+        map, compares field by field with the incrementally maintained
+        copies, and -- if anything diverged -- adopts the recomputed
+        truth (self-heal) so one bug cannot silently poison every later
+        admission.
+        """
+        recomputed = _Aggregates()
+        for task in sorted(self._live.values(), key=lambda t: t.name):
+            recomputed.add(task)
+        order = sorted((t.deadline, t.arrival, t.name)
+                       for t in self._live.values())
+
+        divergences: List[str] = []
+        if recomputed.committed != self._agg.committed:
+            divergences.append(
+                f"committed: incremental {self._agg.committed} "
+                f"!= recomputed {recomputed.committed}")
+        if recomputed.demand_by_deadline != self._agg.demand_by_deadline:
+            divergences.append("demand_by_deadline tables differ")
+        if recomputed.demand_by_arrival != self._agg.demand_by_arrival:
+            divergences.append("demand_by_arrival tables differ")
+        if order != self._order:
+            divergences.append("deadline order index differs")
+        if divergences:
+            self._agg = recomputed
+            self._order = order
+        return ReconcileResult(divergences=tuple(divergences),
+                               live=len(self._live),
+                               committed=recomputed.committed)
+
+    # -- stats ---------------------------------------------------------
+
+    def stats(self) -> LedgerStats:
+        """Current counters and capacity position.
+
+        ``capacity_remaining`` is the guaranteed capacity of the next
+        lookahead window (one steady-state pattern, or the table tail
+        when not extrapolating) minus the committed demand -- the slack
+        still on offer right now.
+        """
+        if self.extrapolates:
+            window = self._pattern_length
+        else:
+            window = self._horizon - min(self._now, self._horizon)
+        upcoming = (self.capacity(self._now + window)
+                    - self.capacity(self._now))
+        return LedgerStats(
+            live=len(self._live),
+            committed=self._agg.committed,
+            admitted_total=self._admitted_total,
+            rejected_total=self._rejected_total,
+            released_total=self._released_total,
+            expired_total=self._expired_total,
+            now=self._now,
+            horizon=self._horizon,
+            capacity_total=self.capacity(self._horizon),
+            capacity_remaining=upcoming - self._agg.committed,
+        )

@@ -1,0 +1,493 @@
+"""The asyncio admission-control server.
+
+Request lifecycle::
+
+    socket -> parse -> bounded queue -> batcher -> ledger -> response
+
+- **Batching**: the batcher coroutine wakes on the first queued request,
+  yields once to the event loop so every request that arrived in the
+  same tick can enqueue, then drains the queue (up to ``batch_limit``)
+  and runs ONE slack-accounting pass over the whole batch inside a
+  profiler span.  Within a batch, releases run first (they free slack),
+  then admits in deterministic ``(arrival, deadline, name)`` order.
+- **Backpressure**: the queue is bounded; when it is full the request
+  is answered immediately with ``status: overload`` -- nothing blocks,
+  nothing is silently dropped.  A request that waits in the queue past
+  its timeout is answered ``overload`` too (the batcher skips futures
+  the connection side already resolved).
+- **Reconciliation**: every ``reconcile_every`` batches the server runs
+  each channel ledger's full recompute and counts divergences
+  (``service.reconcile.divergence`` must stay 0).
+- **Drain**: SIGTERM/SIGINT (or :meth:`AdmissionService.stop`) stops
+  accepting new work -- late requests get ``overload`` with reason
+  ``draining`` -- finishes every queued request, then closes.
+- **Isolation**: malformed lines get ``status: error`` replies and the
+  connection stays open; one broken client cannot take the service
+  down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.acceptance import AcceptanceTest
+from repro.core.retransmission import plan_retransmissions
+from repro.obs import NULL_OBS, ObsLike
+from repro.service.config import ServiceSetup
+from repro.service.ledger import SlackLedger
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    encode_response,
+    parse_request,
+)
+
+__all__ = ["AdmissionService", "serve_forever"]
+
+
+class AdmissionService:
+    """One live admission-control service over a verified setup.
+
+    Args:
+        setup: The verified configuration (see
+            :func:`repro.service.config.load_service_setup`).
+        obs: Observability context; counters and profiler spans are
+            mirrored into it when enabled.
+        queue_limit: Bounded request-queue size (backpressure point).
+        batch_limit: Max requests coalesced into one batch pass.
+        request_timeout_s: Per-request wall-clock budget from enqueue
+            to response; exceeded -> ``overload`` reply.
+        reconcile_every: Run the incremental-vs-recomputed slack
+            reconciliation every N batches (0 disables).
+        audit_every: Additionally trial-run every Nth *admitted*
+            request through a fresh offline
+            :class:`~repro.core.acceptance.AcceptanceTest` and count
+            agreement (0 disables; expensive, meant for tests and
+            canary deployments).
+    """
+
+    def __init__(self, setup: ServiceSetup, obs: ObsLike = NULL_OBS,
+                 queue_limit: int = 1024, batch_limit: int = 256,
+                 request_timeout_s: float = 5.0,
+                 reconcile_every: int = 64,
+                 audit_every: int = 0) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if batch_limit < 1:
+            raise ValueError("batch_limit must be >= 1")
+        self.setup = setup
+        self._obs = obs
+        self._queue_limit = queue_limit
+        self._batch_limit = batch_limit
+        self._timeout = request_timeout_s
+        self._reconcile_every = reconcile_every
+        self._audit_every = audit_every
+        self.ledgers: Dict[str, SlackLedger] = {
+            channel: SlackLedger(tasks, obs=obs, channel=channel)
+            for channel, tasks in sorted(setup.channel_tasks.items())
+        }
+        # The offline reference admission test, held live per channel
+        # for sampled audits of the incremental fast path.
+        self.acceptance: Dict[str, AcceptanceTest] = {
+            channel: AcceptanceTest(tasks)
+            for channel, tasks in sorted(setup.channel_tasks.items())
+            if len(tasks)
+        }
+        self.counters: Dict[str, int] = {}
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._batches = 0
+        self._batched_requests = 0
+
+    # -- counters ------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+        if self._obs.enabled:
+            self._obs.inc(name, amount)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port,
+            limit=MAX_LINE_BYTES + 2)
+        self._batcher = asyncio.create_task(self._batch_loop())
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    def install_signal_handlers(self) -> None:
+        """Drain gracefully on SIGTERM/SIGINT (POSIX event loops)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.stop()))
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, answer the backlog, close."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Wake the batcher so it can observe the drain flag even with
+        # an empty queue.
+        await self._queue.put(None)
+        await self._drained.wait()
+
+    async def wait_closed(self) -> None:
+        """Block until a drain completes."""
+        await self._drained.wait()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._count("service.connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._count("service.protocol_errors")
+                    writer.write(encode_response(
+                        {"status": "error",
+                         "reason": "request line too long"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                response = await self._dispatch(text)
+                writer.write(encode_response(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, text: str) -> Dict[str, object]:
+        try:
+            request = parse_request(text)
+        except ProtocolError as error:
+            self._count("service.protocol_errors")
+            return {"status": "error", "reason": str(error)}
+        self._count("service.requests")
+
+        if request.op == "ping":
+            return self._reply(request, {"status": "ok"})
+        if request.op == "stats":
+            return self._reply(request, self._stats_response())
+        if request.op == "plan_retransmission":
+            return self._reply(request, self._plan_response(request))
+
+        # admit / release are serialized through the batcher.
+        if self._draining:
+            self._count("service.overload")
+            return self._reply(request,
+                               {"status": "overload", "reason": "draining"})
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((request, future))
+        except asyncio.QueueFull:
+            self._count("service.overload")
+            self._count("service.queue.rejected")
+            return self._reply(request,
+                               {"status": "overload",
+                                "reason": "queue full"})
+        if self._obs.enabled:
+            self._obs.set_gauge("service.queue.depth",
+                                self._queue.qsize())
+        try:
+            response = await asyncio.wait_for(future, self._timeout)
+        except asyncio.TimeoutError:
+            self._count("service.overload")
+            self._count("service.timeouts")
+            return self._reply(request,
+                               {"status": "overload",
+                                "reason": "timed out in queue"})
+        return self._reply(request, response)
+
+    @staticmethod
+    def _reply(request: Request,
+               response: Dict[str, object]) -> Dict[str, object]:
+        if request.id is not None:
+            response = dict(response)
+            response["id"] = request.id
+        return response
+
+    # -- the batch pass ------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            # Yield once: requests arriving in the same event-loop tick
+            # get to enqueue and share this batch's slack pass.
+            await asyncio.sleep(0)
+            batch: List[Tuple[Request, asyncio.Future]] = []
+            if item is not None:
+                batch.append(item)
+            while (len(batch) < self._batch_limit
+                   and not self._queue.empty()):
+                extra = self._queue.get_nowait()
+                if extra is not None:
+                    batch.append(extra)
+            if batch:
+                self._process_batch(batch)
+            if self._draining and self._queue.empty():
+                self._finish_drain()
+                return
+
+    def _finish_drain(self) -> None:
+        if self._batcher is not None:
+            # Batcher exits right after this call; nothing to cancel.
+            self._batcher = None
+        if self._reconcile_every:
+            # Final incremental-vs-recomputed agreement check: a drain
+            # must leave provably consistent books behind.
+            self.reconcile()
+        self._drained.set()
+
+    def _process_batch(self,
+                       batch: List[Tuple[Request, asyncio.Future]]) -> None:
+        """One slack-accounting pass over a coalesced batch (no awaits)."""
+        self._batches += 1
+        self._batched_requests += len(batch)
+        self._count("service.batches")
+        self._count("service.batch.requests", len(batch))
+        if self._obs.enabled:
+            self._obs.set_gauge("service.batch.size", len(batch))
+        with self._obs.section("service.batch"):
+            releases = [item for item in batch if item[0].op == "release"]
+            admits = [item for item in batch if item[0].op == "admit"]
+            for request, future in releases:
+                self._resolve(future, self._release(request))
+            admits.sort(key=lambda item: (
+                item[0].fields["arrival"], item[0].fields["deadline"],
+                str(item[0].fields["name"])))
+            # Advance each channel clock once per batch, to the
+            # earliest arrival in the batch: expiry reclaims slack
+            # before any admission is tested.
+            arrivals: Dict[str, int] = {}
+            for request, __ in admits:
+                channel = str(request.fields["channel"])
+                arrival = int(request.fields["arrival"])  # type: ignore[arg-type]
+                if channel in self.ledgers:
+                    arrivals[channel] = min(
+                        arrivals.get(channel, arrival), arrival)
+            for channel in sorted(arrivals):
+                self.ledgers[channel].advance(arrivals[channel])
+            for request, future in admits:
+                self._resolve(future, self._admit(request))
+        if (self._reconcile_every
+                and self._batches % self._reconcile_every == 0):
+            self.reconcile()
+
+    @staticmethod
+    def _resolve(future: asyncio.Future,
+                 response: Dict[str, object]) -> None:
+        # The connection side may have timed out (and answered
+        # overload) while this request waited; never double-resolve.
+        if not future.done():
+            future.set_result(response)
+
+    def _admit(self, request: Request) -> Dict[str, object]:
+        channel = str(request.fields["channel"])
+        ledger = self.ledgers.get(channel)
+        if ledger is None:
+            return {"status": "rejected",
+                    "reason": f"unknown channel {channel!r}",
+                    "channel": channel}
+        name = str(request.fields["name"])
+        arrival = int(request.fields["arrival"])  # type: ignore[arg-type]
+        execution = int(request.fields["execution"])  # type: ignore[arg-type]
+        deadline = int(request.fields["deadline"])  # type: ignore[arg-type]
+        ledger.advance(arrival)
+        outcome = ledger.admit(name, arrival, execution, deadline)
+        if outcome.admitted:
+            self._count("service.admits")
+            self._maybe_audit(channel, ledger)
+        else:
+            self._count("service.rejects")
+        return {
+            "status": "accepted" if outcome.admitted else "rejected",
+            "reason": outcome.reason,
+            "channel": channel,
+            "name": name,
+            "arrival": outcome.arrival,
+            "deadline": outcome.deadline,
+            "window_slack": outcome.window_slack,
+        }
+
+    def _release(self, request: Request) -> Dict[str, object]:
+        channel = str(request.fields["channel"])
+        ledger = self.ledgers.get(channel)
+        if ledger is None:
+            return {"status": "not_found",
+                    "reason": f"unknown channel {channel!r}",
+                    "channel": channel}
+        name = str(request.fields["name"])
+        released = ledger.release(name)
+        if released:
+            self._count("service.releases")
+        return {"status": "released" if released else "not_found",
+                "channel": channel, "name": name}
+
+    def _maybe_audit(self, channel: str, ledger: SlackLedger) -> None:
+        """Sampled cross-check against the offline acceptance test.
+
+        Every ``audit_every``-th admission replays the channel's whole
+        live set through a fresh trial-run
+        :class:`~repro.core.acceptance.AcceptanceTest`.  The two tests
+        share the capacity model but not the service discipline (the
+        ledger serves EDF over guaranteed capacity, the trial runs
+        FIFO with exact online slack), so disagreement is *recorded*,
+        not asserted -- the counters make the fast path's fidelity
+        observable.
+        """
+        if not self._audit_every:
+            return
+        admitted = self.counters.get("service.admits", 0)
+        if admitted % self._audit_every:
+            return
+        tasks = self.setup.channel_tasks.get(channel)
+        if tasks is None or not len(tasks):
+            return
+        self._count("service.audit.runs")
+        with self._obs.section("service.audit"):
+            from repro.core.tasks import AperiodicTask
+
+            reference = AcceptanceTest(tasks)
+            agreed = True
+            for name, arrival, deadline, execution in ledger.live_tasks():
+                # Rebuild the live set as offline aperiodic tasks.
+                result = reference.admit(AperiodicTask(
+                    name=name, arrival=arrival, execution=execution,
+                    deadline=deadline - arrival))
+                if not result.admitted:
+                    agreed = False
+        self._count("service.audit.agreements" if agreed
+                    else "service.audit.disagreements")
+
+    # -- reconciliation ------------------------------------------------
+
+    def reconcile(self) -> int:
+        """Full-recompute reconciliation over every channel ledger.
+
+        Returns:
+            Total divergence count (0 on a healthy service).
+        """
+        divergences = 0
+        with self._obs.section("service.reconcile"):
+            for channel in sorted(self.ledgers):
+                result = self.ledgers[channel].reconcile()
+                divergences += len(result.divergences)
+                for detail in result.divergences:
+                    print(f"repro serve: reconcile divergence on "
+                          f"channel {channel}: {detail}", file=sys.stderr)
+        self._count("service.reconcile.runs")
+        if divergences:
+            self._count("service.reconcile.divergence", divergences)
+        return divergences
+
+    # -- read-only ops -------------------------------------------------
+
+    def _stats_response(self) -> Dict[str, object]:
+        channels = {}
+        for channel in sorted(self.ledgers):
+            stats = self.ledgers[channel].stats()
+            channels[channel] = {
+                "live": stats.live,
+                "committed": stats.committed,
+                "admitted_total": stats.admitted_total,
+                "rejected_total": stats.rejected_total,
+                "released_total": stats.released_total,
+                "expired_total": stats.expired_total,
+                "now": stats.now,
+                "horizon": stats.horizon,
+                "capacity_total": stats.capacity_total,
+                "capacity_remaining": stats.capacity_remaining,
+            }
+        mean_batch = (self._batched_requests / self._batches
+                      if self._batches else 0.0)
+        return {
+            "status": "ok",
+            "workload": self.setup.workload,
+            "tick_us": self.setup.tick_us,
+            "channels": channels,
+            "counters": dict(sorted(self.counters.items())),
+            "batches": self._batches,
+            "mean_batch_size": round(mean_batch, 3),
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self._queue_limit,
+            "draining": self._draining,
+        }
+
+    def _plan_response(self, request: Request) -> Dict[str, object]:
+        messages = request.fields["messages"]
+        assert isinstance(messages, dict)
+        failure = {name: spec["failure_probability"]
+                   for name, spec in messages.items()}
+        instances = {name: spec["instances"]
+                     for name, spec in messages.items()}
+        costs = {name: spec["cost"] for name, spec in messages.items()
+                 if "cost" in spec}
+        with self._obs.section("service.plan"):
+            plan = plan_retransmissions(
+                failure, instances, float(request.fields["rho"]),  # type: ignore[arg-type]
+                bandwidth_cost=costs or None)
+        self._count("service.plans")
+        return {
+            "status": "ok",
+            "feasible": plan.feasible,
+            "achieved_probability": plan.achieved_probability,
+            "budgets": dict(sorted(plan.budgets.items())),
+        }
+
+
+async def serve_forever(setup: ServiceSetup, host: str = "127.0.0.1",
+                        port: int = 8471, obs: ObsLike = NULL_OBS,
+                        queue_limit: int = 1024, batch_limit: int = 256,
+                        request_timeout_s: float = 5.0,
+                        reconcile_every: int = 64,
+                        audit_every: int = 0) -> AdmissionService:
+    """Run an admission service until SIGTERM/SIGINT drains it.
+
+    Returns:
+        The drained service (its counters are still readable).
+    """
+    service = AdmissionService(
+        setup, obs=obs, queue_limit=queue_limit, batch_limit=batch_limit,
+        request_timeout_s=request_timeout_s,
+        reconcile_every=reconcile_every, audit_every=audit_every)
+    bound_host, bound_port = await service.start(host=host, port=port)
+    service.install_signal_handlers()
+    print(f"repro serve: listening on {bound_host}:{bound_port} "
+          f"(workload {setup.workload}, channels "
+          f"{','.join(setup.channels)}, "
+          f"horizons {[service.ledgers[c].horizon for c in sorted(service.ledgers)]} ticks)",
+          file=sys.stderr, flush=True)
+    await service.wait_closed()
+    return service

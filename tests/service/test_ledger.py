@@ -1,0 +1,174 @@
+"""Unit tests for the incremental slack ledger."""
+
+import pytest
+
+from repro.core.tasks import PeriodicTask, TaskSet
+from repro.obs import Observability
+from repro.service.ledger import SlackLedger
+
+
+def task_set(*specs):
+    return TaskSet([
+        PeriodicTask(name=name, execution=c, period=t, deadline=d)
+        for name, c, t, d in specs
+    ])
+
+
+def light_ledger(**kwargs):
+    return SlackLedger(task_set(("hi", 1, 4, 4), ("lo", 2, 10, 10)),
+                       **kwargs)
+
+
+class TestCapacity:
+    def test_nondecreasing_inside_table(self):
+        ledger = light_ledger()
+        values = [ledger.capacity(t) for t in range(ledger.horizon + 1)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_extrapolation_is_exact_per_pattern(self):
+        ledger = light_ledger()
+        assert ledger.extrapolates
+        hyper = 20  # lcm(4, 10)
+        base = ledger.capacity(ledger.horizon)
+        gain = base - ledger.capacity(ledger.horizon - hyper)
+        # One full pattern past the table grows by exactly the gain.
+        assert ledger.capacity(ledger.horizon + hyper) == base + gain
+        assert (ledger.capacity(ledger.horizon + 7 * hyper)
+                == base + 7 * gain)
+
+    def test_extrapolated_region_nondecreasing(self):
+        ledger = light_ledger()
+        start = ledger.horizon - 5
+        values = [ledger.capacity(t) for t in range(start, start + 100)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_empty_task_set_everything_is_capacity(self):
+        ledger = SlackLedger(TaskSet([]), horizon=50)
+        assert ledger.capacity(10) == 10
+        assert ledger.capacity(500) == 500  # extrapolates at slope 1
+
+    def test_empty_task_set_requires_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            SlackLedger(TaskSet([]))
+
+
+class TestAdmission:
+    def test_admits_within_slack(self):
+        ledger = light_ledger()
+        outcome = ledger.admit("j", arrival=0, execution=3, deadline=10)
+        assert outcome.admitted
+        assert outcome.deadline == 10
+        assert outcome.window_slack >= 0
+
+    def test_structural_quick_reject(self):
+        ledger = light_ledger()
+        outcome = ledger.admit("j", arrival=0, execution=50, deadline=60)
+        assert not outcome.admitted
+        assert "structural slack" in outcome.reason
+
+    def test_committed_demand_reject(self):
+        ledger = light_ledger()
+        assert ledger.admit("a", arrival=0, execution=3,
+                            deadline=12).admitted
+        # The remaining slack in [0, 12] cannot also hold 3 more units.
+        outcome = ledger.admit("b", arrival=0, execution=3, deadline=12)
+        assert not outcome.admitted
+        assert "committed demand" in outcome.reason
+
+    def test_duplicate_name_rejected(self):
+        ledger = light_ledger()
+        ledger.admit("j", arrival=0, execution=1, deadline=10)
+        assert not ledger.admit("j", arrival=2, execution=1,
+                                deadline=10).admitted
+
+    def test_past_deadline_rejected(self):
+        ledger = light_ledger()
+        ledger.advance(100)
+        outcome = ledger.admit("j", arrival=10, execution=1, deadline=20)
+        assert not outcome.admitted
+        assert "already passed" in outcome.reason
+
+    def test_invalid_parameters_rejected_not_raised(self):
+        ledger = light_ledger()
+        assert not ledger.admit("j", arrival=0, execution=0,
+                                deadline=10).admitted
+        assert not ledger.admit("j", arrival=0, execution=5,
+                                deadline=3).admitted
+
+    def test_far_future_admission_uses_extrapolation(self):
+        ledger = light_ledger()
+        arrival = ledger.horizon * 10
+        outcome = ledger.admit("far", arrival=arrival, execution=2,
+                               deadline=20)
+        assert outcome.admitted
+
+    def test_beyond_horizon_rejected_without_extrapolation(self):
+        # A custom horizon shorter than offset + hyperperiod cannot
+        # establish the steady-state pattern.
+        ledger = SlackLedger(task_set(("hi", 1, 4, 4), ("lo", 2, 10, 10)),
+                             horizon=15)
+        assert not ledger.extrapolates
+        outcome = ledger.admit("j", arrival=20, execution=1, deadline=10)
+        assert not outcome.admitted
+        assert "beyond analysis horizon" in outcome.reason
+
+
+class TestReleaseAndCounters:
+    def test_release_reclaims_slack(self):
+        ledger = light_ledger()
+        assert ledger.admit("a", arrival=0, execution=3,
+                            deadline=12).admitted
+        assert not ledger.admit("b", arrival=0, execution=3,
+                                deadline=12).admitted
+        assert ledger.release("a")
+        assert ledger.admit("b", arrival=0, execution=3,
+                            deadline=12).admitted
+
+    def test_release_unknown_is_false(self):
+        assert not light_ledger().release("ghost")
+
+    def test_obs_counters(self):
+        obs = Observability()
+        ledger = light_ledger(obs=obs, channel="A")
+        ledger.admit("a", arrival=0, execution=3, deadline=12)
+        ledger.admit("b", arrival=0, execution=50, deadline=60)
+        ledger.release("a")
+        value = obs.registry.counter_value
+        assert value("service.A.admitted") == 1
+        assert value("service.A.rejected") == 1
+        assert value("service.A.quick_rejects") == 1
+        assert value("service.A.released") == 1
+
+    def test_stats_track_totals(self):
+        ledger = light_ledger()
+        ledger.admit("a", arrival=0, execution=1, deadline=10)
+        ledger.admit("b", arrival=0, execution=50, deadline=60)
+        stats = ledger.stats()
+        assert stats.live == 1
+        assert stats.admitted_total == 1
+        assert stats.rejected_total == 1
+        assert stats.committed == 1
+        assert stats.capacity_remaining >= 0
+
+
+class TestReconcile:
+    def test_clean_after_mixed_operations(self):
+        ledger = light_ledger()
+        for index in range(12):
+            ledger.admit(f"t{index}", arrival=index * 4, execution=1,
+                         deadline=16)
+        ledger.advance(10)
+        ledger.release("t9")
+        result = ledger.reconcile()
+        assert result.clean
+        assert result.committed == ledger.stats().committed
+
+    def test_self_heals_after_injected_corruption(self):
+        ledger = light_ledger()
+        ledger.admit("a", arrival=0, execution=2, deadline=12)
+        ledger._agg.committed += 1  # simulate an accounting bug
+        first = ledger.reconcile()
+        assert not first.clean
+        assert any("committed" in d for d in first.divergences)
+        # The recomputed truth was adopted: next pass is clean.
+        assert ledger.reconcile().clean

@@ -1,0 +1,120 @@
+"""Tests for the deterministic load generator."""
+
+import asyncio
+
+import pytest
+
+from repro.service.config import load_service_setup
+from repro.service.loadgen import (
+    LoadgenSpec,
+    generate_requests,
+    percentile,
+    run_loadgen,
+)
+from repro.service.server import AdmissionService
+
+
+class TestStreamDeterminism:
+    def test_same_spec_same_stream(self):
+        spec = LoadgenSpec(requests=200, seed=11)
+        assert generate_requests(spec) == generate_requests(spec)
+
+    def test_seed_changes_stream(self):
+        base = LoadgenSpec(requests=200, seed=11)
+        other = LoadgenSpec(requests=200, seed=12)
+        assert generate_requests(base) != generate_requests(other)
+
+    def test_stream_shape(self):
+        spec = LoadgenSpec(requests=100, seed=3, channels=("A",),
+                           execution_min=2, execution_max=5,
+                           deadline_ticks=300)
+        stream = generate_requests(spec)
+        assert len(stream) == 100
+        assert all(item.channel == "A" for item in stream)
+        assert all(2 <= item.execution <= 5 for item in stream)
+        assert all(item.deadline == 300 for item in stream)
+        arrivals = [item.arrival for item in stream]
+        assert arrivals == sorted(arrivals)
+        assert len({item.name for item in stream}) == 100
+
+    def test_release_fraction_zero_means_no_releases(self):
+        stream = generate_requests(LoadgenSpec(requests=50, seed=1))
+        assert not any(item.release_after for item in stream)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LoadgenSpec(requests=0)
+        with pytest.raises(ValueError):
+            LoadgenSpec(requests=1, channels=())
+        with pytest.raises(ValueError):
+            LoadgenSpec(requests=1, execution_min=5, execution_max=2)
+        with pytest.raises(ValueError):
+            LoadgenSpec(requests=1, deadline_ticks=1, execution_max=4)
+        with pytest.raises(ValueError):
+            LoadgenSpec(requests=1, release_fraction=1.5)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_singleton(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 0) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestEndToEnd:
+    def test_no_drops_and_decisions_for_all(self):
+        setup = load_service_setup("bbw")
+        spec = LoadgenSpec(requests=150, seed=5,
+                           mean_interarrival_ticks=6.0,
+                           release_fraction=0.2)
+
+        async def body():
+            service = AdmissionService(setup, reconcile_every=8)
+            host, port = await service.start(port=0)
+            report = await run_loadgen(host, port, spec,
+                                       concurrency=32, connections=3)
+            await service.stop()
+            return service, report
+
+        service, report = asyncio.run(body())
+        # The no-drop guarantee: every request got a decision.
+        assert report.dropped == 0
+        assert sum(report.replies.values()) == spec.requests
+        assert report.errors == 0
+        assert report.accepted > 0
+        assert 0.0 < report.acceptance_ratio <= 1.0
+        assert report.latency_ms["p50"] <= report.latency_ms["p99"]
+        assert report.releases_confirmed <= report.releases_sent
+        # Server-side books agree with the client's view.
+        assert (service.counters["service.admits"]
+                == report.accepted)
+        assert "service.reconcile.divergence" not in service.counters
+
+    def test_report_row_is_flat_json(self):
+        setup = load_service_setup("bbw")
+        spec = LoadgenSpec(requests=40, seed=9)
+
+        async def body():
+            service = AdmissionService(setup)
+            host, port = await service.start(port=0)
+            report = await run_loadgen(host, port, spec)
+            await service.stop()
+            return report
+
+        row = asyncio.run(body()).to_row()
+        assert row["requests"] == 40
+        assert row["dropped"] == 0
+        assert set(row) >= {"accepted", "rejected", "overload",
+                            "acceptance_ratio", "throughput_rps",
+                            "p50_ms", "p99_ms", "wall_s"}

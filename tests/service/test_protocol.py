@@ -1,0 +1,126 @@
+"""Unit tests for the JSON-lines wire protocol."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode_response,
+    parse_request,
+)
+
+
+def line(**payload):
+    return json.dumps(payload)
+
+
+class TestParseAdmit:
+    def test_full_admit(self):
+        request = parse_request(line(
+            op="admit", id="r1", channel="A", arrival=120,
+            execution=3, deadline=500))
+        assert request.op == "admit"
+        assert request.id == "r1"
+        assert request.fields == {
+            "channel": "A", "arrival": 120, "execution": 3,
+            "deadline": 500, "name": "r1"}
+
+    def test_name_defaults_from_id(self):
+        request = parse_request(line(
+            op="admit", id="r9", channel="B", arrival=0,
+            execution=1, deadline=10))
+        assert request.fields["name"] == "r9"
+
+    def test_explicit_name_wins(self):
+        request = parse_request(line(
+            op="admit", id="r9", name="task-1", channel="B",
+            arrival=0, execution=1, deadline=10))
+        assert request.fields["name"] == "task-1"
+
+    def test_missing_name_and_id_rejected(self):
+        with pytest.raises(ProtocolError, match="name"):
+            parse_request(line(op="admit", channel="A", arrival=0,
+                               execution=1, deadline=10))
+
+    @pytest.mark.parametrize("field,value", [
+        ("arrival", -1), ("execution", 0), ("deadline", 0),
+        ("arrival", 1.5), ("execution", "3"), ("deadline", None),
+        ("arrival", True),  # bool is not an acceptable integer
+    ])
+    def test_bad_numeric_fields(self, field, value):
+        payload = {"op": "admit", "id": "r1", "channel": "A",
+                   "arrival": 0, "execution": 1, "deadline": 10,
+                   field: value}
+        with pytest.raises(ProtocolError):
+            parse_request(json.dumps(payload))
+
+    def test_missing_channel(self):
+        with pytest.raises(ProtocolError, match="channel"):
+            parse_request(line(op="admit", id="r1", arrival=0,
+                               execution=1, deadline=10))
+
+
+class TestParseOthers:
+    def test_release(self):
+        request = parse_request(line(op="release", channel="A", name="j"))
+        assert request.fields == {"channel": "A", "name": "j"}
+
+    def test_stats_and_ping_carry_no_fields(self):
+        assert parse_request(line(op="stats")).fields == {}
+        assert parse_request(line(op="ping", id="p")).id == "p"
+
+    def test_plan_retransmission(self):
+        request = parse_request(line(
+            op="plan_retransmission", rho=0.9999,
+            messages={"m1": {"failure_probability": 1e-3,
+                             "instances": 20.0, "cost": 2.0}}))
+        assert request.fields["rho"] == 0.9999
+        assert request.fields["messages"]["m1"]["cost"] == 2.0
+
+    @pytest.mark.parametrize("rho", [0.0, -0.1, 1.5, "high", True])
+    def test_plan_bad_rho(self, rho):
+        with pytest.raises(ProtocolError):
+            parse_request(line(
+                op="plan_retransmission", rho=rho,
+                messages={"m": {"failure_probability": 0.1,
+                                "instances": 1.0}}))
+
+    def test_plan_bad_probability(self):
+        with pytest.raises(ProtocolError, match="failure_probability"):
+            parse_request(line(
+                op="plan_retransmission", rho=0.9,
+                messages={"m": {"failure_probability": 1.0,
+                                "instances": 1.0}}))
+
+
+class TestMalformed:
+    @pytest.mark.parametrize("text", [
+        "not json at all",
+        "[1, 2, 3]",
+        '"just a string"',
+        '{"op": 42}',
+        '{"op": "fly"}',
+        '{"op": "admit", "id": 7, "channel": "A", "arrival": 0, '
+        '"execution": 1, "deadline": 10}',
+    ])
+    def test_rejected_with_protocol_error(self, text):
+        with pytest.raises(ProtocolError):
+            parse_request(text)
+
+    def test_oversize_line(self):
+        huge = line(op="ping", id="x" * (MAX_LINE_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_request(huge)
+
+
+class TestEncode:
+    def test_newline_terminated_sorted_keys(self):
+        encoded = encode_response({"b": 1, "a": 2})
+        assert encoded.endswith(b"\n")
+        assert encoded == b'{"a":2,"b":1}\n'
+
+    def test_roundtrip(self):
+        payload = {"status": "accepted", "id": "r1", "window_slack": 4}
+        assert json.loads(encode_response(payload)) == payload

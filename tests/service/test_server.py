@@ -1,0 +1,264 @@
+"""End-to-end tests for the asyncio admission service.
+
+Each test runs a real server on an ephemeral port inside
+``asyncio.run`` and talks to it over TCP -- the full
+socket -> parse -> queue -> batcher -> ledger -> response path.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.service.client import ServiceClient
+from repro.service.config import load_service_setup
+from repro.service.server import AdmissionService
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return load_service_setup("bbw")
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def with_service(setup, body, **service_kwargs):
+    """Start a service, run ``body(service, client)``, drain, return."""
+    service = AdmissionService(setup, **service_kwargs)
+    host, port = await service.start(port=0)
+    client = await ServiceClient.connect(host, port)
+    try:
+        result = await body(service, client)
+    finally:
+        await client.close()
+        await service.stop()
+    return service, result
+
+
+class TestBasicOps:
+    def test_ping_and_stats(self, setup):
+        async def body(service, client):
+            assert (await client.ping())["status"] == "ok"
+            stats = await client.stats()
+            assert stats["status"] == "ok"
+            assert set(stats["channels"]) == {"A", "B"}
+            assert stats["workload"] == "bbw"
+            return stats
+
+        run(with_service(setup, body))
+
+    def test_admit_reject_and_release(self, setup):
+        async def body(service, client):
+            first = await client.admit("A", arrival=0, execution=2,
+                                       deadline=100, name="j1")
+            assert first["status"] == "accepted"
+            assert first["window_slack"] >= 0
+            # Same name again: must reject, not crash.
+            again = await client.admit("A", arrival=0, execution=2,
+                                       deadline=100, name="j1")
+            assert again["status"] == "rejected"
+            released = await client.release("A", "j1")
+            assert released["status"] == "released"
+            missing = await client.release("A", "j1")
+            assert missing["status"] == "not_found"
+
+        service, __ = run(with_service(setup, body))
+        assert service.counters["service.admits"] == 1
+        assert service.counters["service.rejects"] == 1
+        assert service.counters["service.releases"] == 1
+
+    def test_unknown_channel_rejected(self, setup):
+        async def body(service, client):
+            reply = await client.admit("Z", arrival=0, execution=1,
+                                       deadline=100, name="j")
+            assert reply["status"] == "rejected"
+            assert "unknown channel" in reply["reason"]
+
+        run(with_service(setup, body))
+
+    def test_plan_retransmission(self, setup):
+        async def body(service, client):
+            reply = await client.plan_retransmission(
+                {"m1": {"failure_probability": 1e-3, "instances": 20.0},
+                 "m2": {"failure_probability": 1e-4, "instances": 10.0}},
+                rho=0.9999)
+            assert reply["status"] == "ok"
+            assert reply["feasible"] is True
+            assert set(reply["budgets"]) == {"m1", "m2"}
+
+        run(with_service(setup, body))
+
+
+class TestBatching:
+    def test_concurrent_admits_coalesce(self, setup):
+        # Concurrency is per-connection (one line at a time each), so
+        # drive the dispatch layer directly: 24 requests enqueued in
+        # the same event-loop tick must share one batch pass.
+        async def body():
+            service = AdmissionService(setup)
+            service._batcher = asyncio.create_task(service._batch_loop())
+            replies = await asyncio.gather(*(
+                service._dispatch(json.dumps({
+                    "op": "admit", "id": f"b{index}", "channel": "A",
+                    "arrival": index, "execution": 1, "deadline": 200}))
+                for index in range(24)))
+            service._batcher.cancel()
+            assert all(r["status"] in ("accepted", "rejected")
+                       for r in replies)
+            return service
+
+        service = run(body())
+        assert service.counters["service.batches"] == 1
+        assert service.counters["service.batch.requests"] == 24
+
+    def test_connections_share_batches(self, setup):
+        # Over real sockets, requests from different connections that
+        # land in the same tick coalesce; every request still gets its
+        # own decision.
+        async def body(service, client):
+            others = [await ServiceClient.connect(
+                *service._server.sockets[0].getsockname())
+                for __ in range(3)]
+            clients = [client] + others
+            try:
+                replies = await asyncio.gather(*(
+                    clients[index % len(clients)].admit(
+                        "A", arrival=index, execution=1,
+                        deadline=200, name=f"s{index}")
+                    for index in range(24)))
+            finally:
+                for other in others:
+                    await other.close()
+            assert all(r["status"] in ("accepted", "rejected")
+                       for r in replies)
+
+        service, __ = run(with_service(setup, body))
+        assert service.counters["service.batch.requests"] == 24
+
+    def test_batch_order_is_deterministic(self, setup):
+        async def offered(service, client):
+            # Fire in reverse arrival order; admission happens in
+            # (arrival, deadline, name) order regardless.
+            replies = await asyncio.gather(*(
+                client.admit("A", arrival=100 - index, execution=1,
+                             deadline=300, name=f"o{index}")
+                for index in range(16)))
+            return [r["status"] for r in replies]
+
+        first = run(with_service(setup, offered))[1]
+        second = run(with_service(setup, offered))[1]
+        assert first == second
+
+
+class TestRobustness:
+    def test_malformed_lines_do_not_kill_connection(self, setup):
+        async def body(service, client):
+            await client.send_raw(b"this is not json\n")
+            await client.send_raw(b'{"op": "warp"}\n')
+            await client.send_raw(b'[]\n')
+            # The connection still works afterwards.
+            reply = await client.ping()
+            assert reply["status"] == "ok"
+            # Give the reader a tick to collect the error replies.
+            await asyncio.sleep(0.05)
+            errors = [r for r in client.unmatched
+                      if r.get("status") == "error"]
+            assert len(errors) == 3
+
+        service, __ = run(with_service(setup, body))
+        assert service.counters["service.protocol_errors"] == 3
+
+    def test_oversize_line_answered_with_error(self, setup):
+        async def body(service, client):
+            huge = json.dumps({"op": "ping", "id": "x" * (70 * 1024)})
+            await client.send_raw(huge.encode() + b"\n")
+            await asyncio.sleep(0.1)
+            assert any("too long" in str(r.get("reason", ""))
+                       for r in client.unmatched)
+
+        run(with_service(setup, body))
+
+    def test_queue_full_answers_overload(self, setup):
+        async def body():
+            service = AdmissionService(setup, queue_limit=1,
+                                       request_timeout_s=0.05)
+            # No batcher: requests sit in the queue until timeout.
+            statuses = await asyncio.gather(*(
+                service._dispatch(json.dumps({
+                    "op": "admit", "id": f"q{index}", "channel": "A",
+                    "arrival": 0, "execution": 1, "deadline": 100}))
+                for index in range(4)))
+            return service, [s["status"] for s in statuses]
+
+        service, statuses = run(body())
+        # One request occupied the queue (and timed out); the rest were
+        # bounced immediately -- every caller got an overload answer.
+        assert statuses == ["overload"] * 4
+        assert service.counters["service.queue.rejected"] == 3
+        assert service.counters["service.timeouts"] == 1
+
+    def test_drain_refuses_new_work_but_answers(self, setup):
+        async def body(service, client):
+            accepted = await client.admit("A", arrival=0, execution=1,
+                                          deadline=100, name="early")
+            assert accepted["status"] == "accepted"
+            await service.stop()
+            reply = await service._dispatch(json.dumps({
+                "op": "admit", "id": "late", "channel": "A",
+                "arrival": 0, "execution": 1, "deadline": 100}))
+            assert reply["status"] == "overload"
+            assert reply["reason"] == "draining"
+
+        run(with_service(setup, body))
+
+
+class TestReconciliation:
+    def test_reconcile_runs_and_stays_clean(self, setup):
+        async def body(service, client):
+            for index in range(30):
+                await client.admit("A", arrival=index * 5, execution=1,
+                                   deadline=300, name=f"r{index}")
+            return None
+
+        service, __ = run(with_service(setup, body, reconcile_every=4))
+        # Per-cadence passes plus the final drain pass all ran clean.
+        assert service.counters["service.reconcile.runs"] >= 2
+        assert "service.reconcile.divergence" not in service.counters
+
+    def test_drain_always_reconciles_once_more(self, setup):
+        async def body(service, client):
+            await client.admit("A", arrival=0, execution=1,
+                               deadline=100, name="one")
+
+        service, __ = run(with_service(setup, body, reconcile_every=64))
+        assert service.counters["service.reconcile.runs"] == 1
+
+    def test_sampled_audit_agrees(self, setup):
+        async def body(service, client):
+            for index in range(8):
+                await client.admit("A", arrival=index * 10, execution=1,
+                                   deadline=400, name=f"a{index}")
+
+        service, __ = run(with_service(setup, body, audit_every=2))
+        assert service.counters["service.audit.runs"] >= 1
+        assert "service.audit.disagreements" not in service.counters
+
+
+class TestObservability:
+    def test_counters_mirrored_into_obs(self, setup):
+        obs = Observability()
+
+        async def body(service, client):
+            await client.admit("A", arrival=0, execution=1,
+                               deadline=100, name="m")
+            await client.ping()
+
+        run(with_service(setup, body, obs=obs))
+        value = obs.registry.counter_value
+        assert value("service.requests") == 2
+        assert value("service.admits") == 1
+        assert value("service.batches") >= 1
+        assert value("service.A.admitted") == 1
