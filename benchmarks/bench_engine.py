@@ -1,0 +1,134 @@
+"""Engine benchmark: compiled-timeline stepper versus event-list interpreter.
+
+Runs a fixed set of representative scenarios under both engine modes,
+checks the traces are byte-identical (the differential guarantee the
+speedup rides on), and writes the timings to a JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
+
+The report's ``overall_speedup`` is the geometric mean over scenarios;
+the CI ``engine-bench`` job fails when it drops below
+``--min-speedup`` (default 2.0) or when any scenario's traces diverge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from typing import Dict, List
+
+from repro.experiments.figures import case_study_params
+from repro.experiments.runner import run_experiment
+from repro.flexray.params import paper_dynamic_preset
+from repro.sim.trace import trace_digest
+from repro.workloads.bbw import bbw_signals
+from repro.workloads.sae import sae_aperiodic_signals
+from repro.workloads.synthetic import synthetic_signals
+
+
+def scenarios() -> Dict[str, Dict]:
+    """The benchmarked configurations (name -> run_experiment kwargs)."""
+    return {
+        "synthetic-coefficient": dict(
+            params=paper_dynamic_preset(50),
+            scheduler="coefficient",
+            periodic=synthetic_signals(16, seed=7, max_size_bits=216),
+            ber=1e-7, seed=1, duration_ms=2000.0,
+        ),
+        "synthetic-static-only": dict(
+            params=paper_dynamic_preset(50),
+            scheduler="static-only",
+            periodic=synthetic_signals(12, seed=3, max_size_bits=216),
+            ber=0.0, seed=2, duration_ms=2000.0,
+        ),
+        "bbw-completion": dict(
+            params=case_study_params("bbw"),
+            scheduler="coefficient",
+            periodic=bbw_signals(),
+            ber=1e-7, seed=3, duration_ms=None, instance_limit=200,
+        ),
+        "mixed-aperiodic": dict(
+            params=paper_dynamic_preset(100),
+            scheduler="coefficient",
+            periodic=synthetic_signals(12, seed=5, max_size_bits=216),
+            aperiodic=sae_aperiodic_signals(count=12),
+            ber=1e-7, seed=4, duration_ms=1000.0,
+        ),
+    }
+
+
+def time_mode(mode: str, kwargs: Dict, repeat: int):
+    """Best-of-``repeat`` wall-clock for one (scenario, mode) pair."""
+    best = math.inf
+    result = None
+    for __ in range(repeat):
+        start = time.perf_counter()
+        result = run_experiment(engine_mode=mode, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(repeat: int) -> Dict:
+    rows: List[Dict] = []
+    for name, kwargs in scenarios().items():
+        interp_s, interp = time_mode("interpreter", kwargs, repeat)
+        stepper_s, stepper = time_mode("stepper", kwargs, repeat)
+        digests = (trace_digest(interp.cluster.trace),
+                   trace_digest(stepper.cluster.trace))
+        rows.append({
+            "scenario": name,
+            "interpreter_s": round(interp_s, 6),
+            "stepper_s": round(stepper_s, 6),
+            "speedup": round(interp_s / stepper_s, 3),
+            "cycles": stepper.cycles_run,
+            "trace_records": len(stepper.cluster.trace),
+            "trace_digest": digests[1],
+            "traces_identical": digests[0] == digests[1],
+        })
+        print(f"{name:>24s}: interpreter {interp_s:7.3f}s  "
+              f"stepper {stepper_s:7.3f}s  speedup {rows[-1]['speedup']:5.2f}x"
+              f"  identical={rows[-1]['traces_identical']}")
+    overall = math.exp(
+        sum(math.log(r["speedup"]) for r in rows) / len(rows))
+    return {
+        "benchmark": "engine stepper vs interpreter",
+        "repeat": repeat,
+        "scenarios": rows,
+        "overall_speedup": round(overall, 3),
+        "all_traces_identical": all(r["traces_identical"] for r in rows),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="JSON report path (default: %(default)s)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions per mode; best is kept")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail when the geometric-mean speedup is lower")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.repeat)
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"overall speedup {report['overall_speedup']:.2f}x "
+          f"-> {args.out}")
+
+    if not report["all_traces_identical"]:
+        print("FAIL: stepper and interpreter traces diverged",
+              file=sys.stderr)
+        return 1
+    if report["overall_speedup"] < args.min_speedup:
+        print(f"FAIL: overall speedup {report['overall_speedup']:.2f}x "
+              f"below the {args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,12 @@ Shape asserted here: CoEfficient's completion time is strictly lower
 than FSPEC's for every workload, by at least 1.5x on the case studies
 (the absolute factor depends on how far the authors' testbed overloaded
 its retransmission path, which the paper does not specify).
+The ``REPRO_ENGINE_MODE`` environment variable selects the engine
+(``stepper`` by default, ``interpreter`` for the oracle) so the CI
+``engine-bench`` job can time the same figure under both modes.
 """
+
+import os
 
 from benchmarks.conftest import pairs_by, print_rows
 from repro.experiments.figures import fig1_2_running_time
@@ -16,12 +21,15 @@ from repro.experiments.figures import fig1_2_running_time
 _COLUMNS = ("figure", "workload", "scheduler", "messages",
             "running_time_ms", "delivered", "produced")
 
+ENGINE_MODE = os.environ.get("REPRO_ENGINE_MODE", "stepper")
+
 
 def test_fig1_running_time_ber7(benchmark):
     rows = benchmark.pedantic(
         fig1_2_running_time,
         kwargs=dict(ber=1e-7, instance_limits=(10, 20),
-                    synthetic_counts=(20,), static_slot_options=(80, 120)),
+                    synthetic_counts=(20,), static_slot_options=(80, 120),
+                    engine_mode=ENGINE_MODE),
         rounds=1, iterations=1,
     )
     print_rows("Figure 1 -- running time, BER = 1e-7", rows, _COLUMNS,

@@ -3,7 +3,13 @@
 Not a paper figure -- these measure the simulator itself so regressions
 in the engine's per-cycle cost are visible (the figure benchmarks run
 thousands of cycles; their wall-clock tracks these numbers).
+
+``REPRO_ENGINE_MODE`` selects the cluster engine for the cycle
+benchmarks (``stepper`` default / ``interpreter`` oracle), letting the
+CI ``engine-bench`` job compare the two on identical workloads.
 """
+
+import os
 
 import pytest
 
@@ -22,6 +28,8 @@ from repro.sim.events import EventKind
 from repro.sim.rng import RngStream
 
 _DISPATCH_EVENTS = 20_000
+
+ENGINE_MODE = os.environ.get("REPRO_ENGINE_MODE", "stepper")
 
 
 def _dispatch_events(obs):
@@ -69,6 +77,7 @@ def test_micro_cluster_cycles_per_second(benchmark):
             aperiodic=dynamic_study_aperiodic(),
             ber=1e-7, seed=1, duration_ms=200.0,
             reliability_goal=1 - 1e-4,
+            engine_mode=ENGINE_MODE,
         ).cycles_run
 
     cycles = benchmark(run)

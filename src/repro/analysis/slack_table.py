@@ -7,11 +7,14 @@ helpful to keep track of the selective slacks."
 
 In the table-driven static segment, the periodic schedule is fixed, so
 the *structural* slack -- slots where no assignment fires -- is exactly
-periodic with the schedule's repetition pattern (<= 64 cycles).  This
-table precomputes, per channel and per cycle-in-pattern, which slots are
-structurally idle; the online scheduler then answers "how much slack is
-guaranteed between now and a deadline?" with pure arithmetic, the fast
-path the paper's "fast and accurate slack computation" requires.
+periodic with the schedule's repetition pattern (<= 64 cycles).  The
+heavy lifting now lives in the timeline compiler: a
+:class:`~repro.timeline.compiler.CompiledRound` derives per-channel,
+per-cycle idle tables with prefix sums directly from its flat arrays.
+This class is the analysis-facing view over those tables; the online
+scheduler answers "how much slack is guaranteed between now and a
+deadline?" with pure arithmetic, the fast path the paper's "fast and
+accurate slack computation" requires.
 
 (On top of structural slack the online scheduler also sees *dynamic*
 slack -- slots whose owner's buffer happens to be empty -- which is free
@@ -20,17 +23,22 @@ extra and never needed for guarantees.)
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.flexray.channel import Channel
 from repro.flexray.schedule import ScheduleTable
+from repro.timeline.compiler import CompiledRound, compile_round
 
 __all__ = ["IdleSlotTable"]
 
 
 class IdleSlotTable:
     """Precomputed structural idle slots of a static schedule.
+
+    A view over the slack tables of a compiled round.  Construct either
+    from a schedule (compiles a round internally) or, when the policy has
+    already compiled one, via :meth:`from_compiled` -- both paths read
+    the same derived tables, so analysis and execution cannot disagree.
 
     Args:
         table: The schedule to analyze.
@@ -39,55 +47,42 @@ class IdleSlotTable:
 
     def __init__(self, table: ScheduleTable,
                  channels: Sequence[Channel]) -> None:
-        self._params = table.params
-        self._channels = list(channels)
-        self._pattern_length = self._compute_pattern_length(table)
-        # idle[channel][cycle_in_pattern] -> tuple of idle slot IDs
-        self._idle: Dict[Channel, List[Tuple[int, ...]]] = {}
-        total_slots = self._params.g_number_of_static_slots
-        for channel in self._channels:
-            per_cycle: List[Tuple[int, ...]] = []
-            for cycle in range(self._pattern_length):
-                idle = tuple(
-                    slot_id for slot_id in range(1, total_slots + 1)
-                    if table.lookup(channel, cycle, slot_id) is None
-                )
-                per_cycle.append(idle)
-            self._idle[channel] = per_cycle
-        self._idle_per_cycle_total = [
-            sum(len(self._idle[channel][cycle]) for channel in self._channels)
-            for cycle in range(self._pattern_length)
-        ]
+        self._round = compile_round(table, table.params, list(channels))
 
-    @staticmethod
-    def _compute_pattern_length(table: ScheduleTable) -> int:
-        """LCM of all repetitions = the schedule's cycle pattern length."""
-        length = 1
-        for channel in (Channel.A, Channel.B):
-            for assignment in table.assignments(channel):
-                repetition = assignment.frame.cycle_repetition
-                length = length * repetition // math.gcd(length, repetition)
-        return length
+    @classmethod
+    def from_compiled(cls, compiled: CompiledRound) -> "IdleSlotTable":
+        """Wrap an already-compiled round (no recompilation)."""
+        instance = cls.__new__(cls)
+        instance._round = compiled
+        return instance
+
+    @property
+    def compiled(self) -> CompiledRound:
+        """The backing compiled round."""
+        return self._round
 
     @property
     def pattern_length(self) -> int:
         """Cycles after which the idle pattern repeats."""
-        return self._pattern_length
+        return self._round.pattern_length
 
     @property
     def channels(self) -> List[Channel]:
         """Channels included in this table."""
-        return list(self._channels)
+        return list(self._round.channels)
 
     def idle_slots(self, channel: Channel, cycle: int) -> Tuple[int, ...]:
         """Structurally idle slot IDs of (channel, cycle)."""
-        if channel not in self._idle:
-            return ()
-        return self._idle[channel][cycle % self._pattern_length]
+        return self._round.idle_slots(channel, cycle)
 
     def idle_count(self, channel: Channel, cycle: int) -> int:
         """Number of structurally idle slots of (channel, cycle)."""
-        return len(self.idle_slots(channel, cycle))
+        return self._round.idle_count(channel, cycle)
+
+    def idle_slot_windows(self, channel: Channel,
+                          cycle: int) -> Tuple[Tuple[int, int], ...]:
+        """Within-cycle ``(start, end)`` windows of the idle slots."""
+        return self._round.idle_slot_windows(channel, cycle)
 
     def idle_slots_between(self, start_cycle: int, end_cycle: int) -> int:
         """Total structurally idle slots over cycles [start, end), all channels.
@@ -95,24 +90,8 @@ class IdleSlotTable:
         This is the guaranteed slack supply the hard-aperiodic acceptance
         test (Section III-C) measures demand against.
         """
-        if end_cycle < start_cycle:
-            raise ValueError(
-                f"empty cycle range [{start_cycle}, {end_cycle})"
-            )
-        total = 0
-        full_patterns, remainder = divmod(
-            end_cycle - start_cycle, self._pattern_length
-        )
-        if full_patterns:
-            total += full_patterns * sum(self._idle_per_cycle_total)
-        for offset in range(remainder):
-            cycle = (start_cycle + offset) % self._pattern_length
-            total += self._idle_per_cycle_total[cycle]
-        return total
+        return self._round.idle_slots_between(start_cycle, end_cycle)
 
     def structural_utilization(self) -> float:
         """Fraction of static (slot, cycle, channel) capacity in use."""
-        capacity = (self._params.g_number_of_static_slots
-                    * self._pattern_length * len(self._channels))
-        idle = sum(self._idle_per_cycle_total)
-        return 1.0 - idle / capacity if capacity else 0.0
+        return self._round.structural_utilization()

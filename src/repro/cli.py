@@ -150,6 +150,7 @@ def _cmd_run(args) -> int:
             duration_ms=args.duration_ms,
             reliability_goal=args.rho,
             obs=obs,
+            engine_mode=args.engine_mode,
         )
         row = result.row()
         row["produced"] = result.metrics.produced_instances
@@ -510,6 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--aperiodic", type=int, default=30,
                             help="SAE aperiodic message count (0 = none)")
     run_parser.add_argument("--duration-ms", type=float, default=500.0)
+    run_parser.add_argument("--engine-mode",
+                            choices=("stepper", "interpreter"),
+                            default="stepper",
+                            help="timeline stepper fast path (default) or "
+                                 "the pure event-list interpreter oracle")
     run_parser.set_defaults(handler=_cmd_run)
 
     campaign_parser = sub.add_parser(

@@ -152,9 +152,9 @@ class CoEfficientPolicy(QueueingPolicyBase):
                 failure, instances, self._rho,
                 bandwidth_cost=cost, max_budget=self._max_budget,
             )
-        idle_table = IdleSlotTable(
-            self.table, list(self.cluster.channels)
-        )
+        compiled = self.compiled_round()
+        assert compiled is not None
+        idle_table = IdleSlotTable.from_compiled(compiled)
         dynamic_share = 0.0
         if self.retransmission_slot_id is not None:
             serving = sum(
@@ -340,6 +340,20 @@ class CoEfficientPolicy(QueueingPolicyBase):
     # ------------------------------------------------------------------
     # Slack stealing in idle static slots
     # ------------------------------------------------------------------
+
+    def slack_idle_is_noop(self) -> bool:
+        """Idle static queries are no-ops when nothing can be stolen.
+
+        ``slack_frame_for`` below has exactly two sources: the
+        retransmission heap (empty => the pop is a side-effect-free
+        ``None``) and, when cooperation is on, the soft pool
+        (``_dynamic_backlog`` counts it incrementally).  With both dry
+        the query provably answers ``None`` without mutating state, so
+        the stepper may skip it.
+        """
+        return (not self._retx_heap
+                and (not self._steal_for_dynamic
+                     or self._dynamic_backlog == 0))
 
     def slack_frame_for(self, channel: Channel, cycle: int, slot_id: int,
                         action_point_mt: int) -> Optional[PendingFrame]:

@@ -31,6 +31,7 @@ from repro.flexray.policy import SchedulerPolicy
 from repro.flexray.schedule import ScheduleTable, build_dual_schedule
 from repro.packing.frame_packing import PackingResult
 from repro.sim.trace import TransmissionOutcome
+from repro.timeline.compiler import CompiledRound, compile_round
 
 __all__ = ["QueueingPolicyBase"]
 
@@ -88,6 +89,7 @@ class QueueingPolicyBase(SchedulerPolicy):
         self.params: Optional[FlexRayParams] = None
         self.cluster: Optional[FlexRayCluster] = None
         self._table: Optional[ScheduleTable] = None
+        self._round: Optional[CompiledRound] = None
         # (message_id, chunk) -> [(channel, slot_id), ...]
         self._placements: Dict[Tuple[str, int], List[Tuple[Channel, int]]] = {}
         # (message_id, chunk, channel) -> StaticBuffer
@@ -170,6 +172,9 @@ class QueueingPolicyBase(SchedulerPolicy):
             )
             self._table = optimizer.optimize_table(
                 self._table, iterations=self._optimize_iterations)
+        self._round = compile_round(
+            self._table, self.params, list(cluster.channels), obs=self.obs
+        )
         self._build_placements()
         self._build_dynamic_queues()
         self._configure_nodes()
@@ -181,6 +186,10 @@ class QueueingPolicyBase(SchedulerPolicy):
         if self._table is None:
             raise RuntimeError("policy not bound to a cluster yet")
         return self._table
+
+    def compiled_round(self) -> Optional[CompiledRound]:
+        """The compiled communication round (available after ``bind``)."""
+        return self._round
 
     @property
     def retransmission_slot_id(self) -> Optional[int]:
@@ -216,15 +225,10 @@ class QueueingPolicyBase(SchedulerPolicy):
     def _configure_nodes(self) -> None:
         """Mirror slot/ID ownership into the node controllers."""
         assert self.cluster is not None
+        assert self._round is not None
         node_count = len(self.cluster.nodes)
-        for (message_id, chunk), placements in self._placements.items():
-            for channel, slot_id in placements:
-                frame = self.table.lookup(channel, 0, slot_id)
-                producer = frame.producer_ecu if frame else 0
-                if 0 <= producer < node_count:
-                    controller = self.cluster.nodes[producer].controller
-                    if not controller.owns_slot(slot_id):
-                        controller.configure_static_slot(slot_id)
+        for node in self.cluster.nodes:
+            node.controller.configure_from_round(self._round)
         for message in self._packing.aperiodic_messages():
             slot_id = getattr(self, "_dynamic_slot_of", {}).get(
                 message.message_id
@@ -300,7 +304,8 @@ class QueueingPolicyBase(SchedulerPolicy):
     def static_frame_for(self, channel: Channel, cycle: int, slot_id: int,
                          action_point_mt: int) -> Optional[PendingFrame]:
         self._now_mt = action_point_mt
-        frame = self.table.lookup(channel, cycle, slot_id)
+        assert self._round is not None
+        frame = self._round.owner(channel, cycle, slot_id)
         if frame is not None:
             buffer = self._buffers.get(
                 (frame.message_id, frame.chunk, channel)
@@ -440,6 +445,40 @@ class QueueingPolicyBase(SchedulerPolicy):
         key = (pending.message_id, pending.instance, pending.frame.chunk)
         if key not in self._chunk_status:
             self._chunk_status[key] = (_PENDING, pending.deadline_mt)
+
+    # ------------------------------------------------------------------
+    # Stepper fast-path proofs (see SchedulerPolicy for the contracts)
+    # ------------------------------------------------------------------
+
+    def note_time(self, now_mt: int) -> None:
+        self._now_mt = now_mt
+
+    def static_idle_is_noop(self) -> bool:
+        """Idle static queries are no-ops unless a subclass slack-steals.
+
+        ``static_frame_for`` on a compiled-idle slot reduces to the
+        ``slack_frame_for`` hook; the base hook is a constant ``None``,
+        so any subclass that keeps it inherits the fast path wholesale.
+        A subclass that overrides it must supply its own proof via
+        :meth:`slack_idle_is_noop`.
+        """
+        if type(self).slack_frame_for is QueueingPolicyBase.slack_frame_for:
+            return True
+        return self.slack_idle_is_noop()
+
+    def slack_idle_is_noop(self) -> bool:
+        """Proof hook for slack-stealing subclasses (default: no proof)."""
+        return False
+
+    def dynamic_idle_is_noop(self) -> bool:
+        """Dynamic arbitration is provably idle when nothing is queued.
+
+        With every dynamic queue empty (``_dynamic_backlog`` counts them
+        incrementally) and the retransmission heap empty, each
+        ``dynamic_frame_for`` query -- reserved retransmission slot
+        included -- returns ``None`` without touching any queue.
+        """
+        return self._dynamic_backlog == 0 and not self._retx_heap
 
     # ------------------------------------------------------------------
     # Introspection

@@ -178,13 +178,12 @@ class SelectiveSlackPlanner:
         if to_mt <= from_mt:
             return 0
         cycle_start = cycle * self._params.gd_cycle_mt
-        slot_mt = self._params.gd_static_slot_mt
         count = 0
         for channel in self._idle_table.channels:
-            for slot_id in self._idle_table.idle_slots(channel, cycle):
-                slot_start = cycle_start + (slot_id - 1) * slot_mt
-                slot_end = slot_start + slot_mt
-                if slot_start >= from_mt and slot_end <= to_mt:
+            for start, end in self._idle_table.idle_slot_windows(channel,
+                                                                 cycle):
+                if (cycle_start + start >= from_mt
+                        and cycle_start + end <= to_mt):
                     count += 1
         return count
 

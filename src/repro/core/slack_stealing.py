@@ -33,7 +33,66 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.tasks import AperiodicTask, PeriodicTask, TaskSet
 from repro.obs import NULL_OBS, ObsLike
 
-__all__ = ["SlackStealer", "ScheduleOutcome", "CompletedJob"]
+__all__ = ["CapacityProfile", "SlackStealer", "ScheduleOutcome",
+           "CompletedJob"]
+
+
+@dataclass(frozen=True)
+class CapacityProfile:
+    """F(t) = min_i A_i(t): guaranteed aperiodic capacity in ``[0, t]``.
+
+    The compiled, immutable form of the slack stealer's capacity
+    function: a prefix table over the analysis horizon plus an optional
+    steady-state pattern for exact extrapolation past it (the
+    aperiodic-free schedule is cyclic with the hyperperiod, so F grows
+    by a fixed gain per pattern).  This is the one capacity object the
+    online admission layers (:class:`~repro.service.ledger.SlackLedger`)
+    read, mirroring how the FlexRay layers read one
+    :class:`~repro.timeline.compiler.CompiledRound`.
+
+    Attributes:
+        table: ``table[t]`` = F(t) for ``0 <= t <= horizon``.
+        pattern_start: First tick of the steady-state pattern (equals
+            ``horizon`` when not extrapolating).
+        pattern_length: Hyperperiod of the pattern; 0 disables
+            extrapolation (capacity saturates at ``table[horizon]``).
+        pattern_gain: Capacity gained per full pattern.
+    """
+
+    table: Tuple[int, ...]
+    pattern_start: int
+    pattern_length: int
+    pattern_gain: int
+
+    @classmethod
+    def unconstrained(cls, horizon: int) -> "CapacityProfile":
+        """Profile of an empty periodic set: every tick is capacity."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        return cls(table=tuple(range(horizon + 1)), pattern_start=0,
+                   pattern_length=1, pattern_gain=1)
+
+    @property
+    def horizon(self) -> int:
+        """Last tick the table covers."""
+        return len(self.table) - 1
+
+    @property
+    def extrapolates(self) -> bool:
+        """Whether capacity extends past the table (steady-state slope)."""
+        return self.pattern_length > 0
+
+    def capacity(self, t: int) -> int:
+        """F(t); past the horizon the last full pattern is tiled."""
+        t = max(t, 0)
+        if t <= self.horizon:
+            return self.table[t]
+        if not self.pattern_length:
+            return self.table[self.horizon]
+        patterns, offset = divmod(t - self.pattern_start,
+                                  self.pattern_length)
+        return (self.table[self.pattern_start + offset]
+                + patterns * self.pattern_gain)
 
 
 @dataclass(frozen=True)
@@ -216,6 +275,30 @@ class SlackStealer:
             raise ValueError(f"level {level} out of range")
         upto = min(upto, self._horizon)
         return self._level_idle_prefix[level][max(0, upto)]
+
+    def capacity_profile(self) -> CapacityProfile:
+        """Compile F(t) = min_i A_i(t) into a :class:`CapacityProfile`.
+
+        Extrapolation is enabled when the table's tail contains one full
+        hyperperiod of pure steady state (always true for the default
+        horizon ``max_offset + 2H``); otherwise the profile saturates.
+        """
+        if self._n == 0:
+            return CapacityProfile.unconstrained(self._horizon)
+        table = tuple(
+            min(self._level_idle_prefix[level][t]
+                for level in range(self._n))
+            for t in range(self._horizon + 1)
+        )
+        hyper = self._tasks.hyperperiod()
+        start = self._horizon - hyper
+        if hyper > 0 and start >= self._tasks.max_offset():
+            return CapacityProfile(
+                table=table, pattern_start=start, pattern_length=hyper,
+                pattern_gain=table[self._horizon] - table[start],
+            )
+        return CapacityProfile(table=table, pattern_start=self._horizon,
+                               pattern_length=0, pattern_gain=0)
 
     def _slack_at(self, states: List[_JobState], consumed: int,
                   inactivity: List[int]) -> int:

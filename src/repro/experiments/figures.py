@@ -187,6 +187,7 @@ def fig1_2_running_time(
     static_slot_options: Sequence[int] = (80, 120),
     seed: int = 42,
     obs=NULL_OBS,
+    engine_mode: str = "stepper",
 ) -> List[Dict[str, float]]:
     """Figure 1 (BER = 1e-7) / Figure 2 (BER = 1e-9): running time.
 
@@ -203,6 +204,9 @@ def fig1_2_running_time(
         static_slot_options: gNumberOfStaticSlots settings (80 / 120,
             which also shift the aperiodic frame IDs as in the paper).
         seed: Experiment seed.
+        engine_mode: Simulation engine mode (``"stepper"`` or
+            ``"interpreter"``); the figures are identical either way,
+            only wall-clock time differs (``BENCH_engine.json``).
     """
     rho = _goal_for(ber)
     rows: List[Dict[str, float]] = []
@@ -232,6 +236,7 @@ def fig1_2_running_time(
                     reliability_goal=rho,
                     drop_expired_dynamic=False,
                     obs=obs,
+                    engine_mode=engine_mode,
                     **_policy_kwargs(scheduler),
                 )
                 rows.append({
@@ -264,6 +269,7 @@ def fig1_2_running_time(
                     reliability_goal=rho,
                     drop_expired_dynamic=False,
                     obs=obs,
+                    engine_mode=engine_mode,
                     **_policy_kwargs(scheduler),
                 )
                 rows.append({

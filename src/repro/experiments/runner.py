@@ -10,7 +10,7 @@ the same code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.baselines.dynamic_priority import DynamicPriorityPolicy
 from repro.baselines.fspec import FspecPolicy
@@ -24,6 +24,7 @@ from repro.flexray.policy import SchedulerPolicy
 from repro.flexray.signal import SignalSet
 from repro.obs import NULL_OBS
 from repro.packing.frame_packing import PackingResult, pack_signals
+from repro.sim.engine import EngineMode
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.rng import RngStream
 
@@ -128,6 +129,7 @@ def run_experiment(
     node_count: int = 10,
     max_cycles: int = 200_000,
     obs=NULL_OBS,
+    engine_mode: Union[str, EngineMode] = EngineMode.STEPPER,
     **policy_kwargs,
 ) -> ExperimentResult:
     """Run one workload under one scheduler and return its metrics.
@@ -157,6 +159,9 @@ def run_experiment(
             cluster and the metric reduction; policy counters and
             slack-planner statistics are merged into its registry when
             the run ends.
+        engine_mode: ``"stepper"`` (default, compiled-timeline fast
+            path) or ``"interpreter"`` (the pure event-list oracle);
+            the two are trace-equivalent by construction and by test.
         **policy_kwargs: Forwarded to the policy constructor.
 
     Returns:
@@ -185,6 +190,7 @@ def run_experiment(
             corrupts=injector,
             node_count=node_count,
             obs=obs,
+            mode=engine_mode,
         )
     with obs.section("experiment.run"):
         if duration_ms is not None:

@@ -17,6 +17,7 @@ offsets exist).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["MacrotickClock"]
@@ -50,12 +51,27 @@ class MacrotickClock:
         """Largest offset (in macroticks) accumulated between corrections."""
         return abs(self.drift_ppm) * 1e-6 * self.correction_interval_mt
 
-    def local_time(self, global_time_mt: int) -> float:
-        """This node's clock reading at a global instant.
+    def local_time(self, global_time_mt: int) -> int:
+        """This node's clock reading at a global instant, in macroticks.
 
         Deviation grows linearly within each correction interval and is
         zeroed at every correction point (ideal offset correction).
+
+        A node-local clock *counts macroticks* -- an integer -- so the
+        continuous drifted reading is quantized.  Rounding rule:
+        round-half-up (``floor(x + 0.5)``), chosen over banker's
+        rounding so the quantized clock is a monotone step function of
+        the exact reading and two readings exactly half a tick apart
+        never collapse.  The simulation kernel rejects float times
+        outright (``SimulationEngine.schedule`` raises ``TypeError``),
+        so every time that reaches the event queue has passed through
+        this rule -- the int/float seam lives here and only here.
+        Use :meth:`local_time_exact` for the unquantized model.
         """
+        return math.floor(self.local_time_exact(global_time_mt) + 0.5)
+
+    def local_time_exact(self, global_time_mt: int) -> float:
+        """Unquantized drifted clock reading (analysis/plotting only)."""
         if global_time_mt < 0:
             raise ValueError(f"time must be >= 0, got {global_time_mt}")
         into_interval = global_time_mt % self.correction_interval_mt

@@ -19,7 +19,7 @@ host arrivals to the policy in exact time order between slots.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.flexray.arrivals import ArrivalMultiplexer, MessageSource
 from repro.flexray.channel import Channel, ChannelSet
@@ -31,8 +31,10 @@ from repro.flexray.policy import SchedulerPolicy
 from repro.flexray.static_segment import StaticSegmentEngine
 from repro.flexray.topology import BusTopology, Topology
 from repro.obs import NULL_OBS
+from repro.sim.engine import EngineMode
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.trace import TraceRecorder
+from repro.timeline.stepper import TimelineStepper
 
 __all__ = ["FlexRayCluster"]
 
@@ -57,6 +59,12 @@ class FlexRayCluster:
         node_count: Explicit node count override (>= max producer index).
         obs: Observability context; when enabled, the cluster records
             ``engine.*`` counters and per-segment profiler sections.
+        mode: :class:`~repro.sim.engine.EngineMode` (or its string
+            value).  ``STEPPER`` (the default) advances over the
+            policy's compiled round when it offers one, falling back to
+            per-slot events for aperiodic work; ``INTERPRETER`` is the
+            pure event-list oracle.  The two produce byte-identical
+            traces (``tests/sim/test_trace_equivalence.py``).
     """
 
     def __init__(
@@ -68,6 +76,7 @@ class FlexRayCluster:
         topology: Optional[Topology] = None,
         node_count: Optional[int] = None,
         obs=NULL_OBS,
+        mode: Union[str, EngineMode] = EngineMode.STEPPER,
     ) -> None:
         self.params = params
         self.policy = policy
@@ -94,6 +103,8 @@ class FlexRayCluster:
             params, self.layout, self.channels, policy,
             self._corrupts, self.trace,
         )
+        self._mode = EngineMode.parse(mode)
+        self._stepper: Optional[TimelineStepper] = None
         self._cycle = 0
         self._bound = False
 
@@ -115,11 +126,35 @@ class FlexRayCluster:
         """Look up a node by index."""
         return self.nodes[node_id]
 
+    @property
+    def mode(self) -> EngineMode:
+        """The configured engine mode."""
+        return self._mode
+
+    @property
+    def stepper_active(self) -> bool:
+        """Whether the compiled-timeline fast path is engaged."""
+        return self._stepper is not None
+
     def _ensure_bound(self) -> None:
         if not self._bound:
             self.policy.bind(self)
             for node in self.nodes:
                 node.start()
+            if self._mode is EngineMode.STEPPER:
+                compiled = self.policy.compiled_round()
+                if compiled is not None:
+                    self._stepper = TimelineStepper(
+                        compiled=compiled,
+                        params=self.params,
+                        layout=self.layout,
+                        channels=self.channels,
+                        policy=self.policy,
+                        static_engine=self._static_engine,
+                        dynamic_engine=self._dynamic_engine,
+                        next_release_mt=self._multiplexer.next_release_mt,
+                        obs=self._obs,
+                    )
             self._bound = True
 
     # ------------------------------------------------------------------
@@ -200,6 +235,13 @@ class FlexRayCluster:
         start_mt = self.layout.cycle_start(cycle)
         if self._observed:
             self._execute_one_cycle_observed(cycle, start_mt)
+        elif self._stepper is not None:
+            self._deliver_arrivals_until(start_mt)
+            self.policy.on_cycle_start(cycle, start_mt)
+            self._stepper.run_static_segment(
+                cycle, self._deliver_arrivals_until)
+            self._stepper.run_dynamic_segment(
+                cycle, self._deliver_arrivals_until)
         else:
             self._deliver_arrivals_until(start_mt)
             self.policy.on_cycle_start(cycle, start_mt)
@@ -217,12 +259,27 @@ class FlexRayCluster:
         with obs.section("cluster.arrivals"):
             self._deliver_arrivals_until(start_mt)
         self.policy.on_cycle_start(cycle, start_mt)
-        with obs.section("cluster.static_segment"):
-            self._static_engine.execute_cycle(
-                cycle, self._deliver_arrivals_until)
-        with obs.section("cluster.dynamic_segment"):
-            self._dynamic_engine.execute_cycle(
-                cycle, self._deliver_arrivals_until)
+        if self._stepper is not None:
+            with obs.section("cluster.static_segment"):
+                static_fast = self._stepper.run_static_segment(
+                    cycle, self._deliver_arrivals_until)
+            with obs.section("cluster.dynamic_segment"):
+                dynamic_fast = self._stepper.run_dynamic_segment(
+                    cycle, self._deliver_arrivals_until)
+            if static_fast and dynamic_fast:
+                obs.inc("engine.fast_path_cycles")
+        else:
+            with obs.section("cluster.static_segment"):
+                self._static_engine.execute_cycle(
+                    cycle, self._deliver_arrivals_until)
+            with obs.section("cluster.dynamic_segment"):
+                self._dynamic_engine.execute_cycle(
+                    cycle, self._deliver_arrivals_until)
+            obs.inc(
+                "engine.heap_events",
+                self.params.g_number_of_static_slots * len(self.channels)
+                + len(self._dynamic_engine.last_cycle_results),
+            )
         obs.inc("engine.cycles")
         obs.set_gauge("engine.trace_records", len(self.trace))
         obs.emit("engine.cycle", cycle=cycle, start_mt=start_mt,

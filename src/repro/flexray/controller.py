@@ -14,9 +14,12 @@ node owns, protocol-phase sanity, and send/receive counters that the node
 from __future__ import annotations
 
 import enum
-from typing import List, Set
+from typing import TYPE_CHECKING, List, Set
 
 from repro.flexray.chi import ControllerHostInterface
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.timeline.compiler import CompiledRound
 
 __all__ = ["ProtocolPhase", "CommunicationController"]
 
@@ -70,6 +73,26 @@ class CommunicationController:
         self._require_phase(ProtocolPhase.CONFIG, "configure static slot")
         self._owned_static_slots.add(slot_id)
         self._chi.static_buffer(slot_id)
+
+    def configure_from_round(self, compiled: "CompiledRound") -> None:
+        """Claim every static slot the compiled round assigns this node.
+
+        The compiled round's ``owner_nodes`` array is the authoritative
+        slot-ownership record (it resolves cycle multiplexing, which a
+        naive cycle-0 table lookup misses), so node configuration reads
+        it directly instead of re-deriving the signal->slot mapping.
+        CONFIG phase only.
+        """
+        from repro.timeline.compiler import SEGMENT_STATIC
+
+        self._require_phase(ProtocolPhase.CONFIG,
+                            "configure from compiled round")
+        for kind, owner, slot_id in zip(compiled.segment_kinds,
+                                        compiled.owner_nodes,
+                                        compiled.slot_ids):
+            if kind == SEGMENT_STATIC and owner == self._node_id \
+                    and slot_id not in self._owned_static_slots:
+                self.configure_static_slot(slot_id)
 
     def configure_dynamic_id(self, frame_id: int) -> None:
         """Claim a dynamic frame ID (CONFIG phase only)."""

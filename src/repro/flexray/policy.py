@@ -32,6 +32,7 @@ from repro.sim.trace import TransmissionOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.flexray.cluster import FlexRayCluster
+    from repro.timeline.compiler import CompiledRound
 
 __all__ = ["SchedulerPolicy"]
 
@@ -120,6 +121,55 @@ class SchedulerPolicy(abc.ABC):
                    segment: str, outcome: TransmissionOutcome,
                    end_mt: int) -> None:
         """Feedback after an attempt (the sender monitors the bus)."""
+
+    def compiled_round(self) -> Optional["CompiledRound"]:
+        """The policy's compiled communication round, if it has one.
+
+        The cluster's :class:`~repro.timeline.stepper.TimelineStepper`
+        fast path is only engaged when this returns a round; the default
+        (``None``) keeps custom policies on the event interpreter.
+        Must only be called after ``bind``.
+        """
+        return None
+
+    def static_idle_is_noop(self) -> bool:
+        """Whether an idle-slot ``static_frame_for`` is provably a no-op.
+
+        ``True`` promises that, in the policy's *current* state, querying
+        any static (channel, slot) pair the compiled round marks idle
+        would return ``None`` without side effects -- the licence the
+        stepper needs to skip the query.  The promise is checkpointed:
+        the stepper re-asks after every arrival delivery and every
+        transmission outcome, so the answer may freely flip to ``False``
+        the moment retransmission or slack-stealing work appears.
+
+        The default (``False``) is always safe: it pins the policy to
+        the exact event interpreter.
+        """
+        return False
+
+    def dynamic_idle_is_noop(self) -> bool:
+        """Whether this cycle's dynamic arbitration is provably idle.
+
+        ``True`` promises that every ``dynamic_frame_for`` query of the
+        upcoming dynamic segment would return ``None`` without side
+        effects (empty dynamic backlog, no dynamic retransmissions), so
+        the stepper may skip the minislot-counting loop entirely.  Asked
+        after the segment-start arrival delivery.  The default
+        (``False``) always runs the interpreter loop.
+        """
+        return False
+
+    def note_time(self, now_mt: int) -> None:
+        """Clock sync from the compiled-timeline fast path.
+
+        The interpreter advances policy-visible time as a side effect of
+        its per-slot queries.  When the stepper proves a run of queries
+        skippable, it still reports the time the *last skipped query*
+        would have carried, so time-dependent accounting (e.g. the
+        retransmission-liveness filter in ``pending_work``) cannot
+        observe the difference between modes.  Default: no-op.
+        """
 
     def pending_work(self) -> int:
         """Frames still queued or awaiting retransmission.

@@ -58,8 +58,9 @@ class StaticSegmentEngine:
         self,
         cycle: int,
         deliver_arrivals_until: Callable[[int], None],
+        first_slot: int = 1,
     ) -> None:
-        """Run all static slots of ``cycle`` on every channel.
+        """Run static slots ``first_slot..N`` of ``cycle`` on every channel.
 
         Slots are processed in time order; before each slot's action
         point, host arrivals up to that instant are delivered so that a
@@ -70,9 +71,18 @@ class StaticSegmentEngine:
             cycle: Communication-cycle counter (0-based).
             deliver_arrivals_until: Callback flushing host arrivals with
                 generation time <= its argument into the policy.
+            first_slot: Slot to start from; > 1 when the compiled-round
+                stepper hands the remainder of a segment back to the
+                interpreter (the skipped prefix is then already
+                accounted for).
         """
-        self._channels.reset_counters()
-        for slot_id in range(1, self._params.g_number_of_static_slots + 1):
+        if first_slot <= 1:
+            self._channels.reset_counters()
+        else:
+            for __, counter in self._channels.pairs():
+                counter.jump_to(first_slot)
+        for slot_id in range(first_slot,
+                             self._params.g_number_of_static_slots + 1):
             action_point = self._layout.static_action_point(cycle, slot_id)
             deliver_arrivals_until(action_point)
             for channel, counter in self._channels.pairs():
@@ -81,12 +91,12 @@ class StaticSegmentEngine:
                         f"slot counter desync on channel {channel}: "
                         f"expected {slot_id}, got {counter.value}"
                     )
-                self._execute_slot(channel, cycle, slot_id, action_point)
+                self.execute_slot(channel, cycle, slot_id, action_point)
             for __, counter in self._channels.pairs():
                 counter.advance()
 
-    def _execute_slot(self, channel: Channel, cycle: int, slot_id: int,
-                      action_point: int) -> None:
+    def execute_slot(self, channel: Channel, cycle: int, slot_id: int,
+                     action_point: int) -> None:
         """Transmit (or idle) one (channel, slot) pair."""
         pending = self._policy.static_frame_for(
             channel, cycle, slot_id, action_point

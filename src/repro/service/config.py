@@ -26,8 +26,10 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.tasks import PeriodicTask, TaskSet
+from repro.flexray.channel import Channel
 from repro.flexray.params import FlexRayParams, paper_dynamic_preset
 from repro.flexray.signal import Signal, SignalSet
+from repro.timeline.compiler import CompiledRound
 from repro.verify import ConfigurationError, verify_experiment
 from repro.workloads.acc import acc_signals
 from repro.workloads.bbw import bbw_signals
@@ -35,7 +37,7 @@ from repro.workloads.sae import sae_aperiodic_signals
 from repro.workloads.synthetic import synthetic_signals
 
 __all__ = ["SERVICE_WORKLOADS", "ServiceSetup", "build_channel_task_sets",
-           "load_service_setup", "signal_to_task"]
+           "load_service_setup", "round_task_sets", "signal_to_task"]
 
 #: Workloads ``repro serve`` can hold live.  ``sae`` is the paper's
 #: aperiodic study: the synthetic periodic backdrop with SAE-style
@@ -137,6 +139,51 @@ def build_channel_task_sets(signals: SignalSet, tick_us: int = 100,
     }
 
 
+def round_task_sets(compiled: CompiledRound, tick_us: int = 100,
+                    bit_rate_bps: int = BIT_RATE_BPS) -> Dict[str, TaskSet]:
+    """Per-channel task sets read directly from a compiled round.
+
+    The admission service's analysis view and the simulator's execution
+    view used to derive the signal->slot mapping independently; both now
+    read one :class:`~repro.timeline.compiler.CompiledRound`.  Every
+    distinct (channel, slot, frame) assignment of the round becomes one
+    periodic task: its period is the frame's repetition in cycles, its
+    offset the first transmission window's start, its execution the wire
+    time (rounded up -- under-claiming slack is safe, over-promising is
+    not), and its deadline implicit (= period; frames must drain before
+    their next firing).
+    """
+    params = compiled.params
+    ticks_per_ms = 1000.0 / tick_us
+    mt_per_ms = 1000.0 / params.gd_macrotick_us
+    sets: Dict[str, TaskSet] = {}
+    for channel in compiled.channels:
+        tasks = []
+        for cycle in range(compiled.pattern_length):
+            for slot_id in compiled.owned_slots(channel, cycle):
+                frame = compiled.owner(channel, cycle, slot_id)
+                if frame is None or not frame.sends_in_cycle(cycle):
+                    continue
+                if cycle != frame.base_cycle:
+                    continue  # one task per assignment, not per firing
+                wire_ms = frame.total_bits * 1000.0 / bit_rate_bps
+                execution = max(1, math.ceil(wire_ms * ticks_per_ms))
+                period_ms = (frame.cycle_repetition
+                             * params.gd_cycle_mt / mt_per_ms)
+                period = max(1, round(period_ms * ticks_per_ms))
+                offset_mt = (frame.base_cycle * params.gd_cycle_mt
+                             + (slot_id - 1) * params.gd_static_slot_mt)
+                offset = min(period, round(offset_mt / mt_per_ms
+                                           * ticks_per_ms))
+                tasks.append(PeriodicTask(
+                    name=f"{frame.message_id}@{channel.value}:{slot_id}",
+                    execution=execution, period=period,
+                    deadline=max(execution, period), offset=offset,
+                ))
+        sets[channel.value] = TaskSet.deadline_monotonic(tasks)
+    return sets
+
+
 def _workload_signals(workload: str, count: int, seed: int) -> SignalSet:
     if workload == "bbw":
         return bbw_signals()
@@ -153,7 +200,8 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
                        ber: float = 1e-7,
                        reliability_goal: float = 1 - 1e-4,
                        tick_us: int = 100,
-                       verify: bool = True) -> ServiceSetup:
+                       verify: bool = True,
+                       mapping: str = "signals") -> ServiceSetup:
     """Build and statically verify one service configuration.
 
     Args:
@@ -168,12 +216,21 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
         verify: Run the :func:`repro.verify.verify_experiment` gate
             (raises :class:`~repro.verify.ConfigurationError` on
             errors).  Disable only in tests.
+        mapping: ``"signals"`` (default) balances the raw signals over
+            channels by load; ``"round"`` packs and schedules the
+            signals exactly as the simulator does and reads the task
+            sets from the resulting compiled round
+            (:func:`round_task_sets`), so the service accounts against
+            the *placed* schedule rather than an idealized partition.
 
     Returns:
         A :class:`ServiceSetup` ready to hand to the server.
     """
     from repro.experiments import figures as figures_module
 
+    if mapping not in ("signals", "round"):
+        raise ValueError(f"unknown task mapping {mapping!r}; "
+                         f"expected 'signals' or 'round'")
     periodic = _workload_signals(workload, count, seed)
     if minislots is None:
         minislots = 50 if workload in ("bbw", "acc") else 100
@@ -191,6 +248,18 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
         if report.has_errors:
             raise ConfigurationError(report)
 
-    channel_tasks = build_channel_task_sets(periodic, tick_us=tick_us)
+    if mapping == "round":
+        from repro.flexray.schedule import build_dual_schedule
+        from repro.packing.frame_packing import pack_signals
+        from repro.timeline.compiler import compile_round
+
+        packing = pack_signals(periodic, params)
+        table = build_dual_schedule(packing.static_frames(), params)
+        channels = [Channel.A] + ([Channel.B]
+                                  if params.channel_count == 2 else [])
+        compiled = compile_round(table, params, channels)
+        channel_tasks = round_task_sets(compiled, tick_us=tick_us)
+    else:
+        channel_tasks = build_channel_task_sets(periodic, tick_us=tick_us)
     return ServiceSetup(workload=workload, params=params, tick_us=tick_us,
                         channel_tasks=channel_tasks, verified=verify)

@@ -45,7 +45,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.slack_stealing import SlackStealer
+from repro.core.slack_stealing import CapacityProfile, SlackStealer
 from repro.core.tasks import TaskSet
 from repro.obs import NULL_OBS, ObsLike
 
@@ -153,39 +153,17 @@ class SlackLedger:
             if horizon is None or horizon <= 0:
                 raise ValueError(
                     "an empty task set needs an explicit positive horizon")
-            self._horizon = horizon
-            self._capacity = list(range(horizon + 1))
             # No periodics: every tick everywhere is capacity.
-            self._pattern_start = 0
-            self._pattern_length = 1
-            self._pattern_gain = 1
+            self._profile = CapacityProfile.unconstrained(horizon)
         else:
-            stealer = SlackStealer(tasks, horizon=horizon)
-            self._horizon = stealer.horizon
-            levels = len(tasks)
-            self._capacity = [
-                min(stealer.available_aperiodic_processing(level, t)
-                    for level in range(levels))
-                for t in range(self._horizon + 1)
-            ]
-            # Steady-state extrapolation: past the analysis horizon the
-            # aperiodic-free schedule repeats with the hyperperiod, so
-            # F grows by a fixed amount per pattern.  The default
-            # horizon (max offset + 2H) always contains one full
-            # steady-state pattern [horizon - H, horizon]; a custom
-            # horizon that does not disables extrapolation (capacity
-            # then saturates and far-future admissions are rejected).
-            hyper = tasks.hyperperiod()
-            start = self._horizon - hyper
-            if hyper > 0 and start >= tasks.max_offset():
-                self._pattern_start = start
-                self._pattern_length = hyper
-                self._pattern_gain = (self._capacity[self._horizon]
-                                      - self._capacity[start])
-            else:
-                self._pattern_start = self._horizon
-                self._pattern_length = 0
-                self._pattern_gain = 0
+            # The stealer compiles F once; the ledger only reads the
+            # profile (the default horizon max_offset + 2H always
+            # contains one steady-state pattern, so the profile
+            # extrapolates; a custom horizon that does not saturates
+            # and far-future admissions are rejected).
+            self._profile = SlackStealer(
+                tasks, horizon=horizon).capacity_profile()
+        self._horizon = self._profile.horizon
         self._now = 0
         self._live: Dict[str, _Admitted] = {}
         # (deadline, arrival, name) kept sorted for window scans.
@@ -224,9 +202,14 @@ class SlackLedger:
                 for deadline, __, name in self._order]
 
     @property
+    def profile(self) -> CapacityProfile:
+        """The compiled capacity function the ledger accounts against."""
+        return self._profile
+
+    @property
     def extrapolates(self) -> bool:
         """Whether capacity extends past the table (steady-state slope)."""
-        return self._pattern_length > 0
+        return self._profile.extrapolates
 
     def capacity(self, t: int) -> int:
         """F(t): guaranteed aperiodic capacity in ``[0, t]``.
@@ -236,15 +219,7 @@ class SlackLedger:
         table's last full pattern is tiled with its per-pattern gain
         (exact for the cyclic aperiodic-free schedule).
         """
-        t = max(t, 0)
-        if t <= self._horizon:
-            return self._capacity[t]
-        if not self._pattern_length:
-            return self._capacity[self._horizon]
-        patterns, offset = divmod(t - self._pattern_start,
-                                  self._pattern_length)
-        return (self._capacity[self._pattern_start + offset]
-                + patterns * self._pattern_gain)
+        return self._profile.capacity(t)
 
     # -- clock ---------------------------------------------------------
 
@@ -450,7 +425,7 @@ class SlackLedger:
         still on offer right now.
         """
         if self.extrapolates:
-            window = self._pattern_length
+            window = self._profile.pattern_length
         else:
             window = self._horizon - min(self._now, self._horizon)
         upcoming = (self.capacity(self._now + window)

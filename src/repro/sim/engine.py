@@ -17,15 +17,46 @@ would accumulate error.
 
 from __future__ import annotations
 
+import enum
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.obs import NULL_OBS
 from repro.sim.events import EventKind
 
-__all__ = ["Event", "SimulationEngine"]
+__all__ = ["Event", "EngineMode", "SimulationEngine"]
+
+
+class EngineMode(enum.Enum):
+    """How the simulation advances time.
+
+    INTERPRETER is the pure event-list oracle: every slot of every cycle
+    is a separate query.  STEPPER advances over compiled
+    :class:`~repro.timeline.compiler.CompiledRound` arrays and falls
+    back to the interpreter only for aperiodic work; the differential
+    tests in ``tests/sim/test_trace_equivalence.py`` prove the two
+    byte-identical.
+    """
+
+    INTERPRETER = "interpreter"
+    STEPPER = "stepper"
+
+    @classmethod
+    def parse(cls, value: Union[str, "EngineMode", None]) -> "EngineMode":
+        """Coerce a CLI/env string (or an existing mode) to a mode."""
+        if value is None:
+            return cls.STEPPER
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            names = ", ".join(mode.value for mode in cls)
+            raise ValueError(
+                f"unknown engine mode {value!r} (expected one of: {names})"
+            ) from None
 
 
 @dataclass(frozen=True)
@@ -66,7 +97,8 @@ class SimulationEngine:
         [10]
     """
 
-    def __init__(self, obs=NULL_OBS) -> None:
+    def __init__(self, obs=NULL_OBS,
+                 mode: Union[str, EngineMode] = EngineMode.INTERPRETER) -> None:
         self._queue: List[tuple] = []
         self._sequence = itertools.count()
         self._now = 0
@@ -75,6 +107,17 @@ class SimulationEngine:
         self._stopped = False
         self._obs = obs
         self._observed = obs.enabled
+        self._mode = EngineMode.parse(mode)
+
+    @property
+    def mode(self) -> EngineMode:
+        """The engine's configured advancement mode.
+
+        The kernel's own dispatch is mode-independent (it is the
+        fallback path either way); the mode is carried here so layers
+        that only see the engine can report which path produced a run.
+        """
+        return self._mode
 
     def set_observability(self, obs) -> None:
         """Attach (or detach, with ``NULL_OBS``) an observability context.
@@ -121,13 +164,22 @@ class SimulationEngine:
             The scheduled :class:`Event`.
 
         Raises:
+            TypeError: If ``time`` is not an integer -- the kernel is
+                integer-macrotick by contract, and silently truncating a
+                float here would hide unit bugs upstream (see
+                ``MacrotickClock.local_time`` for the quantization rule).
             ValueError: If ``time`` lies in the past.
         """
+        if not isinstance(time, int) or isinstance(time, bool):
+            raise TypeError(
+                f"event time must be an integer macrotick, got "
+                f"{type(time).__name__} {time!r}"
+            )
         if time < self._now:
             raise ValueError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        event = Event(time=int(time), kind=kind, sequence=next(self._sequence),
+        event = Event(time=time, kind=kind, sequence=next(self._sequence),
                       payload=payload)
         heapq.heappush(self._queue, (event.sort_key(), event))
         if self._observed:

@@ -15,10 +15,12 @@ invariants (e.g. no two transmissions overlap on one channel).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["TransmissionOutcome", "FrameRecord", "TraceRecorder"]
+__all__ = ["TransmissionOutcome", "FrameRecord", "TraceRecorder",
+           "canonical_trace_bytes", "trace_digest"]
 
 
 class TransmissionOutcome(enum.Enum):
@@ -201,6 +203,14 @@ class TraceRecorder:
         """All attempts in one segment (``"static"`` or ``"dynamic"``)."""
         return [r for r in self._records if r.segment == segment]
 
+    def canonical_bytes(self) -> bytes:
+        """Canonical serialization (:func:`canonical_trace_bytes`)."""
+        return canonical_trace_bytes(self)
+
+    def digest(self) -> str:
+        """Canonical SHA-256 digest (:func:`trace_digest`)."""
+        return trace_digest(self)
+
     def verify_no_channel_overlap(self) -> List[str]:
         """Check that no two transmissions overlap on the same channel.
 
@@ -224,3 +234,31 @@ class TraceRecorder:
                         f" [{current.start},{current.end})"
                     )
         return violations
+
+
+def canonical_trace_bytes(trace: TraceRecorder) -> bytes:
+    """Byte-exact canonical serialization of a trace.
+
+    One line per :class:`FrameRecord`, every field in declaration order,
+    in recording order -- so two traces serialize identically **iff**
+    they recorded the same attempts with the same fields in the same
+    order.  This is the equivalence relation the differential engine
+    tests (stepper vs interpreter) are proved under; it is deliberately
+    stricter than metric equality.
+    """
+    names = [f.name for f in fields(FrameRecord)]
+    lines = []
+    for record in trace:
+        values = []
+        for name in names:
+            value = getattr(record, name)
+            if isinstance(value, TransmissionOutcome):
+                value = value.value
+            values.append(f"{name}={value!r}")
+        lines.append("|".join(values))
+    return "\n".join(lines).encode("utf-8")
+
+
+def trace_digest(trace: TraceRecorder) -> str:
+    """SHA-256 over :func:`canonical_trace_bytes` (hex)."""
+    return hashlib.sha256(canonical_trace_bytes(trace)).hexdigest()

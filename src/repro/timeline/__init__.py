@@ -1,0 +1,34 @@
+"""Compiled communication-round timeline.
+
+The static segment of a FlexRay cluster is strictly periodic: the
+64-cycle communication matrix repeats exactly.  This package compiles a
+verified schedule into one immutable :class:`~repro.timeline.compiler.CompiledRound`
+-- flat integer-macrotick arrays over the full matrix plus derived
+idle/slack interval tables -- and provides the
+:class:`~repro.timeline.stepper.TimelineStepper` fast path that advances
+the simulation cycle-by-cycle over those arrays, falling back to the
+per-slot event interpreter only when aperiodic work (retransmissions,
+slack stealing, dynamic backlog) might change the outcome.
+"""
+
+from repro.timeline.compiler import (
+    SEGMENT_DYNAMIC,
+    SEGMENT_NIT,
+    SEGMENT_STATIC,
+    SEGMENT_SYMBOL,
+    CompiledRound,
+    StaticStep,
+    compile_round,
+)
+from repro.timeline.stepper import TimelineStepper
+
+__all__ = [
+    "CompiledRound",
+    "StaticStep",
+    "TimelineStepper",
+    "compile_round",
+    "SEGMENT_STATIC",
+    "SEGMENT_DYNAMIC",
+    "SEGMENT_SYMBOL",
+    "SEGMENT_NIT",
+]

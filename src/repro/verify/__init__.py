@@ -28,6 +28,7 @@ from repro.verify.analysis_checks import (
 )
 from repro.verify.config_checks import as_raw_config, check_params
 from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.round_checks import check_compiled_round
 from repro.verify.rules import VERIFY_RULES, Rule
 from repro.verify.schedule_checks import check_schedule
 from repro.verify.verifier import (
@@ -45,6 +46,7 @@ __all__ = [
     "as_raw_config",
     "check_params",
     "check_schedule",
+    "check_compiled_round",
     "check_slack_table",
     "check_utilization",
     "check_retransmission_plan",

@@ -1,0 +1,212 @@
+"""Compiled-round checks (``FRS11x`` rules).
+
+A :class:`~repro.timeline.compiler.CompiledRound` is the executable
+form of a schedule: the stepper walks its flat arrays instead of
+querying the table, and the analysis layers read its slack tables.  A
+compiler bug (or a round deserialized/hand-built from raw arrays) would
+therefore corrupt *execution*, not just a report -- so the verifier
+re-derives the round's invariants from first principles:
+
+- **FRS110** -- the round must agree with its source schedule: every
+  ``ScheduleTable.lookup`` answer over one full matrix is reproduced by
+  ``CompiledRound.owner`` (full static coverage, no phantom owners).
+- **FRS111** -- the flat static windows must be geometrically sound:
+  aligned to their (cycle, slot) position, one slot long, action point
+  inside the window, and non-overlapping per channel.
+- **FRS112** -- the derived slack tables must match the owner arrays:
+  the idle set of every (channel, cycle-in-pattern) is exactly the
+  complement of the owned set, and the prefix sums agree with it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.flexray.channel import Channel
+from repro.flexray.params import FlexRayParams
+from repro.flexray.schedule import ScheduleTable
+from repro.timeline.compiler import SEGMENT_STATIC, CompiledRound
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+
+__all__ = ["check_compiled_round"]
+
+#: Stop after this many diagnostics per rule: a corrupt array usually
+#: breaks thousands of (cycle, slot) pairs and one example per pair
+#: helps nobody.
+_MAX_PER_RULE = 8
+
+
+class _Budget:
+    """Per-rule diagnostic budget with a trailing "and N more" note."""
+
+    def __init__(self, report: Report) -> None:
+        self._report = report
+        self._counts: dict = {}
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        count = self._counts.get(diagnostic.rule_id, 0)
+        self._counts[diagnostic.rule_id] = count + 1
+        if count < _MAX_PER_RULE:
+            self._report.add(diagnostic)
+
+    def close(self) -> None:
+        for rule_id, count in sorted(self._counts.items()):
+            if count > _MAX_PER_RULE:
+                self._report.add(Diagnostic(
+                    rule_id=rule_id, severity=Severity.ERROR,
+                    location="round",
+                    message=f"... and {count - _MAX_PER_RULE} more "
+                            f"{rule_id} finding(s) suppressed",
+                    fix_hint="fix the first findings and re-verify",
+                ))
+
+
+def check_compiled_round(compiled: CompiledRound,
+                         table: Optional[ScheduleTable] = None) -> Report:
+    """Run every ``FRS11x`` rule against a compiled round.
+
+    Args:
+        compiled: The round to verify.
+        table: The source schedule; when given, FRS110 cross-checks the
+            round's owner view against ``table.lookup`` over one full
+            matrix (omit for rounds rebuilt from raw arrays with no
+            surviving table).
+
+    Returns:
+        A :class:`Report`; empty when the round is sound.
+    """
+    report = Report()
+    budget = _Budget(report)
+    params = compiled.params
+    _check_owner_agreement(compiled, table, params, budget)
+    _check_windows(compiled, params, budget)
+    _check_slack_tables(compiled, params, budget)
+    budget.close()
+    return report
+
+
+def _check_owner_agreement(compiled: CompiledRound,
+                           table: Optional[ScheduleTable],
+                           params: FlexRayParams, budget: _Budget) -> None:
+    """FRS110: round owners == schedule lookups, both directions."""
+    if table is None:
+        return
+    total_slots = params.g_number_of_static_slots
+    for channel in (Channel.A, Channel.B):
+        for cycle in range(compiled.cycle_count):
+            for slot_id in range(1, total_slots + 1):
+                expected = table.lookup(channel, cycle, slot_id)
+                actual = compiled.owner(channel, cycle, slot_id)
+                if expected is actual:
+                    continue
+                if expected is not None and actual is not None \
+                        and expected.frame_id == actual.frame_id \
+                        and expected.message_id == actual.message_id:
+                    continue
+                def describe(f):
+                    return ("idle" if f is None
+                            else f"{f.message_id} (id {f.frame_id})")
+
+                budget.add(Diagnostic(
+                    rule_id="FRS110", severity=Severity.ERROR,
+                    location=f"round.{channel.name}.cycle {cycle}"
+                             f".slot {slot_id}",
+                    message=f"compiled owner {describe(actual)} disagrees "
+                            f"with schedule lookup {describe(expected)}",
+                    fix_hint="recompile the round from this schedule "
+                             "(compile_round); do not edit the arrays",
+                ))
+
+
+def _check_windows(compiled: CompiledRound, params: FlexRayParams,
+                   budget: _Budget) -> None:
+    """FRS111: static windows aligned, slot-long, non-overlapping."""
+    cycle_mt = params.gd_cycle_mt
+    slot_mt = params.gd_static_slot_mt
+    offset = params.gd_action_point_offset_mt
+    horizon = compiled.cycle_count * cycle_mt
+    per_channel: dict = {}
+    for i, kind in enumerate(compiled.segment_kinds):
+        if kind != SEGMENT_STATIC:
+            continue
+        start = compiled.starts[i]
+        end = compiled.ends[i]
+        slot_id = compiled.slot_ids[i]
+        where = f"round.entry {i} (slot {slot_id})"
+        cycle, phase = divmod(start, cycle_mt)
+        expected_phase = (slot_id - 1) * slot_mt
+        if (end - start != slot_mt or phase != expected_phase
+                or compiled.actions[i] != start + offset
+                or not 0 <= start < horizon):
+            budget.add(Diagnostic(
+                rule_id="FRS111", severity=Severity.ERROR,
+                location=where,
+                message=f"window [{start}, {end}) action "
+                        f"{compiled.actions[i]} is not the slot-{slot_id} "
+                        f"window of cycle {cycle} (expected start "
+                        f"{cycle * cycle_mt + expected_phase}, length "
+                        f"{slot_mt}, action offset {offset})",
+                fix_hint="recompile the round; the flat arrays were "
+                         "built against different timing parameters",
+            ))
+            continue
+        per_channel.setdefault(compiled.channel_codes[i], []).append(
+            (start, end, i, slot_id))
+    for code in sorted(per_channel):
+        windows = sorted(per_channel[code])
+        for (s1, e1, i1, slot1), (s2, e2, i2, slot2) in zip(windows,
+                                                           windows[1:]):
+            if s2 < e1:
+                budget.add(Diagnostic(
+                    rule_id="FRS111", severity=Severity.ERROR,
+                    location=f"round.entry {i1}/{i2} (channel code {code})",
+                    message=f"static windows overlap: slot {slot1} "
+                            f"[{s1}, {e1}) and slot {slot2} [{s2}, {e2})",
+                    fix_hint="two frames were compiled into the same "
+                             "(channel, cycle, slot); fix the schedule "
+                             "conflict and recompile",
+                ))
+
+
+def _check_slack_tables(compiled: CompiledRound, params: FlexRayParams,
+                        budget: _Budget) -> None:
+    """FRS112: idle tables are the exact complement of the owner arrays."""
+    total_slots = params.g_number_of_static_slots
+    per_cycle_total = []
+    for cycle in range(compiled.pattern_length):
+        cycle_total = 0
+        for channel in compiled.channels:
+            expected = tuple(
+                slot_id for slot_id in range(1, total_slots + 1)
+                if compiled.owner(channel, cycle, slot_id) is None
+            )
+            actual = compiled.idle_slots(channel, cycle)
+            cycle_total += len(expected)
+            if actual != expected:
+                budget.add(Diagnostic(
+                    rule_id="FRS112", severity=Severity.ERROR,
+                    location=f"round.slack.{channel.name}.cycle {cycle}",
+                    message=f"idle table {list(actual)} is not the "
+                            f"complement {list(expected)} of the owned "
+                            f"slots",
+                    fix_hint="drop the idle_slots_override (or recompile); "
+                             "the slack supply must be derived from the "
+                             "owner arrays",
+                ))
+        per_cycle_total.append(cycle_total)
+    # Prefix sums must agree with the per-cycle idle sets the policy's
+    # acceptance test draws on (one whole pattern checks every base).
+    for start in range(compiled.pattern_length):
+        expected_sum = sum(per_cycle_total[start:])
+        actual_sum = compiled.idle_slots_between(start,
+                                                 compiled.pattern_length)
+        if actual_sum != expected_sum:
+            budget.add(Diagnostic(
+                rule_id="FRS112", severity=Severity.ERROR,
+                location=f"round.slack.prefix[{start}]",
+                message=f"idle_slots_between({start}, "
+                        f"{compiled.pattern_length}) = {actual_sum} but the "
+                        f"idle tables sum to {expected_sum}",
+                fix_hint="the prefix sums diverged from the idle tables; "
+                         "recompile the round",
+            ))

@@ -83,6 +83,18 @@ VERIFY_RULES: Dict[str, Rule] = _catalogue(
     Rule("FRS107", "schedule-infeasible", Severity.ERROR,
          "The static segment cannot host the periodic workload (the "
          "allocator or packer failed outright)."),
+    Rule("FRS110", "round-owner-mismatch", Severity.ERROR,
+         "A compiled round's owner view disagrees with its source "
+         "schedule's lookup over the communication matrix (missing "
+         "coverage or a phantom owner)."),
+    Rule("FRS111", "round-window-invalid", Severity.ERROR,
+         "A compiled static window is misaligned with its (cycle, slot) "
+         "position, has the wrong length or action point, or overlaps "
+         "another window on the same channel."),
+    Rule("FRS112", "round-slack-inconsistent", Severity.ERROR,
+         "A compiled round's idle/slack tables are not the exact "
+         "complement of its owner arrays (the stepper and the "
+         "acceptance test would disagree about structural slack)."),
     # ---------------------------------------------------------------- ANA
     Rule("ANA201", "slack-negative", Severity.ERROR,
          "A slack-table entry is negative: guaranteed idle capacity can "

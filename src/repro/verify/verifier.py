@@ -30,7 +30,11 @@ from repro.faults.ber import BitErrorRateModel
 from repro.flexray.channel import Channel
 from repro.flexray.frame import frame_duration_mt
 from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import ChannelStrategy, build_dual_schedule
+from repro.flexray.schedule import (
+    ChannelStrategy,
+    ScheduleTable,
+    build_dual_schedule,
+)
 from repro.flexray.signal import SignalSet
 from repro.packing.frame_packing import pack_signals
 from repro.verify.analysis_checks import (
@@ -39,8 +43,10 @@ from repro.verify.analysis_checks import (
     check_slack_table,
     check_utilization,
 )
+from repro.timeline.compiler import CompiledRound, compile_round
 from repro.verify.config_checks import check_params
 from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.round_checks import check_compiled_round
 from repro.verify.schedule_checks import ScheduleLike, check_schedule
 
 __all__ = ["verify_configuration", "verify_experiment",
@@ -82,6 +88,7 @@ def verify_configuration(
     failure_probabilities: Optional[Mapping[str, float]] = None,
     instances: Optional[Mapping[str, float]] = None,
     reliability_goal: Optional[float] = None,
+    compiled: Optional[CompiledRound] = None,
 ) -> Report:
     """Verify whichever offline artifacts are supplied.
 
@@ -89,6 +96,9 @@ def verify_configuration(
         params: Cluster configuration (``FRC*`` rules).  Required when
             ``schedule`` is given (the table is checked against it).
         schedule: Static-segment schedule (``FRS*`` rules).
+        compiled: A compiled communication round (``FRS11x`` rules);
+            cross-checked against ``schedule`` when that is a
+            :class:`~repro.flexray.schedule.ScheduleTable`.
         workload: ``(name, deadline_ms, period_ms)`` triples of hard
             periodic messages (``ANA205``).
         tasks: ``(C, T)`` pairs in priority order (``ANA203``).
@@ -114,6 +124,9 @@ def verify_configuration(
             raise ValueError(
                 "schedule verification needs a FlexRayParams instance")
         report.merge(check_schedule(schedule, params))
+    if compiled is not None:
+        source = schedule if isinstance(schedule, ScheduleTable) else None
+        report.merge(check_compiled_round(compiled, table=source))
     if workload is not None:
         report.merge(check_deadlines(workload))
     if tasks is not None:
@@ -225,8 +238,13 @@ def verify_experiment(
     channels = [Channel.A]
     if params.channel_count == 2:
         channels.append(Channel.B)
+    # Compile the round exactly as the policy's bind does and verify it
+    # against the table it came from; the slack check then reads the
+    # same compiled tables the online scheduler will.
+    compiled = compile_round(table, params, channels)
+    report.merge(check_compiled_round(compiled, table=table))
     report.merge(check_slack_table(
-        _slack_levels(IdleSlotTable(table, channels))))
+        _slack_levels(IdleSlotTable.from_compiled(compiled))))
 
     # Busy-period precondition, projected onto the static segment as a
     # server: average wire demand per cycle must stay below the static

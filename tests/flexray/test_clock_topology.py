@@ -25,23 +25,43 @@ class TestMacrotickClock:
 
     def test_local_time_zeroed_at_corrections(self):
         clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=1000)
-        assert clock.local_time(0) == pytest.approx(0.0)
-        assert clock.local_time(1000) == pytest.approx(1000.0)
-        assert clock.local_time(2000) == pytest.approx(2000.0)
+        assert clock.local_time(0) == 0
+        assert clock.local_time(1000) == 1000
+        assert clock.local_time(2000) == 2000
 
-    def test_local_time_drifts_within_interval(self):
+    def test_local_time_is_quantized_round_half_up(self):
         clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=10_000)
-        assert clock.local_time(5000) == pytest.approx(5000.5)
+        # Exact reading 5000.5 -> rounds half up to 5001.
+        assert clock.local_time_exact(5000) == pytest.approx(5000.5)
+        assert clock.local_time(5000) == 5001
+        assert isinstance(clock.local_time(5000), int)
 
     def test_local_time_rejects_negative(self):
         with pytest.raises(ValueError):
             MacrotickClock().local_time(-1)
+        with pytest.raises(ValueError):
+            MacrotickClock().local_time_exact(-1)
 
     def test_negative_drift(self):
         clock = MacrotickClock(drift_ppm=-100.0,
                                correction_interval_mt=10_000)
-        assert clock.local_time(5000) == pytest.approx(4999.5)
+        # Exact reading 4999.5 -> half up -> 5000 (monotone step, two
+        # half-tick readings never collapse into the same macrotick).
+        assert clock.local_time_exact(5000) == pytest.approx(4999.5)
+        assert clock.local_time(5000) == 5000
         assert clock.worst_case_deviation_mt() == pytest.approx(1.0)
+
+    def test_local_time_schedulable(self):
+        """The quantized reading is accepted by the simulation kernel."""
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.events import EventKind
+
+        clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=10_000)
+        engine = SimulationEngine()
+        engine.schedule(clock.local_time(5000), EventKind.CUSTOM)
+        with pytest.raises(TypeError):
+            engine.schedule(clock.local_time_exact(5000),  # type: ignore[arg-type]
+                            EventKind.CUSTOM)
 
     def test_required_action_point_offset(self):
         clock = MacrotickClock(drift_ppm=100.0, correction_interval_mt=10_000)

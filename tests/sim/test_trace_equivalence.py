@@ -1,0 +1,176 @@
+"""Differential engine tests: stepper versus interpreter, byte for byte.
+
+The compiled-timeline fast path (:class:`repro.timeline.TimelineStepper`)
+claims *trace equivalence* with the pure event-list interpreter: same
+configuration, same seed, same policy -> the exact same sequence of
+:class:`~repro.sim.trace.FrameRecord` entries, every field identical, in
+the same order.  These tests prove that claim on seeded workloads that
+together cover every behavioural regime the engine has:
+
+- fault injection (the RNG-consuming corruption path),
+- retransmission planning under faults (CoEfficient and FSPEC),
+- aperiodic traffic through the dynamic segment (including expired
+  frames kept queued),
+- a static-only cycle with zero minislots,
+- a post-mode-change configuration produced by the admission
+  controller.
+
+Equivalence is asserted on :func:`canonical_trace_bytes` -- deliberately
+stricter than metric equality -- plus the SHA-256 digest convenience.
+"""
+
+import pytest
+
+from repro.core.mode_change import ModeChangeController
+from repro.experiments.figures import case_study_params
+from repro.experiments.runner import run_experiment
+from repro.flexray.signal import Signal
+from repro.sim.engine import EngineMode
+from repro.sim.trace import canonical_trace_bytes, trace_digest
+from repro.workloads.acc import acc_signals
+from repro.workloads.bbw import bbw_signals
+from repro.workloads.sae import sae_aperiodic_signals
+from repro.workloads.synthetic import synthetic_signals
+
+
+def run_both(**kwargs):
+    """Run one configuration under both engines and return the pair."""
+    oracle = run_experiment(engine_mode="interpreter", **kwargs)
+    fast = run_experiment(engine_mode=EngineMode.STEPPER, **kwargs)
+    assert oracle.cluster.mode is EngineMode.INTERPRETER
+    assert fast.cluster.mode is EngineMode.STEPPER
+    return oracle, fast
+
+
+def assert_equivalent(oracle, fast):
+    """Byte-identical traces and matching digests, non-vacuously."""
+    assert len(fast.cluster.trace) > 0, "scenario produced an empty trace"
+    assert (canonical_trace_bytes(oracle.cluster.trace)
+            == canonical_trace_bytes(fast.cluster.trace))
+    assert trace_digest(oracle.cluster.trace) == trace_digest(fast.cluster.trace)
+    assert oracle.cycles_run == fast.cycles_run
+    assert oracle.counters == fast.counters
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("seed", (1, 7))
+    def test_bbw_faulty_completion(self, seed):
+        """Brake-by-wire under heavy faults, run to completion.
+
+        Exercises the retransmission planner and the RNG-consuming
+        corruption path in completion mode, where one extra or missing
+        cycle would change ``cycles_run`` and the trace tail.
+        """
+        oracle, fast = run_both(
+            params=case_study_params("bbw"),
+            scheduler="coefficient",
+            periodic=bbw_signals(),
+            ber=1e-4,
+            seed=seed,
+            duration_ms=None,
+            instance_limit=4,
+        )
+        assert_equivalent(oracle, fast)
+        outcomes = {r.outcome.value for r in fast.cluster.trace}
+        assert "corrupted" in outcomes, "fault injection never fired"
+
+    def test_acc_fspec_faulty(self):
+        """Adaptive cruise control under FSPEC's feedback ARQ with faults."""
+        oracle, fast = run_both(
+            params=case_study_params("acc"),
+            scheduler="fspec",
+            periodic=acc_signals(),
+            ber=1e-5,
+            seed=11,
+            duration_ms=60.0,
+        )
+        assert_equivalent(oracle, fast)
+
+    def test_synthetic_with_aperiodics(self, paper_params):
+        """Mixed traffic through the dynamic segment, expired frames kept.
+
+        ``drop_expired_dynamic=False`` keeps late frames queued, so the
+        dynamic-segment arbitration (minislot counting, slot exhaustion)
+        stays busy for the whole horizon under both engines.
+        """
+        oracle, fast = run_both(
+            params=paper_params,
+            scheduler="dynamic-priority",
+            periodic=synthetic_signals(12, seed=3, max_size_bits=216),
+            aperiodic=sae_aperiodic_signals(count=16),
+            ber=0.0,
+            seed=23,
+            duration_ms=50.0,
+            drop_expired_dynamic=False,
+        )
+        assert_equivalent(oracle, fast)
+        assert fast.cluster.trace.records_for_segment("dynamic"), \
+            "dynamic segment never used"
+
+    def test_static_only_zero_minislots(self, small_params,
+                                        tiny_periodic_signals):
+        """A cycle with no dynamic segment at all: pure static TDMA."""
+        oracle, fast = run_both(
+            params=small_params.with_minislots(0),
+            scheduler="static-only",
+            periodic=tiny_periodic_signals,
+            ber=0.0,
+            seed=5,
+            duration_ms=20.0,
+        )
+        assert_equivalent(oracle, fast)
+
+    def test_post_mode_change_configuration(self, small_params,
+                                            tiny_periodic_signals):
+        """The workload an online mode change admits runs equivalently.
+
+        The admission controller evolves the signal set at runtime; the
+        engines must agree on the *new* mode's schedule, not just the
+        baseline one.
+        """
+        controller = ModeChangeController(small_params,
+                                          tiny_periodic_signals)
+        decision = controller.try_admit(
+            Signal(name="mc-new", ecu=3, period_ms=1.6, offset_ms=0.4,
+                   deadline_ms=1.6, size_bits=160))
+        assert decision.admitted
+        oracle, fast = run_both(
+            params=small_params,
+            scheduler="coefficient",
+            periodic=controller.signals,
+            ber=2e-6,
+            seed=17,
+            duration_ms=40.0,
+        )
+        assert_equivalent(oracle, fast)
+        assert any(r.message_id.startswith("mc-new") or "mc-new" in r.message_id
+                   for r in fast.cluster.trace), "admitted signal never sent"
+
+
+class TestFastPathEngagement:
+    def test_stepper_actually_engages(self, small_params,
+                                      tiny_periodic_signals):
+        """Guard against vacuity: STEPPER mode must use the fast path."""
+        fast = run_experiment(
+            params=small_params,
+            scheduler="static-only",
+            periodic=tiny_periodic_signals,
+            ber=0.0,
+            seed=1,
+            duration_ms=10.0,
+            engine_mode="stepper",
+        )
+        assert fast.cluster.stepper_active
+
+    def test_interpreter_never_engages(self, small_params,
+                                       tiny_periodic_signals):
+        oracle = run_experiment(
+            params=small_params,
+            scheduler="static-only",
+            periodic=tiny_periodic_signals,
+            ber=0.0,
+            seed=1,
+            duration_ms=10.0,
+            engine_mode="interpreter",
+        )
+        assert not oracle.cluster.stepper_active

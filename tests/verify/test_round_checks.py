@@ -1,0 +1,143 @@
+"""FRS11x rules over compiled rounds, built and hand-broken."""
+
+import pytest
+
+from repro.flexray.channel import Channel
+from repro.flexray.schedule import build_dual_schedule
+from repro.packing.frame_packing import pack_signals
+from repro.timeline.compiler import (
+    SEGMENT_STATIC,
+    CompiledRound,
+    compile_round,
+)
+from repro.verify import check_compiled_round, verify_configuration
+
+
+@pytest.fixture
+def table(tiny_workload, small_params):
+    packing = pack_signals(tiny_workload, small_params)
+    return build_dual_schedule(packing.static_frames(), small_params)
+
+
+@pytest.fixture
+def compiled(table, small_params):
+    return compile_round(table, small_params, [Channel.A, Channel.B])
+
+
+def rebuild(compiled, drop=(), override=None, **replacements):
+    """A copy of ``compiled`` with rows dropped or arrays replaced."""
+    arrays = dict(
+        starts=list(compiled.starts), ends=list(compiled.ends),
+        actions=list(compiled.actions), slot_ids=list(compiled.slot_ids),
+        channel_codes=list(compiled.channel_codes),
+        owner_nodes=list(compiled.owner_nodes),
+        frame_ids=list(compiled.frame_ids),
+        segment_kinds=list(compiled.segment_kinds),
+        frames=list(compiled.frames),
+    )
+    arrays.update(replacements)
+    for index in sorted(drop, reverse=True):
+        for array in arrays.values():
+            del array[index]
+    return CompiledRound(
+        params=compiled.params, channels=compiled.channels,
+        cycle_count=compiled.cycle_count,
+        pattern_length=compiled.pattern_length,
+        idle_slots_override=override, **arrays,
+    )
+
+
+def static_indices(compiled):
+    return [i for i, kind in enumerate(compiled.segment_kinds)
+            if kind == SEGMENT_STATIC]
+
+
+class TestCleanRound:
+    def test_compiled_round_is_clean(self, compiled, table):
+        assert len(check_compiled_round(compiled, table=table)) == 0
+
+    def test_clean_without_source_table(self, compiled):
+        assert len(check_compiled_round(compiled)) == 0
+
+
+class TestFrs110OwnerMismatch:
+    def test_dropped_entry_is_missing_owner(self, compiled, table):
+        broken = rebuild(compiled, drop=[static_indices(compiled)[0]])
+        report = check_compiled_round(broken, table=table)
+        assert "FRS110" in report.rule_ids()
+        assert any("disagrees" in d.message for d in report.diagnostics)
+
+    def test_without_table_the_check_is_skipped(self, compiled):
+        broken = rebuild(compiled, drop=[static_indices(compiled)[0]])
+        assert "FRS110" not in check_compiled_round(broken).rule_ids()
+
+    def test_budget_caps_the_flood(self, compiled, table):
+        broken = rebuild(compiled, drop=static_indices(compiled))
+        report = check_compiled_round(broken, table=table)
+        frs110 = [d for d in report.diagnostics if d.rule_id == "FRS110"]
+        assert len(frs110) == 9  # 8 findings + the suppression note
+        assert "suppressed" in frs110[-1].message
+
+
+class TestFrs111WindowInvalid:
+    def test_misaligned_window(self, compiled, table):
+        index = static_indices(compiled)[0]
+        ends = list(compiled.ends)
+        ends[index] += 1
+        report = check_compiled_round(rebuild(compiled, ends=ends),
+                                      table=table)
+        assert "FRS111" in report.rule_ids()
+
+    def test_action_point_outside_window(self, compiled, table):
+        index = static_indices(compiled)[0]
+        actions = list(compiled.actions)
+        actions[index] += 7
+        report = check_compiled_round(rebuild(compiled, actions=actions),
+                                      table=table)
+        assert "FRS111" in report.rule_ids()
+
+    def test_overlapping_windows(self, small_params):
+        """Two geometrically valid slot-1 windows on one channel overlap."""
+        slot_mt = small_params.gd_static_slot_mt
+        offset = small_params.gd_action_point_offset_mt
+        round_ = CompiledRound(
+            params=small_params, channels=[Channel.A],
+            cycle_count=64, pattern_length=1,
+            starts=[0, 0], ends=[slot_mt, slot_mt],
+            actions=[offset, offset], slot_ids=[1, 1],
+            channel_codes=[0, 0], owner_nodes=[0, 1], frame_ids=[1, 2],
+            segment_kinds=[SEGMENT_STATIC, SEGMENT_STATIC],
+        )
+        report = check_compiled_round(round_)
+        assert "FRS111" in report.rule_ids()
+        assert any("overlap" in d.message for d in report.diagnostics)
+
+
+class TestFrs112SlackInconsistent:
+    def test_override_disagreeing_with_owners(self, compiled, table,
+                                              small_params):
+        override = {
+            channel: [(1,)] * compiled.pattern_length
+            for channel in compiled.channels
+        }
+        broken = rebuild(compiled, override=override)
+        report = check_compiled_round(broken, table=table)
+        assert "FRS112" in report.rule_ids()
+        # The geometry and ownership rules are untouched by a bad
+        # slack table: the rule is independently triggerable.
+        assert "FRS110" not in report.rule_ids()
+        assert "FRS111" not in report.rule_ids()
+
+
+class TestVerifyConfigurationIntegration:
+    def test_clean_round_passes(self, compiled, table, small_params):
+        report = verify_configuration(params=small_params, schedule=table,
+                                      compiled=compiled)
+        assert not report.has_errors
+
+    def test_corrupt_round_is_reported(self, compiled, table,
+                                       small_params):
+        broken = rebuild(compiled, drop=[static_indices(compiled)[0]])
+        report = verify_configuration(params=small_params, schedule=table,
+                                      compiled=broken)
+        assert "FRS110" in report.rule_ids()
