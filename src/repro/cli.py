@@ -191,6 +191,7 @@ def _cmd_campaign(args) -> int:
                 cache_dir=args.cache_dir,
                 validate=args.validate,
                 obs=obs,
+                engine_mode=args.engine_mode,
             )
         except ConfigurationError as error:
             print(f"repro: {scheduler}: configuration failed "
@@ -405,7 +406,7 @@ def _cmd_serve(args) -> int:
             workload=args.workload, count=args.count, seed=args.seed,
             minislots=args.minislots, ber=args.ber,
             reliability_goal=args.rho, tick_us=args.tick_us,
-            verify=not args.no_verify)
+            verify=not args.no_verify, engine_mode=args.engine_mode)
     except ConfigurationError as error:
         print("repro serve: configuration failed static verification:",
               file=sys.stderr)
@@ -512,10 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="SAE aperiodic message count (0 = none)")
     run_parser.add_argument("--duration-ms", type=float, default=500.0)
     run_parser.add_argument("--engine-mode",
-                            choices=("stepper", "interpreter"),
+                            choices=("stepper", "interpreter", "vectorized"),
                             default="stepper",
-                            help="timeline stepper fast path (default) or "
-                                 "the pure event-list interpreter oracle")
+                            help="timeline stepper fast path (default), "
+                                 "the pure event-list interpreter oracle, "
+                                 "or the cycle-batch vectorized engine")
     run_parser.set_defaults(handler=_cmd_run)
 
     campaign_parser = sub.add_parser(
@@ -549,6 +551,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="statically verify the "
                                       "configuration before running "
                                       "any seed")
+    campaign_parser.add_argument("--engine-mode",
+                                 choices=("stepper", "interpreter",
+                                          "vectorized"),
+                                 default="stepper",
+                                 help="engine every seed runs under "
+                                      "(all modes are trace-equivalent)")
     campaign_parser.set_defaults(handler=_cmd_campaign)
 
     figure_parser = sub.add_parser("figures",
@@ -657,6 +665,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--audit-every", type=int, default=0,
                               help="trial-run audit every Nth admission "
                                    "(default: 0 = off)")
+    serve_parser.add_argument("--engine-mode",
+                              choices=("stepper", "interpreter",
+                                       "vectorized"),
+                              default="stepper",
+                              help="engine offline replays of the served "
+                                   "configuration use; advertised in the "
+                                   "status payload (default: stepper)")
     serve_parser.add_argument("--no-verify", action="store_true",
                               help="skip the static verification gate "
                                    "(tests only)")

@@ -341,6 +341,27 @@ class CoEfficientPolicy(QueueingPolicyBase):
     # Slack stealing in idle static slots
     # ------------------------------------------------------------------
 
+    def decisions_are_outcome_free(self) -> bool:
+        """CoEfficient's open-loop decisions ignore same-segment outcomes.
+
+        Beyond the base mutations, CoEfficient's ``on_outcome`` consumes
+        a slack promise (``planner.consume``) for transmitted
+        retransmissions.  Planner state is read back only by
+        ``try_promise``, and ``try_promise`` is reached solely from
+        ``enqueue_copy`` (the ``on_arrival`` path) and the feedback-only
+        ``handle_failure`` -- never from ``static_frame_for`` /
+        ``slack_frame_for`` / ``dynamic_frame_for`` / ``on_dynamic_hold``.
+        The vectorized engine separately guarantees that no arrival is
+        delivered between a deferred outcome and a later decision: a
+        mid-segment arrival ends the current sub-batch, whose outcomes
+        (including the ``consume`` ledger updates) are settled *before*
+        the arrival's ``try_promise`` runs.  So deferring ``consume``
+        within a sub-batch cannot change any phase-A answer.  With
+        feedback on, a corrupted frame re-enters the retransmission
+        heap mid-segment and the proof fails.
+        """
+        return not self.feedback
+
     def slack_idle_is_noop(self) -> bool:
         """Idle static queries are no-ops when nothing can be stolen.
 

@@ -470,6 +470,23 @@ class QueueingPolicyBase(SchedulerPolicy):
         """Proof hook for slack-stealing subclasses (default: no proof)."""
         return False
 
+    def decisions_are_outcome_free(self) -> bool:
+        """Open-loop runs decide independently of same-segment outcomes.
+
+        With ``feedback=False`` the base ``on_outcome`` mutates exactly
+        two things: the policy clock ``_now_mt`` (which every decision
+        hook overwrites on entry before reading) and the chunk-status
+        map (read back exclusively on feedback-gated paths --
+        ``pop_retransmission``'s moot-copy filter and ``pending_work``'s
+        liveness count).  ``handle_failure`` is unreachable without
+        feedback, so subclasses overriding only it (the baselines)
+        inherit the proof; a subclass that overrides ``on_outcome``
+        itself must restate the proof or stay on the default ``False``.
+        """
+        if self.feedback:
+            return False
+        return type(self).on_outcome is QueueingPolicyBase.on_outcome
+
     def dynamic_idle_is_noop(self) -> bool:
         """Dynamic arbitration is provably idle when nothing is queued.
 

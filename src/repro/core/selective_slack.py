@@ -89,6 +89,10 @@ class SelectiveSlackPlanner:
         if dynamic_retransmission_share < 0:
             raise ValueError("dynamic share must be >= 0")
         self._idle_table = idle_table
+        # The channel list is immutable for the table's lifetime; the
+        # per-promise window scan is hot enough that re-materializing it
+        # through the property on every call shows up in profiles.
+        self._channels = list(idle_table.channels)
         self._params = params
         self._dynamic_share = dynamic_retransmission_share
         self._obs = obs
@@ -179,7 +183,7 @@ class SelectiveSlackPlanner:
             return 0
         cycle_start = cycle * self._params.gd_cycle_mt
         count = 0
-        for channel in self._idle_table.channels:
+        for channel in self._channels:
             for start, end in self._idle_table.idle_slot_windows(channel,
                                                                  cycle):
                 if (cycle_start + start >= from_mt

@@ -204,9 +204,10 @@ def fig1_2_running_time(
         static_slot_options: gNumberOfStaticSlots settings (80 / 120,
             which also shift the aperiodic frame IDs as in the paper).
         seed: Experiment seed.
-        engine_mode: Simulation engine mode (``"stepper"`` or
-            ``"interpreter"``); the figures are identical either way,
-            only wall-clock time differs (``BENCH_engine.json``).
+        engine_mode: Simulation engine mode (``"stepper"``,
+            ``"interpreter"`` or ``"vectorized"``); the figures are
+            identical in every mode, only wall-clock time differs
+            (``BENCH_engine.json``).
     """
     rho = _goal_for(ber)
     rows: List[Dict[str, float]] = []

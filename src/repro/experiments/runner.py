@@ -160,8 +160,9 @@ def run_experiment(
             slack-planner statistics are merged into its registry when
             the run ends.
         engine_mode: ``"stepper"`` (default, compiled-timeline fast
-            path) or ``"interpreter"`` (the pure event-list oracle);
-            the two are trace-equivalent by construction and by test.
+            path), ``"interpreter"`` (the pure event-list oracle) or
+            ``"vectorized"`` (cycle-batch engine); all three are
+            trace-equivalent by construction and by differential test.
         **policy_kwargs: Forwarded to the policy constructor.
 
     Returns:

@@ -19,7 +19,7 @@ channel A's fault pattern is unchanged when channel B's traffic changes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence, Tuple
 
 from repro.faults.ber import BitErrorRateModel, frame_failure_probability
 from repro.flexray.channel import Channel
@@ -42,6 +42,11 @@ class TransientFaultInjector:
             "A": rng.split("faults/A"),
             "B": rng.split("faults/B"),
         }
+        # (channel name, bits) -> failure probability.  The BER model is
+        # immutable for the injector's lifetime, so the memo never goes
+        # stale; it turns the batch path's per-frame probability lookup
+        # into one dict hit.
+        self._probability_memo: Dict[Tuple[str, int], float] = {}
         self.injected = 0
         self.consulted = 0
 
@@ -58,6 +63,42 @@ class TransientFaultInjector:
         if corrupted:
             self.injected += 1
         return corrupted
+
+    def batch(self, channel: Channel, bits_list: Sequence[int]) -> List[bool]:
+        """Batched fault oracle for one channel, draw-order compatible.
+
+        Equivalent to consulting ``__call__`` once per entry of
+        ``bits_list`` in order on ``channel`` -- the per-channel RNG
+        stream consumes exactly the same draws in the same order (see
+        :meth:`~repro.sim.rng.RngStream.bernoulli_batch`).  Because each
+        channel owns an independent stream, interleaving consults of the
+        *other* channel between scalar calls does not perturb this
+        channel's sequence, which is what lets the vectorized engine
+        split a cycle's slot-major consult order into two per-channel
+        batches.
+
+        Args:
+            channel: The channel all transmissions share.
+            bits_list: Total frame bits per transmission, consult order.
+
+        Returns:
+            One corruption verdict per transmission, in order.
+        """
+        if not bits_list:
+            return []
+        memo = self._probability_memo
+        name = channel.value
+        probabilities = []
+        for bits in bits_list:
+            probability = memo.get((name, bits))
+            if probability is None:
+                probability = self._model.failure_probability(name, bits)
+                memo[(name, bits)] = probability
+            probabilities.append(probability)
+        verdicts = self._streams[name].bernoulli_batch(probabilities)
+        self.consulted += len(verdicts)
+        self.injected += sum(verdicts)
+        return verdicts
 
     def observed_rate(self) -> float:
         """Fraction of consulted transmissions corrupted so far."""

@@ -29,7 +29,7 @@ __all__ = ["Release", "MessageSource", "PeriodicSource", "SporadicSource",
            "ArrivalMultiplexer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Release:
     """One message-instance release.
 

@@ -35,6 +35,7 @@ from repro.sim.engine import EngineMode
 from repro.sim.metrics import MetricsCollector, SimulationMetrics
 from repro.sim.trace import TraceRecorder
 from repro.timeline.stepper import TimelineStepper
+from repro.timeline.vectorized import VectorizedStepper
 
 __all__ = ["FlexRayCluster"]
 
@@ -62,9 +63,13 @@ class FlexRayCluster:
         mode: :class:`~repro.sim.engine.EngineMode` (or its string
             value).  ``STEPPER`` (the default) advances over the
             policy's compiled round when it offers one, falling back to
-            per-slot events for aperiodic work; ``INTERPRETER`` is the
-            pure event-list oracle.  The two produce byte-identical
-            traces (``tests/sim/test_trace_equivalence.py``).
+            per-slot events for aperiodic work; ``VECTORIZED`` further
+            evaluates whole segments as phase-split batches (batched
+            fault draws, batched trace appends) whenever the policy's
+            decisions are provably outcome-free; ``INTERPRETER`` is the
+            pure event-list oracle.  All modes produce byte-identical
+            traces (``tests/sim/test_trace_equivalence.py``,
+            ``tests/sim/test_engine_fuzz.py``).
     """
 
     def __init__(
@@ -136,25 +141,45 @@ class FlexRayCluster:
         """Whether the compiled-timeline fast path is engaged."""
         return self._stepper is not None
 
+    @property
+    def vectorized_active(self) -> bool:
+        """Whether the phase-split batch engine is engaged."""
+        return isinstance(self._stepper, VectorizedStepper)
+
     def _ensure_bound(self) -> None:
         if not self._bound:
             self.policy.bind(self)
             for node in self.nodes:
                 node.start()
-            if self._mode is EngineMode.STEPPER:
+            if self._mode in (EngineMode.STEPPER, EngineMode.VECTORIZED):
                 compiled = self.policy.compiled_round()
                 if compiled is not None:
-                    self._stepper = TimelineStepper(
-                        compiled=compiled,
-                        params=self.params,
-                        layout=self.layout,
-                        channels=self.channels,
-                        policy=self.policy,
-                        static_engine=self._static_engine,
-                        dynamic_engine=self._dynamic_engine,
-                        next_release_mt=self._multiplexer.next_release_mt,
-                        obs=self._obs,
-                    )
+                    if self._mode is EngineMode.VECTORIZED:
+                        self._stepper = VectorizedStepper(
+                            compiled=compiled,
+                            params=self.params,
+                            layout=self.layout,
+                            channels=self.channels,
+                            policy=self.policy,
+                            static_engine=self._static_engine,
+                            dynamic_engine=self._dynamic_engine,
+                            next_release_mt=self._multiplexer.next_release_mt,
+                            corrupts=self._corrupts,
+                            trace=self.trace,
+                            obs=self._obs,
+                        )
+                    else:
+                        self._stepper = TimelineStepper(
+                            compiled=compiled,
+                            params=self.params,
+                            layout=self.layout,
+                            channels=self.channels,
+                            policy=self.policy,
+                            static_engine=self._static_engine,
+                            dynamic_engine=self._dynamic_engine,
+                            next_release_mt=self._multiplexer.next_release_mt,
+                            obs=self._obs,
+                        )
             self._bound = True
 
     # ------------------------------------------------------------------

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.flexray.params import (
@@ -62,7 +62,7 @@ def frame_duration_mt(payload_bits: int, params: FlexRayParams) -> int:
     return params.transmission_mt(payload_bits + FRAME_OVERHEAD_BITS)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """A configured FlexRay frame.
 
@@ -146,7 +146,7 @@ class Frame:
         return frame_duration_mt(self.payload_bits, params)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PendingFrame:
     """One frame instance waiting for (re)transmission.
 
@@ -218,8 +218,15 @@ class PendingFrame:
         is measured from first production) but is reclassified as a
         hard-deadline aperiodic, per the paper's task model.
         """
-        return replace(
-            self,
+        # Direct construction rather than dataclasses.replace(): retries
+        # are minted on the retransmission hot path and replace() pays
+        # per-call field introspection for the same result.
+        return PendingFrame(
+            frame=self.frame,
+            instance=self.instance,
+            generation_time_mt=self.generation_time_mt,
+            deadline_mt=self.deadline_mt,
+            priority=self.priority,
             kind=FrameKind.RETRANSMISSION,
             attempt=self.attempt + 1,
             sequence=next(_pending_sequence),

@@ -160,6 +160,26 @@ class SchedulerPolicy(abc.ABC):
         """
         return False
 
+    def decisions_are_outcome_free(self) -> bool:
+        """Whether transmission decisions ignore same-segment outcomes.
+
+        ``True`` promises that, in the policy's current configuration,
+        no ``static_frame_for`` / ``dynamic_frame_for`` /
+        ``on_dynamic_hold`` decision made inside one segment reads any
+        state that ``on_outcome`` mutates -- so the vectorized engine
+        may ask every question of a segment first (phase A) and feed all
+        outcomes back afterwards (phase B) without changing a single
+        answer.  This is a *configuration-level* promise, not a
+        per-cycle one: it must hold for the whole run (open-loop
+        policies qualify; feedback ARQ does not, because a corrupted
+        frame re-enters the queues mid-segment).
+
+        The default (``False``) is always safe: it keeps the policy on
+        the stepper/interpreter paths, where outcomes are applied
+        between queries exactly as the oracle does.
+        """
+        return False
+
     def note_time(self, now_mt: int) -> None:
         """Clock sync from the compiled-timeline fast path.
 

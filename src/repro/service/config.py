@@ -63,6 +63,10 @@ class ServiceSetup:
         channel_tasks: Per-channel hard periodic task sets (ticks).
         verified: Whether the configuration passed the static gate
             (``False`` only when loading with ``verify=False``).
+        engine_mode: Simulation engine (``"stepper"``, ``"interpreter"``
+            or ``"vectorized"``) any offline replay or spot-check of
+            this configuration runs under; advertised in the service's
+            status payload so audits reproduce the served setup exactly.
     """
 
     workload: str
@@ -70,6 +74,7 @@ class ServiceSetup:
     tick_us: int
     channel_tasks: Dict[str, TaskSet]
     verified: bool
+    engine_mode: str = "stepper"
 
     @property
     def channels(self) -> Tuple[str, ...]:
@@ -201,7 +206,8 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
                        reliability_goal: float = 1 - 1e-4,
                        tick_us: int = 100,
                        verify: bool = True,
-                       mapping: str = "signals") -> ServiceSetup:
+                       mapping: str = "signals",
+                       engine_mode: str = "stepper") -> ServiceSetup:
     """Build and statically verify one service configuration.
 
     Args:
@@ -222,15 +228,21 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
             sets from the resulting compiled round
             (:func:`round_task_sets`), so the service accounts against
             the *placed* schedule rather than an idealized partition.
+        engine_mode: Engine any offline replay of this configuration
+            runs under (``"stepper"``, ``"interpreter"`` or
+            ``"vectorized"``); validated here so a typo fails at
+            startup, and advertised via the status payload.
 
     Returns:
         A :class:`ServiceSetup` ready to hand to the server.
     """
     from repro.experiments import figures as figures_module
+    from repro.sim.engine import EngineMode
 
     if mapping not in ("signals", "round"):
         raise ValueError(f"unknown task mapping {mapping!r}; "
                          f"expected 'signals' or 'round'")
+    engine_mode = EngineMode.parse(engine_mode).value
     periodic = _workload_signals(workload, count, seed)
     if minislots is None:
         minislots = 50 if workload in ("bbw", "acc") else 100
@@ -262,4 +274,5 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
     else:
         channel_tasks = build_channel_task_sets(periodic, tick_us=tick_us)
     return ServiceSetup(workload=workload, params=params, tick_us=tick_us,
-                        channel_tasks=channel_tasks, verified=verify)
+                        channel_tasks=channel_tasks, verified=verify,
+                        engine_mode=engine_mode)

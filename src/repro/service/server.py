@@ -436,6 +436,7 @@ class AdmissionService:
             "status": "ok",
             "workload": self.setup.workload,
             "tick_us": self.setup.tick_us,
+            "engine_mode": self.setup.engine_mode,
             "channels": channels,
             "counters": dict(sorted(self.counters.items())),
             "batches": self._batches,

@@ -35,13 +35,18 @@ class EngineMode(enum.Enum):
     INTERPRETER is the pure event-list oracle: every slot of every cycle
     is a separate query.  STEPPER advances over compiled
     :class:`~repro.timeline.compiler.CompiledRound` arrays and falls
-    back to the interpreter only for aperiodic work; the differential
-    tests in ``tests/sim/test_trace_equivalence.py`` prove the two
-    byte-identical.
+    back to the interpreter only for aperiodic work.  VECTORIZED
+    evaluates whole-cycle batches of the compiled round as numpy array
+    operations (batched fault draws, batched trace appends), falling
+    back to the stepper -- and through it the interpreter -- whenever a
+    batch precondition fails.  All three produce byte-identical traces;
+    the differential tests in ``tests/sim/test_trace_equivalence.py``
+    and the fuzz suite in ``tests/sim/test_engine_fuzz.py`` prove it.
     """
 
     INTERPRETER = "interpreter"
     STEPPER = "stepper"
+    VECTORIZED = "vectorized"
 
     @classmethod
     def parse(cls, value: Union[str, "EngineMode", None]) -> "EngineMode":

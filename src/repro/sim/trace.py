@@ -36,7 +36,7 @@ class TransmissionOutcome(enum.Enum):
     """The frame was never transmitted (queue overflow / horizon end)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrameRecord:
     """One transmission attempt of one frame on one channel.
 
@@ -76,7 +76,7 @@ class FrameRecord:
     chunk: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _InstanceState:
     """Mutable delivery state of one message instance.
 
@@ -108,6 +108,12 @@ class TraceRecorder:
     def __init__(self) -> None:
         self._records: List[FrameRecord] = []
         self._instances: Dict[Tuple[str, int], _InstanceState] = {}
+        # Incremental count of fully delivered instances.  Delivery is
+        # monotone -- a record can only add or improve a chunk's
+        # delivery time, never remove one -- so counting transitions at
+        # record time keeps completion-mode polling O(1) instead of
+        # O(instances) per cycle.
+        self._delivered = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -145,6 +151,21 @@ class TraceRecorder:
     def record(self, record: FrameRecord) -> None:
         """Append a transmission attempt and update instance state."""
         self._records.append(record)
+        self._note_record(record)
+
+    def record_batch(self, records: List[FrameRecord]) -> None:
+        """Append many attempts at once, preserving order.
+
+        Equivalent to calling :meth:`record` once per entry; the
+        vectorized engine uses it to flush a whole cycle batch with one
+        list extend instead of per-record method dispatch.
+        """
+        self._records.extend(records)
+        note = self._note_record
+        for record in records:
+            note(record)
+
+    def _note_record(self, record: FrameRecord) -> None:
         key = (record.message_id, record.instance)
         state = self._instances.get(key)
         if state is None:
@@ -156,6 +177,9 @@ class TraceRecorder:
         if record.outcome is TransmissionOutcome.DELIVERED:
             existing = state.chunk_delivered_at.get(record.chunk)
             if existing is None or record.end < existing:
+                if (existing is None
+                        and len(state.chunk_delivered_at) + 1 == state.chunks):
+                    self._delivered += 1
                 state.chunk_delivered_at[record.chunk] = record.end
 
     def instance_count(self) -> int:
@@ -164,7 +188,7 @@ class TraceRecorder:
 
     def delivered_count(self) -> int:
         """Number of instances delivered at least once."""
-        return sum(1 for s in self._instances.values() if s.delivered_at is not None)
+        return self._delivered
 
     def delivery_time(self, message_id: str, instance: int) -> Optional[int]:
         """First successful delivery time of an instance, or ``None``."""
@@ -175,9 +199,10 @@ class TraceRecorder:
         """``(message_id, instance, latency_macroticks)`` for delivered instances."""
         out = []
         for (message_id, instance), state in sorted(self._instances.items()):
-            if state.delivered_at is not None:
+            delivered = state.delivered_at
+            if delivered is not None:
                 out.append(
-                    (message_id, instance, state.delivered_at - state.generation_time)
+                    (message_id, instance, delivered - state.generation_time)
                 )
         return out
 
@@ -185,14 +210,15 @@ class TraceRecorder:
         """Instances never delivered, or delivered after their deadline."""
         out = []
         for (message_id, instance), state in sorted(self._instances.items()):
-            if state.delivered_at is None or state.delivered_at > state.deadline:
+            delivered = state.delivered_at
+            if delivered is None or delivered > state.deadline:
                 out.append((message_id, instance))
         return out
 
     def last_delivery_time(self) -> Optional[int]:
         """Time the final instance delivery completed, or ``None`` if none."""
-        times = [s.delivered_at for s in self._instances.values()
-                 if s.delivered_at is not None]
+        times = [t for t in (s.delivered_at for s in self._instances.values())
+                 if t is not None]
         return max(times) if times else None
 
     def attempts_for(self, message_id: str) -> int:

@@ -21,11 +21,13 @@ from repro.timeline.compiler import (
     compile_round,
 )
 from repro.timeline.stepper import TimelineStepper
+from repro.timeline.vectorized import VectorizedStepper
 
 __all__ = [
     "CompiledRound",
     "StaticStep",
     "TimelineStepper",
+    "VectorizedStepper",
     "compile_round",
     "SEGMENT_STATIC",
     "SEGMENT_DYNAMIC",

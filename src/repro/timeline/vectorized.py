@@ -1,0 +1,477 @@
+"""Whole-cycle vectorized engine over the compiled round.
+
+The stepper (:mod:`repro.timeline.stepper`) already skips provably-idle
+queries, but it still executes each owned step through the interpreter's
+slot body -- one fault draw, one trace append, one outcome callback per
+transmission -- and it abandons the fast path entirely the moment the
+idle proof fails (e.g. CoEfficient's open-loop redundancy copies keep
+the retransmission heap non-empty for most of a faulty run).
+
+:class:`VectorizedStepper` batches instead.  Each segment of each cycle
+is evaluated in two phases:
+
+- **Phase A (decide):** every policy query of the segment runs in the
+  interpreter's exact order -- slot ascending, channels in pair order
+  within a slot (static), full per-channel arbitration (dynamic) -- and
+  the planned transmissions are collected with their precomputed
+  ``[start, end)`` windows.  Physical validation (slot fit, generation
+  time) happens here, raising the interpreter's exact errors.
+- **Phase B (settle):** fault verdicts are drawn for the whole plan at
+  once (one vectorized Bernoulli batch per channel when the oracle
+  supports it), the trace records are built and appended with a single
+  :meth:`~repro.sim.trace.TraceRecorder.record_batch`, and the outcomes
+  are replayed to the policy in interpreter order.
+
+Splitting the phases is sound only when the policy promises, via
+:meth:`~repro.flexray.policy.SchedulerPolicy.decisions_are_outcome_free`,
+that no phase-A answer reads state phase B mutates.  Open-loop policies
+(the paper's Theorem-1 regime) qualify; feedback ARQ does not and runs
+on the inherited stepper/interpreter path unchanged.
+
+Batch boundaries
+----------------
+
+A batch is one segment of one cycle, and it is cut short -- the engine
+delegates to the inherited stepper, and through it the interpreter --
+whenever a phase-split precondition fails:
+
+- the policy does not promise outcome-free decisions (feedback mode);
+- the dynamic segment with ``gNumberOfMinislots == 0`` (interpreter
+  no-op, delegated verbatim).
+
+Host arrivals landing *inside* the static segment window do **not**
+force a fallback: they *split* the segment into sub-batches instead.
+Each sub-batch covers the slots between two delivery points; its
+outcomes are settled (phase B) **before** the next arrival batch is
+delivered, so the arrival path observes every prior outcome exactly as
+it would under the interpreter -- CoEfficient's promise admission
+(``try_promise``) reads the slack ledger that ``on_outcome`` consumes,
+and that read now sees the same ledger state on every engine.  Within a
+sub-batch no arrival interleaves, so deferring outcomes across it is
+covered by the outcome-free promise alone.
+
+The batch geometry itself -- which (channel, slot) pairs are owned, the
+action-point offsets, the slot ordering -- comes from the
+:class:`~repro.timeline.compiler.CompiledRound` static-step view, whose
+agreement with the flat schedule arrays is independently checked by the
+FRS113 verification rule (:mod:`repro.verify.round_checks`).
+
+Fault-draw order
+----------------
+
+The interpreter consults the fault oracle in slot-major order,
+interleaving channels.  The per-channel batches here are draw-order
+compatible because every provided injector keeps an independent RNG
+stream (and burst state) per channel, so splitting the interleaved
+sequence into per-channel subsequences consumes each stream identically
+(see :meth:`~repro.faults.injector.TransientFaultInjector.batch`).  An
+oracle without a ``batch`` method is consulted scalar-wise in the
+interpreter's exact interleaved order, which is correct for *any*
+stateful oracle.
+
+The differential-fuzz suite (``tests/sim/test_engine_fuzz.py``) holds
+this engine byte-identical, via :func:`~repro.sim.trace.trace_digest`,
+to the interpreter oracle across generated scenarios; the equivalence
+scenarios in ``tests/sim/test_trace_equivalence.py`` pin the named
+corner cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.flexray.channel import Channel, ChannelSet
+from repro.flexray.cycle import CycleLayout
+from repro.flexray.dynamic_segment import DynamicSegmentEngine, DynamicSlotResult
+from repro.flexray.frame import PendingFrame, frame_duration_mt
+from repro.flexray.params import FlexRayParams
+from repro.flexray.policy import SchedulerPolicy
+from repro.flexray.static_segment import StaticSegmentEngine
+from repro.obs import NULL_OBS, ObsLike
+from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
+from repro.timeline.compiler import CompiledRound
+from repro.timeline.stepper import TimelineStepper
+
+__all__ = ["VectorizedStepper"]
+
+Deliver = Callable[[int], None]
+
+#: One planned transmission: (channel, slot_id, start_mt, end_mt, pending).
+_Planned = Tuple[Channel, int, int, int, PendingFrame]
+
+
+class VectorizedStepper(TimelineStepper):
+    """Advances cycles with phase-split, batched segment evaluation.
+
+    Args:
+        compiled: The policy's compiled round.
+        params: Cluster parameters.
+        layout: Cycle time geometry.
+        channels: The cluster's live channel set.
+        policy: The scheduling policy under test.
+        static_engine: Interpreter static engine (delegation target).
+        dynamic_engine: Interpreter dynamic engine (delegation target).
+        next_release_mt: Peek at the earliest undelivered host release.
+        corrupts: The cluster's fault oracle; batched per channel when it
+            exposes a ``batch`` method, consulted scalar-wise in
+            interpreter order otherwise.
+        trace: The cluster's trace recorder (batch flush target).
+        obs: Observability context for the batch/fallback counters.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledRound,
+        params: FlexRayParams,
+        layout: CycleLayout,
+        channels: ChannelSet,
+        policy: SchedulerPolicy,
+        static_engine: StaticSegmentEngine,
+        dynamic_engine: DynamicSegmentEngine,
+        next_release_mt: Callable[[], Optional[int]],
+        corrupts: Callable[[Channel, int, int], bool],
+        trace: TraceRecorder,
+        obs: ObsLike = NULL_OBS,
+    ) -> None:
+        super().__init__(compiled, params, layout, channels, policy,
+                         static_engine, dynamic_engine, next_release_mt, obs)
+        self._corrupts = corrupts
+        self._trace = trace
+        self._batch_faults = getattr(corrupts, "batch", None)
+        self._duration_memo: Dict[int, int] = {}
+        self._pairs = list(channels.pairs())
+        #: Segment batches settled through the phase-split path.
+        self.vectorized_batches = 0
+        #: Cycles with at least one segment delegated to the stepper or
+        #: interpreter (feedback mode).
+        self.scalar_fallback_cycles = 0
+        self._last_fallback_cycle = -1
+
+    # ------------------------------------------------------------------
+    # Static segment
+    # ------------------------------------------------------------------
+
+    def run_static_segment(self, cycle: int, deliver: Deliver) -> bool:
+        """Execute the static segment of ``cycle`` as one batch.
+
+        Returns:
+            ``True`` if the segment settled through the phase-split
+            batch, otherwise the inherited stepper's verdict.
+        """
+        policy = self._policy
+        if not policy.decisions_are_outcome_free():
+            self._note_fallback(cycle)
+            return super().run_static_segment(cycle, deliver)
+        cycle_start = self._layout.cycle_start(cycle)
+        first_action = cycle_start + self._action_offset
+        last_action = first_action + (self._n_slots - 1) * self._slot_mt
+        release = self._next_release_mt()
+        if release is not None and release <= first_action:
+            # The interpreter delivers these before slot 1's query, i.e.
+            # before any decision of the segment -- safe to flush now.
+            deliver(first_action)
+            release = self._next_release_mt()
+        self._channels.reset_counters()
+        if (policy.static_idle_is_noop()
+                and (release is None or release > last_action)):
+            # No mid-segment arrival can add slack work, so the idle
+            # proof holds for the whole segment and only owned steps
+            # need queries.
+            plan, final_clock = self._plan_static_owned(cycle, cycle_start)
+            self._flush(cycle, plan, "static")
+        else:
+            final_clock = self._run_static_chunked(cycle, cycle_start,
+                                                   deliver)
+        policy.note_time(final_clock)
+        for __, counter in self._pairs:
+            counter.jump_to(self._n_slots + 1)
+        self.vectorized_batches += 1
+        if self._obs.enabled:
+            self._obs.inc("engine.vectorized_batches")
+        return True
+
+    def _plan_static_owned(self, cycle: int,
+                           cycle_start: int) -> Tuple[List[_Planned], int]:
+        """Phase A over owned steps only (idle-noop proof in force).
+
+        The idle proof cannot be revoked mid-segment here: only arrivals
+        (excluded by the caller) and feedback failures (excluded by the
+        outcome-free promise) ever add slack-stealable work, and queries
+        only drain it.
+        """
+        policy = self._policy
+        steps = self._round.static_steps(cycle)
+        plan: List[_Planned] = []
+        last_action = (cycle_start + (self._n_slots - 1) * self._slot_mt
+                       + self._action_offset)
+        final_clock = last_action
+        for step in steps:
+            action_point = cycle_start + step.action_offset_mt
+            for channel, __ in step.entries:
+                pending = policy.static_frame_for(
+                    channel, cycle, step.slot_id, action_point)
+                if pending is None:
+                    final_clock = action_point
+                    continue
+                end = self._validate_static(pending, step.slot_id,
+                                            action_point)
+                plan.append((channel, step.slot_id, action_point, end,
+                             pending))
+                final_clock = end
+        if (not steps or steps[-1].slot_id != self._n_slots
+                or len(steps[-1].entries) < len(self._pairs)):
+            # Mirror the stepper's trailing stamp: the interpreter's last
+            # static action would be slot N's idle query.
+            final_clock = last_action
+        return plan, final_clock
+
+    def _run_static_chunked(self, cycle: int, cycle_start: int,
+                            deliver: Deliver) -> int:
+        """Dense phase A over every (slot, channel) pair, in sub-batches.
+
+        This is the batch the stepper cannot offer: when retransmission
+        or slack-stealing work exists, *every* static query is
+        meaningful, so all of them run.  Host arrivals split the segment
+        into sub-batches: each pending sub-batch is settled (phase B)
+        before the arrivals are delivered at the action point of the
+        first slot covering their release -- the interpreter's exact
+        interleaving of outcomes and arrivals -- and a new sub-batch
+        starts.  Returns the interpreter's end-of-segment policy clock.
+        """
+        policy = self._policy
+        pairs = self._pairs
+        plan: List[_Planned] = []
+        final_clock = cycle_start + self._action_offset
+        action_point = final_clock
+        release = self._next_release_mt()
+        for slot_id in range(1, self._n_slots + 1):
+            if release is not None and release <= action_point:
+                # Settle the sub-batch so the arrival path (promise
+                # admission, redundancy copies) observes its outcomes.
+                self._flush(cycle, plan, "static")
+                plan = []
+                deliver(action_point)
+                release = self._next_release_mt()
+            for channel, __ in pairs:
+                pending = policy.static_frame_for(
+                    channel, cycle, slot_id, action_point)
+                if pending is None:
+                    final_clock = action_point
+                    continue
+                end = self._validate_static(pending, slot_id, action_point)
+                plan.append((channel, slot_id, action_point, end, pending))
+                final_clock = end
+            action_point += self._slot_mt
+        self._flush(cycle, plan, "static")
+        return final_clock
+
+    def _validate_static(self, pending: PendingFrame, slot_id: int,
+                         action_point: int) -> int:
+        """The interpreter's physical checks, raising its exact errors."""
+        duration = self._duration(pending.payload_bits)
+        slot_end = action_point - self._action_offset + self._slot_mt
+        if action_point + duration > slot_end:
+            raise ValueError(
+                f"policy bug: frame {pending.message_id} "
+                f"({pending.total_bits} bits, {duration} MT) does not fit "
+                f"static slot {slot_id} "
+                f"({self._params.gd_static_slot_mt} MT)"
+            )
+        if pending.generation_time_mt > action_point:
+            raise ValueError(
+                f"policy bug: frame {pending.message_id}#{pending.instance} "
+                f"transmitted at t={action_point} before its generation "
+                f"at t={pending.generation_time_mt}"
+            )
+        return action_point + duration
+
+    # ------------------------------------------------------------------
+    # Dynamic segment
+    # ------------------------------------------------------------------
+
+    def run_dynamic_segment(self, cycle: int, deliver: Deliver) -> bool:
+        """Execute the dynamic segment of ``cycle`` as one batch.
+
+        Returns:
+            ``True`` unless the segment was delegated to the interpreter
+            arbitration loop (feedback mode).
+        """
+        params = self._params
+        dynamic = self._dynamic_engine
+        policy = self._policy
+        if params.g_number_of_minislots == 0:
+            dynamic.execute_cycle(cycle, deliver)
+            return True
+        segment_start, __ = self._layout.dynamic_segment_window(cycle)
+        deliver(segment_start)
+        if policy.dynamic_idle_is_noop():
+            dynamic.last_cycle_results = []
+            queried = min(params.g_number_of_minislots,
+                          params.effective_latest_tx)
+            policy.note_time(
+                self._layout.minislot_start(cycle, queried - 1))
+            return True
+        if not policy.decisions_are_outcome_free():
+            self._note_fallback(cycle)
+            dynamic.execute_cycle(cycle, deliver)
+            if self._obs.enabled:
+                self._obs.inc("engine.heap_events",
+                              len(dynamic.last_cycle_results))
+            return False
+        plan, results, final_clock = self._plan_dynamic(cycle, segment_start)
+        dynamic.last_cycle_results = results
+        self._flush(cycle, plan, "dynamic")
+        if final_clock is not None:
+            policy.note_time(final_clock)
+        self.vectorized_batches += 1
+        if self._obs.enabled:
+            self._obs.inc("engine.vectorized_batches")
+        return True
+
+    def _plan_dynamic(
+        self, cycle: int, segment_start: int,
+    ) -> Tuple[List[_Planned], List[DynamicSlotResult], Optional[int]]:
+        """Phase A of the minislot-counting arbitration, per channel.
+
+        Mirrors ``DynamicSegmentEngine._arbitrate_channel`` step for
+        step -- query gating on pLatestTx, the one-minislot idle charge,
+        the hold path -- but collects transmissions instead of settling
+        them.  Channel A's queries still precede channel B's (they share
+        the policy's pools); only the *outcomes* are deferred, which the
+        outcome-free promise makes invisible.
+        """
+        params = self._params
+        policy = self._policy
+        latest_tx = params.effective_latest_tx
+        first_slot = params.first_dynamic_slot_id
+        last_slot = params.last_dynamic_slot_id
+        total = params.g_number_of_minislots
+        minislot_mt = params.gd_minislot_mt
+        action_offset = params.gd_minislot_action_point_offset_mt
+        plan: List[_Planned] = []
+        results: List[DynamicSlotResult] = []
+        final_clock: Optional[int] = None
+        for channel, slot_counter in self._pairs:
+            slot_counter.jump_to(first_slot)
+            elapsed = 0
+            slot_id = first_slot
+            while elapsed < total and slot_id <= last_slot:
+                start_mt = segment_start + elapsed * minislot_mt
+                pending: Optional[PendingFrame] = None
+                if elapsed < latest_tx:
+                    pending = policy.dynamic_frame_for(
+                        channel, slot_id, start_mt, total - elapsed)
+                    final_clock = start_mt
+                if pending is None:
+                    elapsed += 1
+                    results.append(DynamicSlotResult(
+                        channel=channel, slot_id=slot_id, transmitted=False,
+                        minislots_consumed=1,
+                    ))
+                    slot_id += 1
+                    continue
+                needed = params.minislots_for_bits(pending.payload_bits)
+                if needed > total - elapsed:
+                    policy.on_dynamic_hold(pending, channel)
+                    elapsed += 1
+                    results.append(DynamicSlotResult(
+                        channel=channel, slot_id=slot_id, transmitted=False,
+                        minislots_consumed=1,
+                    ))
+                    slot_id += 1
+                    continue
+                action_start = start_mt + action_offset
+                end = action_start + self._duration(pending.payload_bits)
+                plan.append((channel, slot_id, action_start, end, pending))
+                final_clock = end
+                elapsed += min(needed, total - elapsed)
+                results.append(DynamicSlotResult(
+                    channel=channel, slot_id=slot_id, transmitted=True,
+                    minislots_consumed=needed, message_id=pending.message_id,
+                ))
+                slot_id += 1
+        return plan, results, final_clock
+
+    # ------------------------------------------------------------------
+    # Phase B
+    # ------------------------------------------------------------------
+
+    def _flush(self, cycle: int, plan: List[_Planned],
+               segment: str) -> None:
+        """Settle a segment plan: fault draws, trace batch, outcomes."""
+        if not plan:
+            return
+        verdicts = self._fault_verdicts(plan)
+        records = []
+        outcomes = []
+        for (channel, slot_id, start, end, pending), corrupted \
+                in zip(plan, verdicts):
+            outcome = (TransmissionOutcome.CORRUPTED if corrupted
+                       else TransmissionOutcome.DELIVERED)
+            outcomes.append(outcome)
+            records.append(FrameRecord(
+                message_id=pending.message_id,
+                instance=pending.instance,
+                channel=channel.value,
+                slot_id=slot_id,
+                cycle=cycle,
+                start=start,
+                end=end,
+                bits=pending.total_bits,
+                payload_bits=pending.payload_bits,
+                segment=segment,
+                outcome=outcome,
+                is_retransmission=pending.is_retransmission,
+                generation_time=pending.generation_time_mt,
+                deadline=pending.deadline_mt,
+                chunk=pending.frame.chunk,
+            ))
+        self._trace.record_batch(records)
+        policy = self._policy
+        for (channel, __, ___, end, pending), outcome in zip(plan, outcomes):
+            policy.on_outcome(pending, channel, segment, outcome, end)
+
+    def _fault_verdicts(self, plan: List[_Planned]) -> List[bool]:
+        """Corruption verdicts for a plan, draw-order exact.
+
+        With a batching injector, the plan is split into per-channel
+        subsequences (each channel owns an independent RNG stream, so
+        the split consumes every stream exactly as the interpreter's
+        interleaved consults would).  Without one, the oracle is called
+        scalar-wise in the interpreter's exact order, which is correct
+        for arbitrary stateful oracles.
+        """
+        batch = self._batch_faults
+        if batch is None:
+            corrupts = self._corrupts
+            return [corrupts(channel, pending.total_bits, start)
+                    for channel, __, start, ___, pending in plan]
+        by_channel: Dict[str, Tuple[Channel, List[int]]] = {}
+        for channel, __, ___, ____, pending in plan:
+            bucket = by_channel.get(channel.value)
+            if bucket is None:
+                bucket = by_channel[channel.value] = (channel, [])
+            bucket[1].append(pending.total_bits)
+        cursors = {
+            name: iter(batch(channel, bits_list))
+            for name, (channel, bits_list) in by_channel.items()
+        }
+        return [next(cursors[entry[0].value]) for entry in plan]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _duration(self, payload_bits: int) -> int:
+        duration = self._duration_memo.get(payload_bits)
+        if duration is None:
+            duration = frame_duration_mt(payload_bits, self._params)
+            self._duration_memo[payload_bits] = duration
+        return duration
+
+    def _note_fallback(self, cycle: int) -> None:
+        if cycle != self._last_fallback_cycle:
+            self._last_fallback_cycle = cycle
+            self.scalar_fallback_cycles += 1
+            if self._obs.enabled:
+                self._obs.inc("engine.scalar_fallback_cycles")

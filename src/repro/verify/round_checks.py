@@ -16,16 +16,21 @@ re-derives the round's invariants from first principles:
 - **FRS112** -- the derived slack tables must match the owner arrays:
   the idle set of every (channel, cycle-in-pattern) is exactly the
   complement of the owned set, and the prefix sums agree with it.
+- **FRS113** -- the static-step view must re-derive from the flat
+  arrays: this is the batch geometry both the stepper and the
+  vectorized engine execute, so a step out of slot order, a wrong
+  action offset, entries out of channel order, a phantom entry or a
+  missing owned slot would silently change what transmits.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.flexray.channel import Channel
 from repro.flexray.params import FlexRayParams
 from repro.flexray.schedule import ScheduleTable
-from repro.timeline.compiler import SEGMENT_STATIC, CompiledRound
+from repro.timeline.compiler import CHANNEL_CODES, SEGMENT_STATIC, CompiledRound
 from repro.verify.diagnostics import Diagnostic, Report, Severity
 
 __all__ = ["check_compiled_round"]
@@ -81,6 +86,7 @@ def check_compiled_round(compiled: CompiledRound,
     _check_owner_agreement(compiled, table, params, budget)
     _check_windows(compiled, params, budget)
     _check_slack_tables(compiled, params, budget)
+    _check_static_steps(compiled, params, budget)
     budget.close()
     return report
 
@@ -209,4 +215,105 @@ def _check_slack_tables(compiled: CompiledRound, params: FlexRayParams,
                         f"idle tables sum to {expected_sum}",
                 fix_hint="the prefix sums diverged from the idle tables; "
                          "recompile the round",
+            ))
+
+
+def _check_static_steps(compiled: CompiledRound, params: FlexRayParams,
+                        budget: _Budget) -> None:
+    """FRS113: the static-step batch view re-derives from the flat arrays.
+
+    ``static_steps(cycle)`` is the geometry both engines execute -- the
+    stepper walks it slot by slot and the vectorized engine plans whole
+    cycle batches over it -- so it is re-derived here from the flat
+    arrays alone (not through ``owner()``, which has its own cache).
+    """
+    cycle_mt = params.gd_cycle_mt
+    slot_mt = params.gd_static_slot_mt
+    offset = params.gd_action_point_offset_mt
+    fix = ("recompile the round (compile_round); the step view diverged "
+           "from the flat arrays")
+    # (channel code, slot_id) -> frame_id, per cycle, from the raw rows.
+    expected: List[Dict[Tuple[int, int], int]] = [
+        dict() for __ in range(compiled.cycle_count)
+    ]
+    for i, kind in enumerate(compiled.segment_kinds):
+        if kind != SEGMENT_STATIC:
+            continue
+        code = compiled.channel_codes[i]
+        if code not in (0, 1):
+            continue
+        cycle = compiled.starts[i] // cycle_mt
+        if 0 <= cycle < compiled.cycle_count:
+            expected[cycle][(code, compiled.slot_ids[i])] = \
+                compiled.frame_ids[i]
+    for cycle in range(compiled.cycle_count):
+        covered: set = set()
+        last_slot = 0
+        for step in compiled.static_steps(cycle):
+            where = f"round.steps.cycle {cycle}.slot {step.slot_id}"
+            if step.slot_id <= last_slot:
+                budget.add(Diagnostic(
+                    rule_id="FRS113", severity=Severity.ERROR,
+                    location=where,
+                    message=f"step for slot {step.slot_id} follows slot "
+                            f"{last_slot}: steps must be strictly "
+                            f"slot-ascending (the engines execute them "
+                            f"in time order)",
+                    fix_hint=fix,
+                ))
+            last_slot = max(last_slot, step.slot_id)
+            expected_action = (step.slot_id - 1) * slot_mt + offset
+            if step.action_offset_mt != expected_action:
+                budget.add(Diagnostic(
+                    rule_id="FRS113", severity=Severity.ERROR,
+                    location=where,
+                    message=f"step action offset {step.action_offset_mt} "
+                            f"is not the slot-{step.slot_id} action point "
+                            f"{expected_action}",
+                    fix_hint=fix,
+                ))
+            codes = [CHANNEL_CODES[channel] for channel, __ in step.entries]
+            if codes != sorted(set(codes)):
+                budget.add(Diagnostic(
+                    rule_id="FRS113", severity=Severity.ERROR,
+                    location=where,
+                    message=f"step entries are not in strict channel order "
+                            f"(codes {codes}); the engines query channel A "
+                            f"before channel B within a slot",
+                    fix_hint=fix,
+                ))
+            for channel, frame in step.entries:
+                key = (CHANNEL_CODES[channel], step.slot_id)
+                frame_id = expected[cycle].get(key)
+                if frame_id is None:
+                    budget.add(Diagnostic(
+                        rule_id="FRS113", severity=Severity.ERROR,
+                        location=where,
+                        message=f"phantom step entry on channel "
+                                f"{channel.name}: the flat arrays have no "
+                                f"static row for this (channel, cycle, "
+                                f"slot)",
+                        fix_hint=fix,
+                    ))
+                    continue
+                covered.add(key)
+                if frame is not None and frame_id >= 0 \
+                        and frame.frame_id != frame_id:
+                    budget.add(Diagnostic(
+                        rule_id="FRS113", severity=Severity.ERROR,
+                        location=where,
+                        message=f"step entry frame id {frame.frame_id} "
+                                f"disagrees with the flat arrays' "
+                                f"frame id {frame_id}",
+                        fix_hint=fix,
+                    ))
+        for code, slot_id in sorted(set(expected[cycle]) - covered):
+            channel_name = "A" if code == 0 else "B"
+            budget.add(Diagnostic(
+                rule_id="FRS113", severity=Severity.ERROR,
+                location=f"round.steps.cycle {cycle}.slot {slot_id}",
+                message=f"owned static entry on channel {channel_name} is "
+                        f"missing from the step view: the engines would "
+                        f"never transmit it",
+                fix_hint=fix,
             ))

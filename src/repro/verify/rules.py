@@ -95,6 +95,12 @@ VERIFY_RULES: Dict[str, Rule] = _catalogue(
          "A compiled round's idle/slack tables are not the exact "
          "complement of its owner arrays (the stepper and the "
          "acceptance test would disagree about structural slack)."),
+    Rule("FRS113", "round-steps-inconsistent", Severity.ERROR,
+         "A compiled round's static-step view (the batch geometry the "
+         "stepper and the vectorized engine execute) disagrees with the "
+         "flat schedule arrays: steps out of slot order, a wrong action "
+         "offset, entries out of channel order, a phantom entry, or an "
+         "owned slot missing from the steps."),
     # ---------------------------------------------------------------- ANA
     Rule("ANA201", "slack-negative", Severity.ERROR,
          "A slack-table entry is negative: guaranteed idle capacity can "

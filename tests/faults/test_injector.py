@@ -100,3 +100,45 @@ class TestBurstFaultInjector:
                                       burst_rate_per_ms=0.0)
         injector(Channel.A, 1000, 0)
         assert injector.observed_rate() == 0.0
+
+
+class TestBatchDrawOrder:
+    """The batch oracle must replay the scalar consult order exactly."""
+
+    def test_batch_matches_scalar_per_channel(self):
+        model = BitErrorRateModel(ber_channel_a=0.05)
+        # Long enough to exercise the numpy batch path, not just the
+        # small-batch scalar shortcut inside bernoulli_batch.
+        bits = [128, 336, 64, 336, 200, 128, 64, 336] * 3
+        scalar = TransientFaultInjector(model, RngStream(4, "experiment"))
+        expected = {
+            channel: [scalar(channel, b, i) for i, b in enumerate(bits)]
+            for channel in (Channel.A, Channel.B)
+        }
+        batched = TransientFaultInjector(model, RngStream(4, "experiment"))
+        for channel in (Channel.A, Channel.B):
+            assert batched.batch(channel, bits) == expected[channel]
+        assert batched.consulted == scalar.consulted
+        assert batched.injected == scalar.injected
+
+    def test_batch_matches_interleaved_scalar_consults(self):
+        """Slot-major interleaving across channels (the interpreter's
+        consult order) equals two per-channel batches (the vectorized
+        engine's order) -- the core soundness claim of the batch split."""
+        model = BitErrorRateModel(ber_channel_a=0.08, ber_channel_b=0.02)
+        bits = [128, 336, 64, 200, 336, 64]
+        scalar = TransientFaultInjector(model, RngStream(9, "experiment"))
+        seen = {Channel.A: [], Channel.B: []}
+        for i, b in enumerate(bits):  # interleaved, A then B per slot
+            seen[Channel.A].append(scalar(Channel.A, b, i))
+            seen[Channel.B].append(scalar(Channel.B, b, i))
+        batched = TransientFaultInjector(model, RngStream(9, "experiment"))
+        assert batched.batch(Channel.A, bits) == seen[Channel.A]
+        assert batched.batch(Channel.B, bits) == seen[Channel.B]
+
+    def test_empty_batch_consumes_nothing(self):
+        model = BitErrorRateModel(ber_channel_a=0.05)
+        injector = TransientFaultInjector(model, RngStream(6, "experiment"))
+        assert injector.batch(Channel.A, []) == []
+        reference = TransientFaultInjector(model, RngStream(6, "experiment"))
+        assert injector(Channel.A, 128, 0) == reference(Channel.A, 128, 0)

@@ -1,0 +1,195 @@
+"""Differential fuzzing: three engines, one canonical trace.
+
+The vectorized cycle-batch engine sits behind the same oracle gate as
+the compiled-timeline stepper: for *any* valid configuration,
+interpreter, stepper and vectorized mode must produce byte-identical
+canonical traces, identical policy counters and identical cycle counts.
+This suite enforces that claim on generated scenarios
+(:mod:`repro.workloads.generator`) instead of hand-picked ones:
+
+- a deterministic seed sweep (``REPRO_FUZZ_SCENARIOS``, default 200) so
+  every CI run covers the same ground,
+- a hypothesis-driven search over fresh seeds beyond the sweep range
+  (profiles ``dev``/``ci`` via ``REPRO_HYPOTHESIS_PROFILE``),
+- directed boundary scans hypothesis is unlikely to hit by luck:
+  dynamic-segment exact-fill payload sizes and correlated fault bursts
+  (the burst injector has no batch interface, so it also exercises the
+  vectorized engine's scalar-oracle fault path).
+
+A failing case always prints the generator seed; rerun it with
+``generate_scenario(seed)`` -- no hypothesis database needed.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import make_policy, run_experiment
+from repro.faults.ber import BitErrorRateModel
+from repro.faults.injector import BurstFaultInjector
+from repro.flexray.cluster import FlexRayCluster
+from repro.packing.frame_packing import pack_signals
+from repro.sim.rng import RngStream
+from repro.sim.trace import canonical_trace_bytes, trace_digest
+from repro.workloads.generator import (
+    SCHEDULER_CHOICES,
+    generate_scenario,
+)
+from repro.workloads.sae import sae_aperiodic_signals
+from repro.workloads.synthetic import synthetic_signals
+
+ENGINES = ("interpreter", "stepper", "vectorized")
+
+#: Deterministic sweep width; CI pins it, local runs may widen it.
+SWEEP_SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "200"))
+
+settings.register_profile("dev", max_examples=20, deadline=None,
+                          derandomize=True,
+                          suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("ci", max_examples=60, deadline=None,
+                          derandomize=True,
+                          suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
+
+
+def fingerprint(result):
+    """Everything the oracle gate compares, as one tuple."""
+    return (
+        canonical_trace_bytes(result.cluster.trace),
+        trace_digest(result.cluster.trace),
+        result.cycles_run,
+        tuple(sorted(result.counters.items())),
+    )
+
+
+def assert_scenario_equivalent(scenario):
+    """Run ``scenario`` under all three engines and compare fingerprints."""
+    results = {
+        mode: run_experiment(engine_mode=mode, **scenario.experiment_kwargs())
+        for mode in ENGINES
+    }
+    oracle = fingerprint(results["interpreter"])
+    for mode in ("stepper", "vectorized"):
+        assert fingerprint(results[mode]) == oracle, (
+            f"{mode} diverged from the interpreter on seed "
+            f"{scenario.seed} ({scenario.name})"
+        )
+    return results
+
+
+class TestGeneratedScenarioSweep:
+    @pytest.mark.parametrize("seed", range(SWEEP_SCENARIOS))
+    def test_three_way_equivalence(self, seed):
+        assert_scenario_equivalent(generate_scenario(seed))
+
+    def test_generator_is_deterministic(self):
+        first, second = generate_scenario(13), generate_scenario(13)
+        assert first.name == second.name
+        assert first.params == second.params
+        assert [s.name for s in first.periodic] \
+            == [s.name for s in second.periodic]
+
+    def test_sweep_covers_the_target_regimes(self):
+        """The fixed sweep must actually reach every engine path.
+
+        If a generator change quietly stopped producing e.g.
+        zero-minislot clusters, the sweep would still pass while testing
+        less; this meta-check fails instead.
+        """
+        scenarios = [generate_scenario(seed)
+                     for seed in range(SWEEP_SCENARIOS)]
+        assert {s.scheduler for s in scenarios} == set(SCHEDULER_CHOICES)
+        assert any(s.params.g_number_of_minislots == 0 for s in scenarios)
+        assert any(s.params.p_latest_tx_minislot > 0 for s in scenarios)
+        assert any(s.params.channel_count == 1 for s in scenarios)
+        assert any(s.instance_limit is not None for s in scenarios)
+        assert any(s.aperiodic is not None for s in scenarios)
+        assert any(s.ber == 0.0 for s in scenarios)
+        assert any(s.ber >= 1e-4 for s in scenarios)
+        assert any("gen-mc" in s.periodic for s in scenarios), \
+            "no sweep scenario runs a post-mode-change workload"
+
+
+class TestHypothesisSearch:
+    @given(seed=st.integers(min_value=SWEEP_SCENARIOS,
+                            max_value=2**31 - 1))
+    def test_fresh_seeds_stay_equivalent(self, seed):
+        assert_scenario_equivalent(generate_scenario(seed))
+
+
+class TestDynamicFillBoundaries:
+    """Directed scan across dynamic-slot fill levels.
+
+    Sweeping the aperiodic payload size walks the arbitration through
+    every fill regime -- short frames, exact minislot fill, and frames
+    one bit past a minislot boundary (which must hold, not truncate).
+    Random scenario generation rarely lands exactly on the boundary, so
+    it is scanned explicitly.
+    """
+
+    @pytest.mark.parametrize("size_bits", range(8, 337, 24))
+    def test_fill_levels_are_equivalent(self, small_params, size_bits):
+        params = small_params.with_minislots(6)
+        kwargs = dict(
+            params=params,
+            scheduler="dynamic-priority",
+            periodic=synthetic_signals(3, seed=2, max_size_bits=216),
+            aperiodic=sae_aperiodic_signals(
+                count=2, seed=size_bits, interarrival_ms=2.0,
+                deadline_ms=8.0, min_size_bits=size_bits,
+                max_size_bits=size_bits),
+            ber=1e-4,
+            seed=size_bits,
+            duration_ms=16.0,
+            drop_expired_dynamic=False,
+        )
+        results = {mode: run_experiment(engine_mode=mode, **kwargs)
+                   for mode in ENGINES}
+        oracle = fingerprint(results["interpreter"])
+        for mode in ("stepper", "vectorized"):
+            assert fingerprint(results[mode]) == oracle, \
+                f"{mode} diverged at payload size {size_bits}"
+
+
+class TestFaultBursts:
+    """Correlated bursts through an injector with no batch interface.
+
+    ``BurstFaultInjector`` deliberately exposes only the scalar
+    ``__call__``, so the vectorized engine must fall back to consulting
+    it frame-by-frame in the interpreter's interleaved order -- the
+    exact path a user-supplied fault model would take.
+    """
+
+    def _run(self, mode, small_params, tiny_periodic_signals):
+        packing = pack_signals(tiny_periodic_signals, small_params)
+        ber_model = BitErrorRateModel(ber_channel_a=1e-5)
+        rng = RngStream(31, scope="experiment")
+        policy = make_policy("coefficient", packing, ber_model)
+        cluster = FlexRayCluster(
+            params=small_params,
+            policy=policy,
+            sources=packing.build_sources(rng),
+            corrupts=BurstFaultInjector(
+                ber_model, rng, burst_ber=0.02,
+                burst_rate_per_ms=2.0, burst_length_mt=300),
+            mode=mode,
+        )
+        cycles = cluster.run_for_ms(40.0)
+        return cluster, cycles
+
+    def test_bursts_are_equivalent_three_ways(self, small_params,
+                                              tiny_periodic_signals):
+        runs = {mode: self._run(mode, small_params, tiny_periodic_signals)
+                for mode in ENGINES}
+        oracle_cluster, oracle_cycles = runs["interpreter"]
+        oracle_bytes = canonical_trace_bytes(oracle_cluster.trace)
+        outcomes = {r.outcome.value for r in oracle_cluster.trace}
+        assert "corrupted" in outcomes, "burst faults never fired"
+        for mode in ("stepper", "vectorized"):
+            cluster, cycles = runs[mode]
+            assert cycles == oracle_cycles
+            assert canonical_trace_bytes(cluster.trace) == oracle_bytes, \
+                f"{mode} diverged under burst faults"
+        assert runs["vectorized"][0].vectorized_active

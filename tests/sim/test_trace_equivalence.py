@@ -34,11 +34,24 @@ from repro.workloads.synthetic import synthetic_signals
 
 
 def run_both(**kwargs):
-    """Run one configuration under both engines and return the pair."""
+    """Run one configuration under all three engines.
+
+    Returns the (interpreter, stepper) pair the pre-vectorized tests
+    were written against; the vectorized run is checked against the
+    oracle inline, so every scenario in this module is a three-way
+    differential test.
+    """
     oracle = run_experiment(engine_mode="interpreter", **kwargs)
     fast = run_experiment(engine_mode=EngineMode.STEPPER, **kwargs)
+    batch = run_experiment(engine_mode=EngineMode.VECTORIZED, **kwargs)
     assert oracle.cluster.mode is EngineMode.INTERPRETER
     assert fast.cluster.mode is EngineMode.STEPPER
+    assert batch.cluster.mode is EngineMode.VECTORIZED
+    assert batch.cluster.vectorized_active
+    assert (canonical_trace_bytes(batch.cluster.trace)
+            == canonical_trace_bytes(oracle.cluster.trace))
+    assert batch.cycles_run == oracle.cycles_run
+    assert batch.counters == oracle.counters
     return oracle, fast
 
 

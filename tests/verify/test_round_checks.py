@@ -129,6 +129,73 @@ class TestFrs112SlackInconsistent:
         assert "FRS111" not in report.rule_ids()
 
 
+class TestFrs113StepsInconsistent:
+    """The static-step view (the engines' batch geometry) vs the arrays.
+
+    ``_static_steps`` is a derived cache; these tests tamper with it
+    directly, the way a bad deserializer or future compiler change
+    would, and expect FRS113 to notice while the array rules stay
+    quiet.
+    """
+
+    def test_clean_round_has_no_frs113(self, compiled, table):
+        assert "FRS113" not in check_compiled_round(compiled,
+                                                    table=table).rule_ids()
+
+    def test_missing_step_is_reported(self, compiled, table):
+        with_steps = rebuild(compiled)
+        with_steps._static_steps = tuple(
+            steps[1:] if cycle == 0 else steps
+            for cycle, steps in enumerate(with_steps._static_steps)
+        )
+        report = check_compiled_round(with_steps, table=table)
+        assert "FRS113" in report.rule_ids()
+        assert any("missing from the step view" in d.message
+                   for d in report.diagnostics)
+        assert "FRS110" not in report.rule_ids()
+        assert "FRS111" not in report.rule_ids()
+
+    def test_wrong_action_offset_is_reported(self, compiled, table):
+        broken = rebuild(compiled)
+        first_cycle = list(broken._static_steps[0])
+        step = first_cycle[0]
+        first_cycle[0] = step._replace(
+            action_offset_mt=step.action_offset_mt + 3)
+        broken._static_steps = (tuple(first_cycle),) \
+            + broken._static_steps[1:]
+        report = check_compiled_round(broken, table=table)
+        assert "FRS113" in report.rule_ids()
+        assert any("action offset" in d.message for d in report.diagnostics)
+
+    def test_out_of_order_steps_are_reported(self, compiled, table):
+        broken = rebuild(compiled)
+        first_cycle = list(broken._static_steps[0])
+        assert len(first_cycle) >= 2, "fixture needs >= 2 owned slots"
+        first_cycle.reverse()
+        broken._static_steps = (tuple(first_cycle),) \
+            + broken._static_steps[1:]
+        report = check_compiled_round(broken, table=table)
+        assert "FRS113" in report.rule_ids()
+        assert any("slot-ascending" in d.message for d in report.diagnostics)
+
+    def test_phantom_entry_is_reported(self, compiled, table):
+        broken = rebuild(compiled)
+        first_cycle = list(broken._static_steps[0])
+        step = first_cycle[0]
+        owned_channels = {channel for channel, __ in step.entries}
+        phantom = (Channel.B if Channel.B not in owned_channels
+                   else Channel.A)
+        if phantom in owned_channels:
+            pytest.skip("fixture owns every channel in the first slot")
+        first_cycle[0] = step._replace(
+            entries=step.entries + ((phantom, step.entries[0][1]),))
+        broken._static_steps = (tuple(first_cycle),) \
+            + broken._static_steps[1:]
+        report = check_compiled_round(broken, table=table)
+        assert "FRS113" in report.rule_ids()
+        assert any("phantom" in d.message for d in report.diagnostics)
+
+
 class TestVerifyConfigurationIntegration:
     def test_clean_round_passes(self, compiled, table, small_params):
         report = verify_configuration(params=small_params, schedule=table,
