@@ -18,7 +18,14 @@ Four subcommands mirror the library's main entry points:
 - ``serve`` -- run the online admission-control service (JSON lines
   over TCP; see ``docs/service.md``);
 - ``loadgen`` -- fire a deterministic seeded Poisson request stream at
-  a running service and report latency/acceptance percentiles.
+  a running service and report latency/acceptance percentiles;
+- ``web`` -- serve a result store over read-only HTTP (paginated
+  canonical-JSON endpoints with content-digest ETags; see
+  ``docs/results.md``).
+
+``run``, ``campaign``, ``serve`` and ``verify-config`` accept
+``--store PATH`` to persist what they produce into the SQLite result
+store ``repro web`` reads.
 
 Invoke as ``python -m repro <subcommand>``; every subcommand supports
 ``--help``.
@@ -132,30 +139,45 @@ def _finish_observability(args, obs, events, **meta) -> None:
         print(format_profile(obs.profiler), file=sys.stderr)
 
 
+def _open_store(args, obs):
+    """Open the ``--store`` result store, or ``None`` without the flag."""
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    from repro.results import ResultStore
+
+    return ResultStore(path, obs=obs)
+
+
 def _cmd_run(args) -> int:
     obs, events = _make_observability(args)
     periodic = _periodic_workload(args.workload, args.count, args.seed)
     aperiodic = sae_aperiodic_signals(count=args.aperiodic) \
         if args.aperiodic > 0 else None
     params = _params_for(args)
+    store = _open_store(args, obs)
+    experiment_kwargs = dict(
+        params=params, periodic=periodic, aperiodic=aperiodic,
+        ber=args.ber, duration_ms=args.duration_ms,
+        reliability_goal=args.rho, engine_mode=args.engine_mode)
     rows = []
     for scheduler in args.scheduler:
         result = run_experiment(
-            params=params,
             scheduler=scheduler,
-            periodic=periodic,
-            aperiodic=aperiodic,
-            ber=args.ber,
             seed=args.seed,
-            duration_ms=args.duration_ms,
-            reliability_goal=args.rho,
             obs=obs,
-            engine_mode=args.engine_mode,
+            **experiment_kwargs,
         )
         row = result.row()
         row["produced"] = result.metrics.produced_instances
         row["delivered"] = result.metrics.delivered_instances
         rows.append(row)
+        if store is not None:
+            run_id = store.record_run(result, args.seed, experiment_kwargs)
+            print(f"repro run: stored {scheduler} as run {run_id[:12]} "
+                  f"in {args.store}", file=sys.stderr)
+    if store is not None:
+        store.close()
     _emit(rows, args.json)
     _finish_observability(args, obs, events, command="run",
                           workload=args.workload, seed=args.seed,
@@ -173,6 +195,7 @@ def _cmd_campaign(args) -> int:
         if args.aperiodic > 0 else None
     params = _params_for(args)
     seeds = list(range(args.seed, args.seed + args.seeds))
+    store = _open_store(args, obs)
     rows = []
     failed = 0
     for scheduler in args.scheduler:
@@ -191,12 +214,16 @@ def _cmd_campaign(args) -> int:
                 cache_dir=args.cache_dir,
                 validate=args.validate,
                 obs=obs,
+                store=store,
+                store_workload=args.workload,
                 engine_mode=args.engine_mode,
             )
         except ConfigurationError as error:
             print(f"repro: {scheduler}: configuration failed "
                   f"validation:", file=sys.stderr)
             print(error.report.format(), file=sys.stderr)
+            if store is not None:
+                store.close()
             return 1
         row = campaign.table_row()
         row["cache_hits"] = campaign.cache_hits
@@ -207,6 +234,12 @@ def _cmd_campaign(args) -> int:
         for failure in campaign.failures:
             print(f"repro: {scheduler}: seed {failure.seed} failed "
                   f"after {failure.attempts} attempts", file=sys.stderr)
+        if campaign.store_campaign_id:
+            print(f"repro: {scheduler}: stored campaign "
+                  f"{campaign.store_campaign_id[:12]} in {args.store}",
+                  file=sys.stderr)
+    if store is not None:
+        store.close()
     _emit(rows, args.json)
     _finish_observability(args, obs, events, command="campaign",
                           workload=args.workload, seeds=args.seeds,
@@ -363,6 +396,7 @@ def _cmd_verify_config(args) -> int:
 
     workloads = _VERIFY_WORKLOADS if args.workload == "all" \
         else (args.workload,)
+    store = _open_store(args, NULL_OBS)
     rows = []
     failed = False
     for workload in workloads:
@@ -390,6 +424,12 @@ def _cmd_verify_config(args) -> int:
         })
         for diagnostic in report:
             print(f"{workload}: {diagnostic.format()}", file=sys.stderr)
+        if store is not None:
+            report_id = store.record_verify_report(report, target=workload)
+            print(f"repro verify-config: stored report {report_id[:12]} "
+                  f"for {workload} in {args.store}", file=sys.stderr)
+    if store is not None:
+        store.close()
     _emit(rows, args.json)
     return 1 if failed else 0
 
@@ -412,12 +452,17 @@ def _cmd_serve(args) -> int:
               file=sys.stderr)
         print(error.report.format(), file=sys.stderr)
         return 1
-    service = asyncio.run(serve_forever(
-        setup, host=args.host, port=args.port, obs=obs,
-        queue_limit=args.queue_limit, batch_limit=args.batch_limit,
-        request_timeout_s=args.timeout_ms / 1000.0,
-        reconcile_every=args.reconcile_every,
-        audit_every=args.audit_every))
+    store = _open_store(args, obs)
+    try:
+        service = asyncio.run(serve_forever(
+            setup, host=args.host, port=args.port, obs=obs,
+            queue_limit=args.queue_limit, batch_limit=args.batch_limit,
+            request_timeout_s=args.timeout_ms / 1000.0,
+            reconcile_every=args.reconcile_every,
+            audit_every=args.audit_every, store=store))
+    finally:
+        if store is not None:
+            store.close()
     rows = [dict(sorted(service.counters.items()))] \
         if service.counters else []
     _emit(rows, args.json)
@@ -462,6 +507,23 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_web(args) -> int:
+    import asyncio
+
+    from repro.results import serve_web
+
+    obs, events = _make_observability(args)
+    try:
+        asyncio.run(serve_web(args.store, host=args.host, port=args.port,
+                              obs=obs))
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro web: {error}", file=sys.stderr)
+        return 1
+    _finish_observability(args, obs, events, command="web",
+                          store=args.store)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import lint_paths
 
@@ -503,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write observability counters/gauges/events "
                             "as JSONL to PATH")
 
+    def store_option(p, what):
+        p.add_argument("--store", default=None, metavar="DB",
+                       help=f"persist {what} into the SQLite result "
+                            f"store at DB (browse with `repro web`)")
+
     run_parser = sub.add_parser("run", help="run one experiment")
     common(run_parser)
     observability(run_parser)
@@ -518,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="timeline stepper fast path (default), "
                                  "the pure event-list interpreter oracle, "
                                  "or the cycle-batch vectorized engine")
+    store_option(run_parser, "the run results")
     run_parser.set_defaults(handler=_cmd_run)
 
     campaign_parser = sub.add_parser(
@@ -557,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  default="stepper",
                                  help="engine every seed runs under "
                                       "(all modes are trace-equivalent)")
+    store_option(campaign_parser, "the campaign and its per-seed runs")
     campaign_parser.set_defaults(handler=_cmd_campaign)
 
     figure_parser = sub.add_parser("figures",
@@ -624,6 +693,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     "to 30)")
     verify_parser.add_argument("--json", action="store_true",
                                help="emit JSON instead of a table")
+    store_option(verify_parser, "each verification report")
     verify_parser.set_defaults(handler=_cmd_verify_config)
 
     serve_parser = sub.add_parser(
@@ -677,8 +747,22 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(tests only)")
     serve_parser.add_argument("--json", action="store_true",
                               help="emit final counters as JSON")
+    store_option(serve_parser, "audit samples and the drain summary")
     observability(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    web_parser = sub.add_parser(
+        "web",
+        help="serve a result store over read-only HTTP "
+             "(canonical JSON + ETags)")
+    web_parser.add_argument("--store", required=True, metavar="DB",
+                            help="SQLite result store to serve")
+    web_parser.add_argument("--host", default="127.0.0.1")
+    web_parser.add_argument("--port", type=int, default=8478,
+                            help="TCP port (0 = ephemeral; the bound "
+                                 "port is printed to stderr)")
+    observability(web_parser)
+    web_parser.set_defaults(handler=_cmd_web)
 
     loadgen_parser = sub.add_parser(
         "loadgen",

@@ -40,7 +40,7 @@ from repro.flexray.signal import SignalSet
 from repro.obs import NULL_OBS, ObsLike, ObsSnapshot
 
 __all__ = ["CACHE_VERSION", "CacheEntry", "CampaignCache",
-           "cache_key", "fingerprint"]
+           "cache_key", "config_key", "fingerprint", "run_key"]
 
 #: Bump on any change to the cached payload shape or to simulation
 #: semantics that should invalidate old entries wholesale.
@@ -98,6 +98,43 @@ def cache_key(scheduler: str, seed: int,
         "scheduler": scheduler,
         "seed": seed,
         "kwargs": fingerprint(experiment_kwargs),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _strip_engine_mode(experiment_kwargs: Mapping[str, object],
+                       ) -> Mapping[str, object]:
+    return {key: value for key, value in experiment_kwargs.items()
+            if key != "engine_mode"}
+
+
+def run_key(scheduler: str, seed: int,
+            experiment_kwargs: Mapping[str, object]) -> str:
+    """Engine-independent content key of one run.
+
+    Same fingerprint as :func:`cache_key` with ``engine_mode`` stripped
+    from the kwargs first: the three engines are trace-equivalent by
+    contract, so the same configuration simulated under any of them is
+    the *same run*.  The result store keys runs this way, which is what
+    lets it line digests from different engines up against each other.
+    """
+    return cache_key(scheduler, seed, _strip_engine_mode(experiment_kwargs))
+
+
+def config_key(scheduler: str,
+               experiment_kwargs: Mapping[str, object]) -> str:
+    """Seed- and engine-independent key of one campaign configuration.
+
+    Two campaigns over the same workload/scheduler/parameters share this
+    key even when run with different seed lists, which is the facet the
+    result store groups campaigns by.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "repro_version": _package_version(),
+        "scheduler": scheduler,
+        "kwargs": fingerprint(_strip_engine_mode(experiment_kwargs)),
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -153,6 +153,7 @@ class CampaignResult:
     obs_snapshots: List[ObsSnapshot] = field(default_factory=list)
     cache_hits: int = 0
     simulations_run: int = 0
+    store_campaign_id: Optional[str] = None
 
     @property
     def completed_seeds(self) -> List[int]:
@@ -348,6 +349,8 @@ def run_campaign(
     cache_dir: Optional[str] = None,
     retries: int = 1,
     validate: bool = False,
+    store=None,
+    store_workload: str = "",
     _crash_plan: Optional[Mapping[int, int]] = None,
     **experiment_kwargs,
 ) -> CampaignResult:
@@ -374,6 +377,14 @@ def run_campaign(
         retries: Extra attempts for a seed whose run raises (default 1;
             a seed failing every attempt lands in
             :attr:`CampaignResult.failures`).
+        store: A :class:`repro.results.ResultStore` (or a path to one)
+            the finished campaign is ingested into -- campaign row,
+            per-seed runs, trace digests under the campaign's engine
+            mode, and per-seed obs snapshots, all in one transaction.
+            The assigned content-addressed id lands on
+            :attr:`CampaignResult.store_campaign_id`.
+        store_workload: Workload label recorded with the campaign (the
+            store's faceting key; free-form).
         validate: Run the simulation-free invariant checks of
             :mod:`repro.verify` over the configuration *before* any
             seed executes; ERROR findings raise
@@ -477,12 +488,23 @@ def run_campaign(
             name, [_METRIC_EXTRACTORS[name](result) for result in results])
         for name in names
     }
-    return CampaignResult(
+    campaign = CampaignResult(
         scheduler=scheduler, seeds=list(seeds), results=results,
         summaries=summaries, failures=failures,
         obs_snapshots=snapshots if collect_obs else [],
         cache_hits=cache_hits, simulations_run=simulations_run,
     )
+    if store is not None:
+        from repro.results.store import ResultStore
+
+        if isinstance(store, str):
+            with ResultStore(store, obs=obs) as opened:
+                campaign.store_campaign_id = opened.record_campaign(
+                    campaign, experiment_kwargs, workload=store_workload)
+        else:
+            campaign.store_campaign_id = store.record_campaign(
+                campaign, experiment_kwargs, workload=store_workload)
+    return campaign
 
 
 def compare_campaigns(

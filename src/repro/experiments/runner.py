@@ -52,6 +52,9 @@ class ExperimentResult:
         cycles_run: Communication cycles executed.
         params: The cluster configuration used.
         cluster: The cluster itself (for deep inspection in tests).
+        engine_mode: Which engine produced the run (``"stepper"``,
+            ``"interpreter"`` or ``"vectorized"``); the result store
+            keys trace digests by it.
     """
 
     scheduler: str
@@ -60,6 +63,7 @@ class ExperimentResult:
     cycles_run: int
     params: FlexRayParams
     cluster: FlexRayCluster
+    engine_mode: str = "stepper"
 
     @property
     def completion_ms(self) -> float:
@@ -210,6 +214,7 @@ def run_experiment(
         cycles_run=cycles,
         params=params,
         cluster=cluster,
+        engine_mode=EngineMode.parse(engine_mode).value,
     )
 
 

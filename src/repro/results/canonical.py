@@ -1,0 +1,144 @@
+"""Canonical JSON: one byte sequence per value, or a loud error.
+
+Everything the result store persists and the ``repro web`` API serves
+is canonical JSON: keys sorted, separators compact, ASCII-safe, no
+silent coercion.  Canonical bytes give three properties the results
+subsystem is built on:
+
+- **content addressing** -- the SHA-256 of the canonical bytes is the
+  row id, so re-ingesting the same result converges to the same row;
+- **byte-stable responses** -- two fetches of the same resource return
+  identical bytes, so the ETag (= the content digest) is an exact
+  cache validator;
+- **no torn semantics** -- a value that cannot be represented raises
+  :class:`CanonicalEncodeError` instead of degrading to ``str(value)``
+  the way ``json.dumps(..., default=str)`` silently would.
+
+Two coercions *are* legal, because they are lossless in intent and
+must be deterministic in output, and both are reported through the
+``on_coerce`` callback so callers can count them:
+
+- numpy scalars (``np.float64``, ``np.int64`` ...) unwrap via
+  ``.item()`` -- the vectorized engine emits them into counters and
+  events;
+- non-finite floats normalize to the strings ``"NaN"``,
+  ``"Infinity"`` and ``"-Infinity"`` (canonical JSON has no NaN/Inf
+  literal; ``allow_nan=False`` backstops this).
+
+This module deliberately imports nothing from the rest of ``repro`` so
+any layer (obs export, result store, web API) can use it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Callable, Optional
+
+__all__ = ["CanonicalEncodeError", "canonical_json_bytes",
+           "content_digest", "normalize_value"]
+
+#: Signature of the coercion callback: ``(path, detail)`` of one value
+#: that was intentionally converted on its way into canonical JSON.
+OnCoerce = Optional[Callable[[str, str], None]]
+
+
+class CanonicalEncodeError(TypeError):
+    """A value that canonical JSON refuses to represent.
+
+    Subclasses :class:`TypeError` so call sites that guarded against
+    ``json.dumps`` failures keep working.
+    """
+
+
+#: Sentinel distinguishing "not a numpy scalar" from an unwrapped 0.
+_NOT_NUMPY = object()
+
+
+def _coerce_numpy(value: object) -> object:
+    """Unwrap a numpy scalar via ``.item()``; :data:`_NOT_NUMPY` otherwise.
+
+    Duck-typed on purpose: the check costs one ``type().__module__``
+    read and never imports numpy, so the encoder works (and stays
+    cheap) in environments where numpy is absent.
+    """
+    if type(value).__module__ == "numpy" and hasattr(value, "item") \
+            and not hasattr(value, "__len__"):
+        try:
+            return value.item()  # type: ignore[attr-defined]
+        except (TypeError, ValueError):
+            return _NOT_NUMPY  # a non-scalar ndarray: reject below
+    return _NOT_NUMPY
+
+
+def normalize_value(value: object, on_coerce: OnCoerce = None,
+                    _path: str = "$") -> object:
+    """Recursively normalize ``value`` into canonical-JSON-safe data.
+
+    Args:
+        value: Any composition of dict/list/tuple/str/int/float/bool/
+            ``None`` (plus numpy scalars, which unwrap).
+        on_coerce: Called once per intentional conversion with
+            ``(path, detail)``; pass a counter hook to surface how much
+            massaging an export needed.
+
+    Returns:
+        An equal value built only from JSON-native types, with
+        non-finite floats replaced by their string names.
+
+    Raises:
+        CanonicalEncodeError: On any type (or dict key) with no
+            canonical representation -- sets, bytes, dataclasses,
+            arbitrary objects.  Fail loud, never ``str()`` silently.
+    """
+    unwrapped = _coerce_numpy(value)
+    if unwrapped is not _NOT_NUMPY:
+        if on_coerce is not None:
+            on_coerce(_path, f"numpy {type(value).__name__}")
+        value = unwrapped
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        name = "NaN" if math.isnan(value) else \
+            ("Infinity" if value > 0 else "-Infinity")
+        if on_coerce is not None:
+            on_coerce(_path, f"non-finite float {name}")
+        return name
+    if isinstance(value, dict):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise CanonicalEncodeError(
+                    f"{_path}: dict key {key!r} is {type(key).__name__}, "
+                    f"canonical JSON requires string keys")
+            out[key] = normalize_value(value[key], on_coerce,
+                                       f"{_path}.{key}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [normalize_value(item, on_coerce, f"{_path}[{index}]")
+                for index, item in enumerate(value)]
+    raise CanonicalEncodeError(
+        f"{_path}: {type(value).__name__} has no canonical JSON "
+        f"representation; convert it explicitly at the call site")
+
+
+def canonical_json_bytes(value: object,
+                         on_coerce: OnCoerce = None) -> bytes:
+    """The one canonical byte serialization of ``value``.
+
+    Keys sorted, ``(",", ":")`` separators, ASCII-escaped, newline-free
+    -- two equal values always serialize to identical bytes, which is
+    the property the content digests and HTTP ETags stand on.
+    """
+    normalized = normalize_value(value, on_coerce)
+    return json.dumps(normalized, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True, allow_nan=False).encode("ascii")
+
+
+def content_digest(value: object) -> str:
+    """SHA-256 hex digest of :func:`canonical_json_bytes`."""
+    return hashlib.sha256(canonical_json_bytes(value)).hexdigest()

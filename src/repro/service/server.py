@@ -46,7 +46,22 @@ from repro.service.protocol import (
     parse_request,
 )
 
-__all__ = ["AdmissionService", "serve_forever"]
+__all__ = ["AdmissionService", "CHANNEL_STATUS_FIELDS", "STATUS_FIELDS",
+           "serve_forever"]
+
+#: Exact top-level key set of the ``stats`` reply, in reply order.
+#: docs/service.md documents these one-for-one, and the round-trip test
+#: (tests/service/test_status_contract.py) pins payload, this tuple and
+#: the docs together so they cannot drift apart again.
+STATUS_FIELDS = ("status", "workload", "tick_us", "engine_mode",
+                 "channels", "counters", "batches", "mean_batch_size",
+                 "queue_depth", "queue_limit", "draining")
+
+#: Exact key set of each per-channel entry under ``channels``.
+CHANNEL_STATUS_FIELDS = ("live", "committed", "admitted_total",
+                         "rejected_total", "released_total",
+                         "expired_total", "now", "horizon",
+                         "capacity_total", "capacity_remaining")
 
 
 class AdmissionService:
@@ -68,13 +83,17 @@ class AdmissionService:
             :class:`~repro.core.acceptance.AcceptanceTest` and count
             agreement (0 disables; expensive, meant for tests and
             canary deployments).
+        store: A :class:`repro.results.ResultStore` audit samples and
+            the final drain summary are persisted into (optional; the
+            samples become queryable under ``repro web`` /audits).
     """
 
     def __init__(self, setup: ServiceSetup, obs: ObsLike = NULL_OBS,
                  queue_limit: int = 1024, batch_limit: int = 256,
                  request_timeout_s: float = 5.0,
                  reconcile_every: int = 64,
-                 audit_every: int = 0) -> None:
+                 audit_every: int = 0,
+                 store=None) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         if batch_limit < 1:
@@ -86,6 +105,7 @@ class AdmissionService:
         self._timeout = request_timeout_s
         self._reconcile_every = reconcile_every
         self._audit_every = audit_every
+        self._store = store
         self.ledgers: Dict[str, SlackLedger] = {
             channel: SlackLedger(tasks, obs=obs, channel=channel)
             for channel, tasks in sorted(setup.channel_tasks.items())
@@ -150,6 +170,13 @@ class AdmissionService:
         # an empty queue.
         await self._queue.put(None)
         await self._drained.wait()
+        if self._store is not None:
+            self._store.record_service_audit(
+                self.setup.workload, self.setup.engine_mode, "drain",
+                ordinal=self._batches,
+                payload={"counters": dict(sorted(self.counters.items())),
+                         "batches": self._batches,
+                         "batched_requests": self._batched_requests})
 
     async def wait_closed(self) -> None:
         """Block until a drain completes."""
@@ -381,8 +408,10 @@ class AdmissionService:
 
             reference = AcceptanceTest(tasks)
             agreed = True
+            live = 0
             for name, arrival, deadline, execution in ledger.live_tasks():
                 # Rebuild the live set as offline aperiodic tasks.
+                live += 1
                 result = reference.admit(AperiodicTask(
                     name=name, arrival=arrival, execution=execution,
                     deadline=deadline - arrival))
@@ -390,6 +419,12 @@ class AdmissionService:
                     agreed = False
         self._count("service.audit.agreements" if agreed
                     else "service.audit.disagreements")
+        if self._store is not None:
+            self._store.record_service_audit(
+                self.setup.workload, self.setup.engine_mode, "audit",
+                ordinal=self.counters.get("service.audit.runs", 0),
+                payload={"channel": channel, "agreed": agreed,
+                         "live": live, "admitted_total": admitted})
 
     # -- reconciliation ------------------------------------------------
 
@@ -415,24 +450,16 @@ class AdmissionService:
     # -- read-only ops -------------------------------------------------
 
     def _stats_response(self) -> Dict[str, object]:
+        # Built off the documented field tuples so the payload cannot
+        # grow a key the contract (and docs/service.md) doesn't list.
         channels = {}
         for channel in sorted(self.ledgers):
             stats = self.ledgers[channel].stats()
-            channels[channel] = {
-                "live": stats.live,
-                "committed": stats.committed,
-                "admitted_total": stats.admitted_total,
-                "rejected_total": stats.rejected_total,
-                "released_total": stats.released_total,
-                "expired_total": stats.expired_total,
-                "now": stats.now,
-                "horizon": stats.horizon,
-                "capacity_total": stats.capacity_total,
-                "capacity_remaining": stats.capacity_remaining,
-            }
+            channels[channel] = {field: getattr(stats, field)
+                                 for field in CHANNEL_STATUS_FIELDS}
         mean_batch = (self._batched_requests / self._batches
                       if self._batches else 0.0)
-        return {
+        values = {
             "status": "ok",
             "workload": self.setup.workload,
             "tick_us": self.setup.tick_us,
@@ -445,6 +472,7 @@ class AdmissionService:
             "queue_limit": self._queue_limit,
             "draining": self._draining,
         }
+        return {field: values[field] for field in STATUS_FIELDS}
 
     def _plan_response(self, request: Request) -> Dict[str, object]:
         messages = request.fields["messages"]
@@ -473,7 +501,8 @@ async def serve_forever(setup: ServiceSetup, host: str = "127.0.0.1",
                         queue_limit: int = 1024, batch_limit: int = 256,
                         request_timeout_s: float = 5.0,
                         reconcile_every: int = 64,
-                        audit_every: int = 0) -> AdmissionService:
+                        audit_every: int = 0,
+                        store=None) -> AdmissionService:
     """Run an admission service until SIGTERM/SIGINT drains it.
 
     Returns:
@@ -482,7 +511,8 @@ async def serve_forever(setup: ServiceSetup, host: str = "127.0.0.1",
     service = AdmissionService(
         setup, obs=obs, queue_limit=queue_limit, batch_limit=batch_limit,
         request_timeout_s=request_timeout_s,
-        reconcile_every=reconcile_every, audit_every=audit_every)
+        reconcile_every=reconcile_every, audit_every=audit_every,
+        store=store)
     bound_host, bound_port = await service.start(host=host, port=port)
     service.install_signal_handlers()
     print(f"repro serve: listening on {bound_host}:{bound_port} "

@@ -86,6 +86,35 @@ class TestWriteAndRead:
         assert len(recorder) == 3
 
 
+class TestStrictEncoding:
+    def test_unencodable_event_field_raises_and_writes_nothing(
+            self, populated_obs, tmp_path):
+        events = attach_event_capture(populated_obs)
+        populated_obs.emit("engine.dispatch", payload=object())
+        path = tmp_path / "metrics.jsonl"
+        with pytest.raises(TypeError, match="payload"):
+            write_metrics_jsonl(str(path), populated_obs, events=events)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # no orphaned temp file
+
+    def test_coercions_counted(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        obs = Observability()
+        obs.inc("engine.cycles", 1)
+        events = attach_event_capture(obs)
+        obs.emit("metric.sample", value=np.float64(1.5),
+                 bad=float("nan"))
+        write_metrics_jsonl(str(tmp_path / "m.jsonl"), obs, events=events)
+        counters = obs.snapshot()["counters"]
+        assert counters["obs.export.coerced_values"] == 2
+
+    def test_clean_export_leaves_counter_untouched(self, populated_obs,
+                                                   tmp_path):
+        write_metrics_jsonl(str(tmp_path / "m.jsonl"), populated_obs)
+        counters = populated_obs.snapshot()["counters"]
+        assert "obs.export.coerced_values" not in counters
+
+
 class TestReaderValidation:
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "empty.jsonl"
@@ -112,10 +141,32 @@ class TestReaderValidation:
             read_metrics_jsonl(str(path))
 
     def test_malformed_json_rejected_with_line_number(self, tmp_path):
+        # A malformed line *before* the end is corruption, not
+        # truncation: still a hard error.
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"record": "meta", "schema": 1}\nnot json{\n')
+        path.write_text('{"record": "meta", "schema": 1}\nnot json{\n'
+                        '{"record": "counter", "name": "c", "value": 1}\n')
         with pytest.raises(ValueError, match=":2:"):
             read_metrics_jsonl(str(path))
+
+    def test_truncated_trailing_line_skipped_with_warning(self, tmp_path):
+        # The signature a crashed in-place writer leaves: a partial
+        # final line.  The intact prefix must stay readable.
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"record": "meta", "schema": 1}\n'
+                        '{"record": "counter", "name": "c", "value": 1}\n'
+                        '{"record": "gauge", "na')
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            records = read_metrics_jsonl(str(path))
+        assert [r["record"] for r in records] == ["meta", "counter"]
+
+    def test_file_of_only_a_torn_line_still_rejected(self, tmp_path):
+        # Skipping the torn tail must not bypass the meta validation.
+        path = tmp_path / "all_torn.jsonl"
+        path.write_text('{"record": "meta", "sch')
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            with pytest.raises(ValueError, match="empty"):
+                read_metrics_jsonl(str(path))
 
     def test_blank_lines_tolerated(self, populated_obs, tmp_path):
         path = tmp_path / "blanks.jsonl"

@@ -1,0 +1,103 @@
+"""The canonical JSON encoder: byte stability, coercions, rejections."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.results.canonical import (
+    CanonicalEncodeError,
+    canonical_json_bytes,
+    content_digest,
+    normalize_value,
+)
+
+
+class TestByteStability:
+    def test_key_order_never_matters(self):
+        assert canonical_json_bytes({"b": 1, "a": 2}) \
+            == canonical_json_bytes({"a": 2, "b": 1})
+
+    def test_compact_sorted_ascii(self):
+        assert canonical_json_bytes({"b": 1, "a": [1, 2]}) \
+            == b'{"a":[1,2],"b":1}'
+
+    def test_equal_values_equal_digests(self):
+        a = {"x": [1, 2.5, None, True], "y": "text"}
+        b = json.loads(json.dumps(a))
+        assert content_digest(a) == content_digest(b)
+
+    def test_tuple_and_list_serialize_identically(self):
+        assert canonical_json_bytes((1, 2)) == canonical_json_bytes([1, 2])
+
+
+_JSON_VALUES = st.recursive(
+    st.none() | st.booleans() | st.integers(min_value=-2**53, max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(), children, max_size=4),
+    max_leaves=16)
+
+
+class TestRoundTrip:
+    @given(_JSON_VALUES)
+    def test_finite_json_values_round_trip_exactly(self, value):
+        decoded = json.loads(canonical_json_bytes(value))
+        assert decoded == normalize_value(value)
+
+    @given(_JSON_VALUES)
+    def test_digest_is_deterministic(self, value):
+        assert content_digest(value) == content_digest(value)
+
+
+class TestCoercions:
+    def test_nan_and_inf_normalize_to_names(self):
+        out = normalize_value([float("nan"), float("inf"), float("-inf")])
+        assert out == ["NaN", "Infinity", "-Infinity"]
+
+    def test_numpy_scalars_unwrap(self):
+        out = normalize_value({"f": np.float64(1.5), "i": np.int64(7),
+                               "b": np.bool_(True)})
+        assert out == {"f": 1.5, "i": 7, "b": True}
+        assert type(out["f"]) is float
+        assert type(out["i"]) is int
+        assert type(out["b"]) is bool
+
+    def test_on_coerce_reports_each_conversion_with_path(self):
+        seen = []
+        normalize_value({"a": [np.float64(1.0)], "b": float("nan")},
+                        on_coerce=lambda path, detail: seen.append(path))
+        assert sorted(seen) == ["$.a[0]", "$.b"]
+
+    def test_nan_numpy_scalar_coerces_twice(self):
+        # Unwrap (numpy) then normalize (NaN) -- both reported.
+        seen = []
+        out = normalize_value(np.float64("nan"),
+                              on_coerce=lambda p, d: seen.append(d))
+        assert out == "NaN"
+        assert len(seen) == 2
+
+
+class TestRejections:
+    @pytest.mark.parametrize("value", [
+        {1, 2}, b"bytes", object(), {"k": object()},
+        np.array([1, 2, 3]),
+    ], ids=["set", "bytes", "object", "nested-object", "ndarray"])
+    def test_unrepresentable_values_raise(self, value):
+        with pytest.raises(CanonicalEncodeError):
+            canonical_json_bytes(value)
+
+    def test_non_string_dict_keys_raise(self):
+        with pytest.raises(CanonicalEncodeError, match="string keys"):
+            canonical_json_bytes({1: "x"})
+
+    def test_error_message_carries_the_path(self):
+        with pytest.raises(CanonicalEncodeError, match=r"\$\.a\[1\]"):
+            canonical_json_bytes({"a": [1, object()]})
+
+    def test_is_a_type_error(self):
+        # Call sites guarding against json.dumps failures keep working.
+        with pytest.raises(TypeError):
+            canonical_json_bytes({"x": object()})

@@ -1,0 +1,277 @@
+"""ResultStore: idempotent ingest, round-trips, queries, digests."""
+
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import run_key
+from repro.experiments.campaign import CampaignResult, MetricSummary
+from repro.obs import Observability
+from repro.results import RUN_METRIC_COLUMNS, ResultStore
+from repro.sim.trace import trace_digest
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "results.db")) as opened:
+        yield opened
+
+
+@pytest.fixture
+def populated(store, tiny_campaign, experiment_kwargs):
+    campaign_id = store.record_campaign(tiny_campaign, experiment_kwargs,
+                                        workload="tiny")
+    return store, campaign_id
+
+
+class TestIdempotentIngest:
+    def test_same_campaign_converges_to_one_row(self, populated,
+                                                tiny_campaign,
+                                                experiment_kwargs):
+        store, campaign_id = populated
+        again = store.record_campaign(tiny_campaign, experiment_kwargs,
+                                      workload="tiny")
+        assert again == campaign_id
+        counts = store.counts()
+        assert counts["campaigns"] == 1
+        assert counts["runs"] == len(tiny_campaign.results)
+        assert counts["campaign_runs"] == len(tiny_campaign.results)
+
+    def test_recorded_counter_counts_inserts_not_attempts(
+            self, tmp_path, tiny_campaign, experiment_kwargs):
+        obs = Observability()
+        with ResultStore(str(tmp_path / "obs.db"), obs=obs) as store:
+            store.record_campaign(tiny_campaign, experiment_kwargs)
+            store.record_campaign(tiny_campaign, experiment_kwargs)
+        counters = obs.snapshot()["counters"]
+        assert counters["results.campaigns_recorded"] == 1
+        assert counters["results.runs_recorded"] \
+            == len(tiny_campaign.results)
+
+    def test_run_identity_excludes_engine_mode(
+            self, store, tiny_campaign, experiment_kwargs,
+            tiny_campaign_vectorized, vectorized_kwargs):
+        store.record_campaign(tiny_campaign, experiment_kwargs)
+        store.record_campaign(tiny_campaign_vectorized, vectorized_kwargs)
+        counts = store.counts()
+        # Same configuration, two engines: two campaigns, but the runs
+        # converge while each mode contributes its own digest row.
+        assert counts["campaigns"] == 2
+        assert counts["runs"] == len(tiny_campaign.results)
+        assert counts["trace_digests"] == 2 * len(tiny_campaign.results)
+
+    def test_run_key_matches_cache_machinery(self, populated,
+                                             tiny_campaign,
+                                             experiment_kwargs):
+        store, campaign_id = populated
+        rows, _ = store.campaign_runs(campaign_id)
+        expected = {run_key("coefficient", seed, experiment_kwargs)
+                    for seed in tiny_campaign.completed_seeds}
+        assert {row["id"] for row in rows} == expected
+
+
+class TestCampaignRoundTrip:
+    def test_payload_round_trips(self, populated, tiny_campaign):
+        store, campaign_id = populated
+        detail = store.campaign(campaign_id)
+        assert detail["scheduler"] == "coefficient"
+        assert detail["workload"] == "tiny"
+        assert detail["seeds"] == tiny_campaign.seeds
+        assert [run["seed"] for run in detail["runs"]] \
+            == tiny_campaign.completed_seeds
+        for name, summary in tiny_campaign.summaries.items():
+            assert detail["summaries"][name]["mean"] == summary.mean
+
+    def test_run_detail_carries_metrics_and_digest(self, populated,
+                                                   tiny_campaign):
+        store, campaign_id = populated
+        rows, _ = store.campaign_runs(campaign_id)
+        detail = store.run(rows[0]["id"])
+        result = tiny_campaign.results[0]
+        assert detail["cycles"] == result.cycles_run
+        assert detail["metrics"] == dict(
+            sorted(result.metrics.summary_row().items()))
+        assert detail["digests"]["stepper"]["digest"] \
+            == trace_digest(result.cluster.trace)
+        assert detail["campaigns"] == [campaign_id]
+
+    def test_missing_ids_return_none(self, store):
+        assert store.campaign("nope") is None
+        assert store.run("nope") is None
+        assert store.verify_report("nope") is None
+
+
+_FINITE = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def _summaries(draw):
+    names = draw(st.lists(
+        st.text(st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1, max_size=12),
+        min_size=1, max_size=4, unique=True))
+    return {
+        name: MetricSummary(
+            name=name, samples=draw(st.integers(0, 64)),
+            mean=draw(_FINITE), stdev=draw(_FINITE),
+            ci_low=draw(_FINITE), ci_high=draw(_FINITE),
+            minimum=draw(_FINITE), maximum=draw(_FINITE))
+        for name in names
+    }
+
+
+class TestSummaryRoundTripProperty:
+    @given(summaries=_summaries())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_store_query_round_trips_summaries_exactly(self, tmp_path,
+                                                       summaries):
+        # Bit-exact: canonical JSON floats round-trip via repr, so the
+        # store must hand back the same IEEE doubles it was given.
+        campaign = CampaignResult(
+            scheduler="coefficient", seeds=[], results=[],
+            summaries=summaries)
+        with ResultStore(str(tmp_path / "prop.db")) as store:
+            campaign_id = store.record_campaign(campaign, {},
+                                                workload="prop")
+            detail = store.campaign(campaign_id)
+        assert set(detail["summaries"]) == set(summaries)
+        for name, summary in summaries.items():
+            stored = detail["summaries"][name]
+            assert stored["samples"] == summary.samples
+            for field in ("mean", "stdev", "ci_low", "ci_high",
+                          "minimum", "maximum"):
+                assert stored[field] == getattr(summary, field), field
+
+
+class TestDigests:
+    def test_conflicting_digest_warns_and_keeps_first(self, populated):
+        store, campaign_id = populated
+        rows, _ = store.campaign_runs(campaign_id)
+        run_id = rows[0]["id"]
+        original = store.run(run_id)["digests"]["stepper"]["digest"]
+        with pytest.warns(RuntimeWarning, match="digest conflict"):
+            store.record_trace_digest(run_id, "stepper", "0" * 64,
+                                      records=1, cycles=1)
+        assert store.run(run_id)["digests"]["stepper"]["digest"] \
+            == original
+
+    def test_same_digest_reingest_is_silent(self, populated):
+        store, campaign_id = populated
+        rows, _ = store.campaign_runs(campaign_id)
+        run_id = rows[0]["id"]
+        entry = store.run(run_id)["digests"]["stepper"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store.record_trace_digest(run_id, "stepper", entry["digest"],
+                                      entry["records"], entry["cycles"])
+
+    def test_diff_flags_disagreement(self, populated):
+        store, campaign_id = populated
+        rows, _ = store.campaign_runs(campaign_id)
+        run_id = rows[0]["id"]
+        store.record_trace_digest(run_id, "vectorized", "f" * 64,
+                                  records=1, cycles=1)
+        diff, _ = store.digest_diff()
+        by_run = {row["run_id"]: row for row in diff}
+        assert by_run[run_id]["equal"] is False
+        assert by_run[run_id]["modes"] == 2
+
+
+class TestVerifyReports:
+    def test_report_round_trips_in_order(self, store):
+        report = Report(diagnostics=[
+            Diagnostic(rule_id="FRC001", severity=Severity.ERROR,
+                       location="params.gd_cycle_mt",
+                       message="cycle too short", fix_hint="lengthen it"),
+            Diagnostic(rule_id="ANA002", severity=Severity.WARNING,
+                       location="plan", message="tight goal"),
+        ])
+        report_id = store.record_verify_report(report, target="bbw")
+        assert store.record_verify_report(report, target="bbw") \
+            == report_id
+        stored = store.verify_report(report_id)
+        assert (stored["errors"], stored["warnings"]) == (1, 1)
+        assert [d["rule_id"] for d in stored["diagnostics"]] \
+            == ["FRC001", "ANA002"]
+        assert stored["diagnostics"][0]["hint"] == "lengthen it"
+        rows, total = store.verify_reports(target="bbw")
+        assert total == 1 and rows[0]["findings"] == 2
+
+
+class TestSnapshotsAndAudits:
+    def test_snapshot_round_trips(self, store):
+        snapshot_id = store.record_obs_snapshot(
+            "campaign", "abc", {"engine.cycles": 12, "cache.hits": 1},
+            seed=3)
+        rows, total = store.snapshots(scope="campaign")
+        assert total == 1
+        assert rows[0]["id"] == snapshot_id
+        assert rows[0]["counters"] == {"cache.hits": 1,
+                                       "engine.cycles": 12}
+
+    def test_audit_round_trips(self, store):
+        store.record_service_audit("bbw", "stepper", "audit", 1,
+                                   {"channel": "A", "agreed": True})
+        store.record_service_audit("bbw", "stepper", "drain", 9,
+                                   {"batches": 9})
+        rows, total = store.service_audits_rows(kind="audit")
+        assert total == 1
+        assert rows[0]["payload"]["agreed"] is True
+
+
+class TestQueries:
+    def test_pagination_envelope(self, populated):
+        store, campaign_id = populated
+        page1, total = store.campaign_runs(campaign_id, limit=1, offset=0)
+        page2, _ = store.campaign_runs(campaign_id, limit=1, offset=1)
+        assert total == 2
+        assert len(page1) == len(page2) == 1
+        assert page1[0]["id"] != page2[0]["id"]
+        # Deterministic order: same query, same pages.
+        again, _ = store.campaign_runs(campaign_id, limit=1, offset=0)
+        assert again == page1
+
+    def test_metric_rows_filter(self, populated):
+        store, _ = populated
+        rows, total = store.metric_rows("deadline_miss_ratio",
+                                        max_value=1.0)
+        assert total == 2
+        none, total_none = store.metric_rows("deadline_miss_ratio",
+                                             min_value=2.0)
+        assert total_none == 0 and none == []
+
+    def test_unknown_metric_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown metric"):
+            store.metric_rows("bogus")
+        assert "deadline_miss_ratio" in RUN_METRIC_COLUMNS
+
+    def test_campaign_facets(self, populated):
+        store, _ = populated
+        rows, total = store.campaigns(scheduler="coefficient",
+                                      workload="tiny")
+        assert total == 1
+        _, none = store.campaigns(scheduler="fspec")
+        assert none == 0
+
+
+class TestStoreLifecycle:
+    def test_read_only_refuses_writes_and_creation(self, tmp_path,
+                                                   populated):
+        store, _ = populated
+        with pytest.raises(FileNotFoundError):
+            ResultStore(str(tmp_path / "absent.db"), read_only=True)
+        with ResultStore(store.path, read_only=True) as ro:
+            assert ro.counts()["campaigns"] == 1
+            with pytest.raises(ValueError, match="read-only"):
+                with ro.transaction():
+                    pass
+
+    def test_non_store_file_rejected(self, tmp_path):
+        bogus = tmp_path / "not_a_store.db"
+        bogus.write_bytes(b"definitely not sqlite")
+        with pytest.raises(ValueError, match="not a result store"):
+            ResultStore(str(bogus), read_only=True)
