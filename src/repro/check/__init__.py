@@ -1,0 +1,22 @@
+"""Contract checker: effect-inference proofs + hyperperiod model checks.
+
+The ``repro check`` gate.  :mod:`repro.check.policy_proofs` turns every
+policy's ``decisions_are_outcome_free()`` promise into a statically
+checked theorem over an AST call graph (``EFF3xx``);
+:mod:`repro.check.model_checker` proves a
+:class:`~repro.timeline.compiler.CompiledRound`'s window, owner, slack
+and Theorem-1 invariants over the full hyperperiod by interval
+arithmetic on the flat arrays (``MDL4xx``), shrinking violations to
+one-command counterexamples (:mod:`repro.check.counterexample`).
+"""
+
+from repro.check.rules import CHECK_RULES
+from repro.check.runner import (
+    check_round,
+    check_sources,
+    check_workload,
+    default_source_roots,
+)
+
+__all__ = ["CHECK_RULES", "check_sources", "check_workload",
+           "check_round", "default_source_roots"]

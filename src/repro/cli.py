@@ -535,6 +535,84 @@ def _cmd_lint(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    from repro.check import check_round, check_sources, check_workload
+    from repro.verify.diagnostics import Diagnostic, Report, Severity
+
+    combined = Report()
+    store = _open_store(args, NULL_OBS)
+    counterexample_dir = Path(args.counterexample_dir)
+
+    def record(report, target):
+        combined.merge(report)
+        if store is not None:
+            report_id = store.record_verify_report(report, target=target)
+            print(f"repro check: stored report {report_id[:12]} for "
+                  f"{target} in {args.store}", file=sys.stderr)
+
+    if args.round_json:
+        try:
+            with open(args.round_json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"repro check: cannot read {args.round_json}: {error}",
+                  file=sys.stderr)
+            return 2
+        record(check_round(payload, counterexample_dir=counterexample_dir),
+               "check:round-json")
+    else:
+        record(check_sources(), "check:sources")
+        workloads = () if args.workload == "none" else (
+            _VERIFY_WORKLOADS if args.workload == "all"
+            else (args.workload,))
+        for workload in workloads:
+            try:
+                target = _verify_target(workload, args)
+            except ValueError as error:
+                print(f"{workload}: setup error: {error}", file=sys.stderr)
+                setup = Report()
+                setup.add(Diagnostic(
+                    rule_id="MDL401", severity=Severity.ERROR,
+                    location=workload,
+                    message=f"setup error: {error}",
+                    fix_hint="check the workload/minislot pairing"))
+                record(setup, f"check:{workload}")
+                continue
+            record(check_workload(
+                target["params"], target["periodic"], target["aperiodic"],
+                ber=args.ber, reliability_goal=args.rho,
+                counterexample_dir=counterexample_dir, label=workload),
+                f"check:{workload}")
+
+    if store is not None:
+        store.close()
+    rows = [d.to_row() for d in combined]
+    if args.format == "json":
+        document = {
+            "diagnostics": rows,
+            "summary": {
+                "errors": len(combined.errors),
+                "warnings": len(combined.warnings),
+                "total": len(combined),
+                "rules": combined.rule_ids(),
+            },
+        }
+        text = json.dumps(document, indent=2)
+        print(text)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+    else:
+        print(combined.format())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump({"diagnostics": rows}, handle, indent=2)
+                handle.write("\n")
+    return 1 if combined.has_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -806,6 +884,49 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--json", action="store_true",
                              help="emit JSON instead of text")
     lint_parser.set_defaults(handler=_cmd_lint)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="prove the engine-equivalence contract: policy "
+             "outcome-free promises (EFF* rules) + hyperperiod model "
+             "check of compiled rounds (MDL* rules)")
+    check_parser.add_argument("--workload",
+                              choices=_VERIFY_WORKLOADS + ("all", "none"),
+                              default="all",
+                              help="workload rounds to model-check "
+                                   "(default: all; none = source "
+                                   "proofs only)")
+    check_parser.add_argument("--count", type=int, default=20,
+                              help="synthetic message count (default: 20)")
+    check_parser.add_argument("--seed", type=int, default=42)
+    check_parser.add_argument("--ber", type=float, default=1e-7,
+                              help="bit error rate (default: 1e-7)")
+    check_parser.add_argument("--rho", type=float, default=1 - 1e-4,
+                              help="reliability goal (default: 1-1e-4)")
+    check_parser.add_argument("--minislots", type=int, default=None,
+                              help="minislot count (default: 50 for the "
+                                   "case studies, 100 otherwise)")
+    check_parser.add_argument("--aperiodic", type=int, default=0,
+                              help="SAE aperiodic message count to mix "
+                                   "into periodic workloads")
+    check_parser.add_argument("--round-json", default=None, metavar="PATH",
+                              help="model-check a serialized "
+                                   "counterexample round instead of the "
+                                   "bundled workloads")
+    check_parser.add_argument("--format", choices=("text", "json"),
+                              default="text",
+                              help="diagnostics output format "
+                                   "(default: text)")
+    check_parser.add_argument("--out", default=None, metavar="PATH",
+                              help="also write the diagnostics JSON "
+                                   "to PATH (the CI artifact)")
+    check_parser.add_argument("--counterexample-dir",
+                              default="check-artifacts", metavar="DIR",
+                              help="where violation counterexamples are "
+                                   "written (default: check-artifacts; "
+                                   "created only on violation)")
+    store_option(check_parser, "each check report")
+    check_parser.set_defaults(handler=_cmd_check)
 
     return parser
 

@@ -15,7 +15,9 @@ A finding is suppressed by a trailing comment on the offending line::
 The rule id must match and a reason is required; a bare
 ``# lint-ok: DET101`` suppresses the finding but earns a ``DET100``
 warning, so silent suppressions are visible in review.  Several ids may
-be listed comma-separated: ``# lint-ok: DET101,DET102 reason``.
+be listed comma-separated: ``# lint-ok: DET101,DET102 reason``.  An id
+that no rule catalogue defines (``DET9999``, say) suppresses nothing
+and is itself a ``DET106`` error.
 """
 
 from __future__ import annotations
@@ -54,6 +56,20 @@ _RNG_ROOTS = ("random", "np.random", "numpy.random")
 _TIME_SUFFIX_RE = re.compile(r"(_ms|_us)$")
 
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+def _known_rule_ids() -> frozenset:
+    """Every rule id any catalogue defines (valid suppression targets).
+
+    Imported lazily: the ``repro.check`` package's call graph analyzes
+    this module in turn, and a module-level import would tie the two
+    packages into a cycle.
+    """
+    from repro.lint.rules import LINT_RULES
+    from repro.verify.rules import VERIFY_RULES
+    from repro.check.rules import CHECK_RULES
+    return frozenset(LINT_RULES) | frozenset(VERIFY_RULES) \
+        | frozenset(CHECK_RULES)
 
 
 @dataclass(frozen=True)
@@ -330,6 +346,19 @@ class FileChecker(ast.NodeVisitor):
     def check(self, tree: ast.AST) -> List[Diagnostic]:
         """Visit the tree and return diagnostics in source order."""
         self.visit(tree)
+
+        known = _known_rule_ids()
+        for lineno, suppression in self._suppressions.items():
+            for rule_id in sorted(suppression.ids - known):
+                self.diagnostics.append(Diagnostic(
+                    rule_id="DET106", severity=Severity.ERROR,
+                    location=f"{self._path}:{lineno}:0",
+                    message=f"suppression names unknown rule id "
+                            f"{rule_id}; it suppresses nothing",
+                    fix_hint="fix the typo or drop the id (valid ids "
+                             "come from the DET/FRC/FRS/ANA/EFF/MDL "
+                             "catalogues)",
+                ))
 
         def position(diagnostic: Diagnostic) -> Tuple[int, int, str]:
             __, line, col = diagnostic.location.rsplit(":", 2)

@@ -64,6 +64,10 @@ LINT_RULES: Dict[str, Rule] = _catalogue(
          "Iterating a set inside experiments/ or obs/ feeds "
          "hash-order-dependent sequences into merge or export paths; "
          "wrap the iterable in sorted()."),
+    Rule("DET106", "suppression-unknown-rule", Severity.ERROR,
+         "A '# lint-ok:' comment lists a rule id that no catalogue "
+         "(DET/FRC/FRS/ANA/EFF/MDL) defines; a typo'd id suppresses "
+         "nothing and hides the author's intent."),
     Rule("DET999", "syntax-error", Severity.ERROR,
          "The file does not parse; no determinism rule can be "
          "checked."),

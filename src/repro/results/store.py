@@ -43,9 +43,23 @@ import os
 import sqlite3
 import warnings
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.results.canonical import canonical_json_bytes, content_digest
+
+if TYPE_CHECKING:  # runtime imports stay lazy (heavy packages)
+    from repro.experiments.campaign import CampaignResult
+    from repro.experiments.runner import ExperimentResult
+    from repro.obs.observability import ObsLike
+    from repro.verify.diagnostics import Report
 
 __all__ = ["SCHEMA_VERSION", "RUN_METRIC_COLUMNS", "ResultStore"]
 
@@ -173,7 +187,8 @@ class ResultStore:
             ``results.digest_conflicts`` ...) land on it when enabled.
     """
 
-    def __init__(self, path: str, obs=None, read_only: bool = False) -> None:
+    def __init__(self, path: str, obs: Optional["ObsLike"] = None,
+                 read_only: bool = False) -> None:
         from repro.obs.observability import NULL_OBS
 
         self.path = path
@@ -228,7 +243,7 @@ class ResultStore:
     def __enter__(self) -> "ResultStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- write side ----------------------------------------------------
@@ -265,7 +280,8 @@ class ResultStore:
             f"VALUES ({marks})", values)
         return cursor.rowcount > 0
 
-    def record_campaign(self, campaign, experiment_kwargs: Mapping[str, object],
+    def record_campaign(self, campaign: "CampaignResult",
+                        experiment_kwargs: Mapping[str, object],
                         workload: str = "",
                         meta: Optional[Mapping[str, object]] = None) -> str:
         """Ingest one completed campaign atomically; returns its id.
@@ -343,7 +359,7 @@ class ResultStore:
             self._count("results.campaigns_recorded")
         return campaign_id
 
-    def record_run(self, result, seed: int,
+    def record_run(self, result: "ExperimentResult", seed: int,
                    experiment_kwargs: Mapping[str, object]) -> str:
         """Ingest one standalone experiment run; returns its run id."""
         from repro.sim.engine import EngineMode
@@ -371,7 +387,8 @@ class ResultStore:
 
         return run_key(scheduler, seed, experiment_kwargs)
 
-    def _ingest_run(self, result, scheduler: str, seed: int,
+    def _ingest_run(self, result: "ExperimentResult", scheduler: str,
+                    seed: int,
                     experiment_kwargs: Mapping[str, object],
                     engine_mode: str) -> str:
         from repro.sim.trace import trace_digest
@@ -436,7 +453,7 @@ class ResultStore:
             self._ingest_digest(run_id, engine_mode, digest, records,
                                 cycles)
 
-    def record_verify_report(self, report, target: str) -> str:
+    def record_verify_report(self, report: "Report", target: str) -> str:
         """Persist one :class:`repro.verify.Report`; returns its id."""
         payload = {
             "target": target,

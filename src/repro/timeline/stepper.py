@@ -51,7 +51,7 @@ from repro.flexray.params import FlexRayParams
 from repro.flexray.policy import SchedulerPolicy
 from repro.flexray.static_segment import StaticSegmentEngine
 from repro.obs import NULL_OBS, ObsLike
-from repro.timeline.compiler import CompiledRound
+from repro.timeline.compiler import CompiledRound, StaticStep
 
 __all__ = ["TimelineStepper"]
 
@@ -183,7 +183,8 @@ class TimelineStepper:
         return (phase_mt - self._action_offset
                 + self._slot_mt - 1) // self._slot_mt + 1
 
-    def _execute_step(self, cycle: int, step, action_point: int) -> None:
+    def _execute_step(self, cycle: int, step: StaticStep,
+                      action_point: int) -> None:
         """Run one owned static step through the interpreter's slot body."""
         engine = self._static_engine
         policy = self._policy

@@ -23,7 +23,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
-__all__ = ["Severity", "Diagnostic", "Report"]
+__all__ = ["Severity", "Diagnostic", "Report", "DiagnosticBudget"]
 
 
 class Severity(enum.Enum):
@@ -147,3 +147,43 @@ class Report:
             f"{len(self.diagnostics)} finding(s) total"
         )
         return "\n".join(lines)
+
+
+class DiagnosticBudget:
+    """Per-rule diagnostic budget with a trailing "and N more" note.
+
+    Array-level checks (the compiled-round ``FRS11x`` rules, the
+    hyperperiod ``MDL4xx`` model checker) can produce thousands of
+    findings from a single corruption; one example per (cycle, slot)
+    pair helps nobody.  The budget keeps the first ``max_per_rule``
+    findings of each rule and, on :meth:`close`, appends one summary
+    finding per over-budget rule so the total count stays visible.
+    """
+
+    def __init__(self, report: Report, max_per_rule: int = 8) -> None:
+        self._report = report
+        self._max_per_rule = max_per_rule
+        self._counts: Dict[str, int] = {}
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one finding, counting it against its rule's budget."""
+        count = self._counts.get(diagnostic.rule_id, 0)
+        self._counts[diagnostic.rule_id] = count + 1
+        if count < self._max_per_rule:
+            self._report.add(diagnostic)
+
+    def count(self, rule_id: str) -> int:
+        """Total findings seen for a rule (including suppressed ones)."""
+        return self._counts.get(rule_id, 0)
+
+    def close(self) -> None:
+        """Emit the "and N more" note for every over-budget rule."""
+        for rule_id, count in sorted(self._counts.items()):
+            if count > self._max_per_rule:
+                self._report.add(Diagnostic(
+                    rule_id=rule_id, severity=Severity.ERROR,
+                    location="round",
+                    message=f"... and {count - self._max_per_rule} more "
+                            f"{rule_id} finding(s) suppressed",
+                    fix_hint="fix the first findings and re-verify",
+                ))

@@ -31,7 +31,12 @@ from repro.flexray.channel import Channel
 from repro.flexray.params import FlexRayParams
 from repro.flexray.schedule import ScheduleTable
 from repro.timeline.compiler import CHANNEL_CODES, SEGMENT_STATIC, CompiledRound
-from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.diagnostics import (
+    Diagnostic,
+    DiagnosticBudget,
+    Report,
+    Severity,
+)
 
 __all__ = ["check_compiled_round"]
 
@@ -40,30 +45,10 @@ __all__ = ["check_compiled_round"]
 #: helps nobody.
 _MAX_PER_RULE = 8
 
-
-class _Budget:
-    """Per-rule diagnostic budget with a trailing "and N more" note."""
-
-    def __init__(self, report: Report) -> None:
-        self._report = report
-        self._counts: dict = {}
-
-    def add(self, diagnostic: Diagnostic) -> None:
-        count = self._counts.get(diagnostic.rule_id, 0)
-        self._counts[diagnostic.rule_id] = count + 1
-        if count < _MAX_PER_RULE:
-            self._report.add(diagnostic)
-
-    def close(self) -> None:
-        for rule_id, count in sorted(self._counts.items()):
-            if count > _MAX_PER_RULE:
-                self._report.add(Diagnostic(
-                    rule_id=rule_id, severity=Severity.ERROR,
-                    location="round",
-                    message=f"... and {count - _MAX_PER_RULE} more "
-                            f"{rule_id} finding(s) suppressed",
-                    fix_hint="fix the first findings and re-verify",
-                ))
+#: Backwards-compatible alias; the budget now lives in
+#: :mod:`repro.verify.diagnostics` so the ``MDL4xx`` model checker can
+#: share it.
+_Budget = DiagnosticBudget
 
 
 def check_compiled_round(compiled: CompiledRound,

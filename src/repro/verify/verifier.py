@@ -127,6 +127,12 @@ def verify_configuration(
     if compiled is not None:
         source = schedule if isinstance(schedule, ScheduleTable) else None
         report.merge(check_compiled_round(compiled, table=source))
+        # The hyperperiod model checker re-proves the round's window,
+        # owner and slack invariants over the full matrix (MDL4xx) --
+        # structural rules only at this altitude; verify_experiment
+        # supplies the Theorem-1 inputs.
+        from repro.check.model_checker import check_hyperperiod_model
+        report.merge(check_hyperperiod_model(compiled))
     if workload is not None:
         report.merge(check_deadlines(workload))
     if tasks is not None:
@@ -265,14 +271,18 @@ def verify_experiment(
     failure = {}
     instances = {}
     cost = {}
+    periods = {}
+    worst = {}
     for message in packing.messages:
         worst_bits = max(
             chunk.payload_bits for chunk in message.chunks
         ) + 64  # frame overhead
+        worst[message.message_id] = worst_bits
         failure[message.message_id] = ber_model.failure_probability(
             "A", worst_bits)
         instances[message.message_id] = time_unit_ms / message.period_ms
         cost[message.message_id] = worst_bits / message.period_ms
+        periods[message.message_id] = message.period_ms
     if uniform_budget:
         plan = uniform_retransmission_plan(
             failure, instances, reliability_goal, max_budget=max_budget)
@@ -285,5 +295,22 @@ def verify_experiment(
         failure_probabilities=failure,
         instances=instances,
         reliability_goal=reliability_goal,
+    ))
+    # Hyperperiod model check with full Theorem-1 inputs: the
+    # structural MDL rules plus the log-space goal and the fundability
+    # of the planned budgets, extrapolated over the whole matrix.
+    from repro.check.model_checker import (
+        check_hyperperiod_model,
+        dynamic_retransmission_capacity,
+    )
+    report.merge(check_hyperperiod_model(
+        compiled,
+        budgets=plan.budgets,
+        failure_probabilities=failure,
+        instances=instances,
+        reliability_goal=reliability_goal,
+        retransmission_periods_ms=periods,
+        dynamic_retransmission_slots_per_cycle=
+            dynamic_retransmission_capacity(params, worst),
     ))
     return report

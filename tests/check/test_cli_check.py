@@ -1,0 +1,55 @@
+"""CLI surface of `repro check`: formats, exit codes, round replay."""
+
+import json
+
+from repro import cli
+
+from tests.check.conftest import build_liar_round
+from repro.check.counterexample import round_to_payload
+from repro.flexray.params import FlexRayParams
+
+
+class TestCheckCli:
+    def test_sources_only_passes(self, capsys):
+        assert cli.main(["check", "--workload", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "EFF300" in out
+        assert "0 error(s)" in out
+
+    def test_json_document_shape(self, capsys, tmp_path):
+        out_path = tmp_path / "diagnostics.json"
+        code = cli.main(["check", "--workload", "none",
+                         "--format", "json", "--out", str(out_path)])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["errors"] == 0
+        assert document["summary"]["rules"] == ["EFF300"]
+        assert all(row["rule"].startswith(("EFF", "MDL"))
+                   for row in document["diagnostics"])
+        # --out writes the same document for the CI artifact.
+        assert json.loads(out_path.read_text()) == document
+
+    def test_single_workload_model_check(self, capsys):
+        assert cli.main(["check", "--workload", "sae"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_broken_round_json_fails_and_shrinks(self, capsys, tmp_path):
+        params = FlexRayParams(
+            gd_cycle_mt=120, gd_static_slot_mt=40,
+            g_number_of_static_slots=2, gd_minislot_mt=8,
+            g_number_of_minislots=0, channel_count=1)
+        payload = round_to_payload(build_liar_round(params), ["MDL403"])
+        round_path = tmp_path / "liar.json"
+        round_path.write_text(json.dumps(payload))
+        code = cli.main(["check", "--round-json", str(round_path),
+                         "--counterexample-dir", str(tmp_path / "cex"),
+                         "--format", "json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["errors"] > 0
+        assert "MDL403" in document["summary"]["rules"]
+        assert (tmp_path / "cex").exists()
+
+    def test_unreadable_round_json_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert cli.main(["check", "--round-json", str(missing)]) == 2

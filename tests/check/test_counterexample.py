@@ -1,0 +1,84 @@
+"""Counterexample synthesis: shrink, serialize, reproduce."""
+
+import json
+
+from repro.check import check_round
+from repro.check.counterexample import (
+    PAYLOAD_FORMAT,
+    encode_payload,
+    payload_to_round,
+    round_to_payload,
+    shrink_round,
+)
+from repro.check.model_checker import check_hyperperiod_model
+from repro.check.runner import _synthesize_counterexample
+
+from tests.check.conftest import build_liar_round, build_tiny_round
+
+
+class TestShrink:
+    def test_liar_round_shrinks_to_one_row(self, nit_params):
+        liar = build_liar_round(nit_params)
+        shrunk = shrink_round(
+            liar, ["MDL403"],
+            lambda candidate: check_hyperperiod_model(candidate))
+        assert len(shrunk) == 1
+        # The minimal round still violates the original rule.
+        report = check_hyperperiod_model(shrunk)
+        assert "MDL403" in report.rule_ids()
+
+    def test_clean_round_is_returned_unchanged(self, nit_params):
+        clean = build_tiny_round(nit_params)
+        shrunk = shrink_round(
+            clean, ["MDL403"],
+            lambda candidate: check_hyperperiod_model(candidate))
+        assert len(shrunk) == len(clean)
+
+
+class TestPayloadRoundTrip:
+    def test_payload_reconstructs_the_round(self, nit_params):
+        liar = build_liar_round(nit_params)
+        payload = round_to_payload(liar, ["MDL403"])
+        assert payload["format"] == PAYLOAD_FORMAT
+        rebuilt = payload_to_round(payload)
+        assert list(rebuilt.starts) == list(liar.starts)
+        assert rebuilt.pattern_length == liar.pattern_length
+        assert "MDL403" in check_hyperperiod_model(rebuilt).rule_ids()
+
+    def test_encoding_is_deterministic(self, nit_params):
+        liar = build_liar_round(nit_params)
+        first = encode_payload(round_to_payload(liar, ["MDL403"]))
+        second = encode_payload(round_to_payload(liar, ["MDL403"]))
+        assert first == second
+        assert first.endswith(b"\n")
+
+    def test_check_round_rejects_garbage(self):
+        report = check_round({"format": "not-a-counterexample"})
+        assert report.has_errors
+        assert "MDL401" in report.rule_ids()
+
+
+class TestSynthesisPipeline:
+    def test_violation_writes_a_runnable_counterexample(self, nit_params,
+                                                        tmp_path):
+        liar = build_liar_round(nit_params)
+        report = check_hyperperiod_model(liar)
+        assert report.has_errors
+        _synthesize_counterexample(liar, report, tmp_path, "liar")
+        notes = [d for d in report.diagnostics if d.rule_id == "MDL405"]
+        assert len(notes) == 1
+        assert "--round-json" in notes[0].message
+
+        path = tmp_path / "counterexample-liar.json"
+        payload = json.loads(path.read_text())
+        assert payload["rules"] == ["MDL403"]
+        # The serialized minimal round is runnable and still failing.
+        replay = check_round(payload)
+        assert replay.has_errors
+
+    def test_clean_round_writes_nothing(self, nit_params, tmp_path):
+        clean = build_tiny_round(nit_params)
+        report = check_hyperperiod_model(clean)
+        _synthesize_counterexample(clean, report, tmp_path, "clean")
+        assert not list(tmp_path.iterdir())
+        assert len(report) == 0

@@ -1,0 +1,94 @@
+"""EFF3xx: every shipped policy proved, deliberate liars refuted."""
+
+from repro.check import check_sources
+
+SHIPPED_POLICIES = (
+    "QueueingPolicyBase",
+    "CoEfficientPolicy",
+    "DynamicPriorityPolicy",
+    "FspecPolicy",
+    "StaticOnlyPolicy",
+)
+
+IMPURE_POLICY = '''\
+from repro.core.queueing import QueueingPolicyBase
+
+
+class SneakyPolicy(QueueingPolicyBase):
+    def decisions_are_outcome_free(self):
+        return True
+
+    def static_frame_for(self, channel, cycle, slot_id, action_point_mt):
+        if self._chunk_status:
+            return None
+        return super().static_frame_for(channel, cycle, slot_id,
+                                        action_point_mt)
+'''
+
+CLOCKED_POLICY = '''\
+import time
+
+from repro.core.queueing import QueueingPolicyBase
+
+
+class ClockedPolicy(QueueingPolicyBase):
+    def dynamic_frame_for(self, channel, slot_id, start_mt,
+                          minislots_remaining):
+        if time.time() > 0:
+            return None
+        return super().dynamic_frame_for(channel, slot_id, start_mt,
+                                         minislots_remaining)
+'''
+
+
+class TestShippedPoliciesAreProved:
+    def test_zero_false_positives_on_the_tree(self):
+        report = check_sources()
+        assert not report.has_errors, report.format()
+        assert not any(d.severity.name == "WARNING"
+                       for d in report.diagnostics), report.format()
+
+    def test_every_policy_gets_an_eff300_proof(self):
+        report = check_sources()
+        proofs = [d for d in report.diagnostics if d.rule_id == "EFF300"]
+        proved = {d.message.split(":")[0] for d in proofs}
+        assert set(SHIPPED_POLICIES) <= proved
+        for diagnostic in proofs:
+            assert "disjoint from the outcome-path write set" \
+                in diagnostic.message
+
+
+class TestImpurePoliciesAreRefuted:
+    def test_outcome_read_on_decision_path_is_eff301(self):
+        report = check_sources(extra_sources={
+            "repro.test_impure": ("tests/fake/impure.py", IMPURE_POLICY),
+        })
+        refutations = [d for d in report.diagnostics
+                       if d.rule_id == "EFF301"]
+        assert len(refutations) == 1
+        message = refutations[0].message
+        # The diagnostic names the conflicting location and both ends
+        # of the call chain.
+        assert "SneakyPolicy" in message
+        assert "_chunk_status" in message
+        assert "SneakyPolicy.static_frame_for" in message
+        assert "on_outcome" in message
+
+    def test_wall_clock_on_decision_path_is_eff302(self):
+        report = check_sources(extra_sources={
+            "repro.test_clocked": ("tests/fake/clocked.py",
+                                   CLOCKED_POLICY),
+        })
+        clocked = [d for d in report.diagnostics
+                   if d.rule_id == "EFF302"]
+        assert len(clocked) == 1
+        assert "wall-clock" in clocked[0].message
+        assert "ClockedPolicy.dynamic_frame_for" in clocked[0].message
+
+    def test_shipped_policies_stay_proved_next_to_a_liar(self):
+        report = check_sources(extra_sources={
+            "repro.test_impure": ("tests/fake/impure.py", IMPURE_POLICY),
+        })
+        proved = {d.message.split(":")[0] for d in report.diagnostics
+                  if d.rule_id == "EFF300"}
+        assert set(SHIPPED_POLICIES) <= proved

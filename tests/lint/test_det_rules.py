@@ -184,6 +184,32 @@ class TestSuppressions:
         """
         assert rules(source) == []
 
+    def test_det106_unknown_rule_id_is_an_error(self):
+        source = """\
+            import time
+            t = time.time()  # lint-ok: DET101,DET9999 host profiling
+        """
+        diagnostics = lint_source(dedent(source), scope=RESTRICTED)
+        assert [d.rule_id for d in diagnostics] == ["DET106"]
+        assert diagnostics[0].severity.name == "ERROR"
+        assert "DET9999" in diagnostics[0].message
+
+    def test_det106_cross_catalogue_ids_are_known(self):
+        # FRS/ANA/EFF/MDL ids come from other catalogues but are
+        # still legitimate suppression targets.
+        source = """\
+            import time
+            t = time.time()  # lint-ok: DET101,FRS101,EFF301,MDL401 ok
+        """
+        assert rules(source) == []
+
+    def test_det106_unknown_id_alone_still_reports_finding(self):
+        source = """\
+            import time
+            t = time.time()  # lint-ok: DET9999 typo'd id
+        """
+        assert sorted(rules(source)) == ["DET101", "DET106"]
+
 
 class TestDet999SyntaxError:
     def test_unparsable_file(self):

@@ -62,7 +62,7 @@ class TestRuleCatalogues:
     def test_lint_rule_ids_are_namespaced(self):
         assert set(LINT_RULES) == {
             "DET100", "DET101", "DET102", "DET103", "DET104", "DET105",
-            "DET999",
+            "DET106", "DET999",
         }
 
     def test_catalogues_do_not_collide(self):

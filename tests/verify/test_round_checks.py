@@ -196,6 +196,88 @@ class TestFrs113StepsInconsistent:
         assert any("phantom" in d.message for d in report.diagnostics)
 
 
+def rule_counts(report):
+    from collections import Counter
+    return Counter(d.rule_id for d in report.diagnostics)
+
+
+class TestFrs11xDiagnosticBudgets:
+    """Every FRS11x rule fires exactly once per single offense and is
+    capped at 8 findings + 1 suppression note under a flood."""
+
+    def test_frs110_single_offense_fires_once(self, compiled, table):
+        broken = rebuild(compiled, drop=[static_indices(compiled)[0]])
+        report = check_compiled_round(broken, table=table)
+        assert rule_counts(report) == {"FRS110": 1}
+
+    def test_frs111_single_offense_fires_once(self, compiled, table):
+        index = static_indices(compiled)[0]
+        ends = list(compiled.ends)
+        ends[index] += 1
+        report = check_compiled_round(rebuild(compiled, ends=ends),
+                                      table=table)
+        assert rule_counts(report) == {"FRS111": 1}
+
+    def test_frs111_flood_is_capped(self, compiled, table):
+        ends = [end + 1 if kind == SEGMENT_STATIC else end
+                for end, kind in zip(compiled.ends,
+                                     compiled.segment_kinds)]
+        report = check_compiled_round(rebuild(compiled, ends=ends),
+                                      table=table)
+        frs111 = [d for d in report.diagnostics if d.rule_id == "FRS111"]
+        assert len(frs111) == 9  # 8 findings + the suppression note
+        assert "suppressed" in frs111[-1].message
+
+    def test_frs112_single_offense_fires_once(self, compiled, table,
+                                              small_params):
+        # Swap one idle slot for an owned one: the cardinality (and so
+        # every prefix sum) is preserved, isolating the complement rule.
+        override = {
+            channel: [list(compiled.idle_slots(channel, cycle))
+                      for cycle in range(compiled.pattern_length)]
+            for channel in compiled.channels
+        }
+        idle = override[Channel.A][0]
+        owned = sorted(
+            set(range(1, small_params.g_number_of_static_slots + 1))
+            - set(idle))
+        assert idle and owned, "fixture needs both idle and owned slots"
+        idle[0] = owned[0]
+        frozen = {channel: [tuple(sorted(row)) for row in rows]
+                  for channel, rows in override.items()}
+        report = check_compiled_round(rebuild(compiled, override=frozen),
+                                      table=table)
+        assert rule_counts(report) == {"FRS112": 1}
+
+    def test_frs112_flood_is_capped(self, compiled, table):
+        override = {
+            channel: [(1,)] * compiled.pattern_length
+            for channel in compiled.channels
+        }
+        report = check_compiled_round(rebuild(compiled, override=override),
+                                      table=table)
+        frs112 = [d for d in report.diagnostics if d.rule_id == "FRS112"]
+        assert len(frs112) == 9
+        assert "suppressed" in frs112[-1].message
+
+    def test_frs113_single_offense_fires_once(self, compiled, table):
+        broken = rebuild(compiled)
+        broken._static_steps = tuple(
+            steps[1:] if cycle == 0 else steps
+            for cycle, steps in enumerate(broken._static_steps)
+        )
+        report = check_compiled_round(broken, table=table)
+        assert rule_counts(report) == {"FRS113": 1}
+
+    def test_frs113_flood_is_capped(self, compiled, table):
+        broken = rebuild(compiled)
+        broken._static_steps = tuple(() for __ in broken._static_steps)
+        report = check_compiled_round(broken, table=table)
+        frs113 = [d for d in report.diagnostics if d.rule_id == "FRS113"]
+        assert len(frs113) == 9
+        assert "suppressed" in frs113[-1].message
+
+
 class TestVerifyConfigurationIntegration:
     def test_clean_round_passes(self, compiled, table, small_params):
         report = verify_configuration(params=small_params, schedule=table,
