@@ -189,6 +189,8 @@ def _cmd_run(args) -> int:
 def _cmd_campaign(args) -> int:
     from repro.verify import ConfigurationError
 
+    if args.coordinate:
+        return _cmd_campaign_coordinated(args)
     obs, events = _make_observability(args)
     periodic = _periodic_workload(args.workload, args.count, args.seed)
     aperiodic = sae_aperiodic_signals(count=args.aperiodic) \
@@ -246,6 +248,66 @@ def _cmd_campaign(args) -> int:
                           workers=args.workers or 1,
                           schedulers=",".join(args.scheduler))
     return 1 if failed else 0
+
+
+def _cmd_campaign_coordinated(args) -> int:
+    from repro.distrib.coordinator import coordinate_campaign
+    from repro.distrib.plan import CampaignPlan
+    from repro.verify import ConfigurationError
+
+    if len(args.scheduler) != 1:
+        print("repro campaign: --coordinate takes exactly one "
+              "--scheduler (one plan per directory)", file=sys.stderr)
+        return 1
+    for flag, name in ((args.store, "--store"),
+                       (args.cache_dir, "--cache-dir"),
+                       (args.workers, "--workers"),
+                       (args.metric, "--metric")):
+        if flag:
+            print(f"repro campaign: {name} is not supported with "
+                  f"--coordinate (the directory provides cache and "
+                  f"store; metrics come from the reduced campaign)",
+                  file=sys.stderr)
+            return 1
+    obs, events = _make_observability(args)
+    plan = CampaignPlan(
+        scheduler=args.scheduler[0], workload=args.workload,
+        count=args.count, seed=args.seed,
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        aperiodic=args.aperiodic, minislots=args.minislots,
+        ber=args.ber, reliability_goal=args.rho,
+        duration_ms=args.duration_ms, engine_mode=args.engine_mode,
+        chunk=args.chunk)
+    try:
+        campaign, report = coordinate_campaign(
+            args.coordinate, plan=plan, join=args.join,
+            worker_id=args.worker_id, heartbeat_s=args.heartbeat_s,
+            stale_after_s=args.stale_after_s,
+            timeout_s=args.coordinate_timeout_s, obs=obs)
+    except (ConfigurationError, ValueError, TimeoutError,
+            FileNotFoundError) as error:
+        print(f"repro campaign: coordination failed: {error}",
+              file=sys.stderr)
+        return 1
+    print(f"repro campaign: worker {report.worker_id} completed "
+          f"{report.ranges_completed} ranges ({report.seeds_simulated} "
+          f"simulated, {report.cache_hits} cache hits, "
+          f"{report.takeovers} takeovers)", file=sys.stderr)
+    rows = [report.row()]
+    if campaign is not None:
+        row = campaign.table_row()
+        row["cache_hits"] = campaign.cache_hits
+        row["simulated"] = campaign.simulations_run
+        row["failures"] = len(campaign.failures)
+        rows = [row]
+    _emit(rows, args.json)
+    _finish_observability(args, obs, events, command="campaign",
+                          workload=args.workload, seeds=args.seeds,
+                          workers=1, coordinate=args.coordinate,
+                          schedulers=",".join(args.scheduler))
+    if campaign is not None and campaign.failures:
+        return 1
+    return 0
 
 
 def _cmd_figures(args) -> int:
@@ -440,13 +502,46 @@ def _cmd_serve(args) -> int:
     from repro.service import load_service_setup, serve_forever
     from repro.verify import ConfigurationError
 
+    if args.shards < 1:
+        print("repro serve: --shards must be >= 1", file=sys.stderr)
+        return 1
     obs, events = _make_observability(args)
+    setup_kwargs = dict(
+        workload=args.workload, count=args.count, seed=args.seed,
+        minislots=args.minislots, ber=args.ber,
+        reliability_goal=args.rho, tick_us=args.tick_us,
+        verify=not args.no_verify, engine_mode=args.engine_mode)
+    if args.shards > 1:
+        from repro.distrib import serve_sharded
+
+        if args.store:
+            print("repro serve: --store is not supported with --shards "
+                  "(audit sampling runs per shard)", file=sys.stderr)
+            return 1
+        try:
+            router = asyncio.run(serve_sharded(
+                setup_kwargs, args.shards, host=args.host,
+                port=args.port, obs=obs, queue_limit=args.queue_limit,
+                batch_limit=args.batch_limit,
+                request_timeout_s=args.timeout_ms / 1000.0,
+                reconcile_every=args.reconcile_every,
+                inflight_limit=args.inflight_limit,
+                max_restarts=args.max_restarts,
+                health_interval_s=args.health_interval))
+        except ConfigurationError as error:
+            print("repro serve: configuration failed static "
+                  "verification:", file=sys.stderr)
+            print(error.report.format(), file=sys.stderr)
+            return 1
+        rows = [dict(sorted(router.counters.items()))] \
+            if router.counters else []
+        _emit(rows, args.json)
+        _finish_observability(args, obs, events, command="serve",
+                              workload=args.workload, seed=args.seed)
+        return 1 if router.counters.get("router.shard_abandoned", 0) \
+            else 0
     try:
-        setup = load_service_setup(
-            workload=args.workload, count=args.count, seed=args.seed,
-            minislots=args.minislots, ber=args.ber,
-            reliability_goal=args.rho, tick_us=args.tick_us,
-            verify=not args.no_verify, engine_mode=args.engine_mode)
+        setup = load_service_setup(**setup_kwargs)
     except ConfigurationError as error:
         print("repro serve: configuration failed static verification:",
               file=sys.stderr)
@@ -703,6 +798,32 @@ def build_parser() -> argparse.ArgumentParser:
                                  default="stepper",
                                  help="engine every seed runs under "
                                       "(all modes are trace-equivalent)")
+    campaign_parser.add_argument(
+        "--coordinate", default=None, metavar="DIR",
+        help="coordinate this campaign with other worker processes "
+             "through a shared directory (lease-claimed seed ranges, "
+             "shared cache and result store)")
+    campaign_parser.add_argument(
+        "--join", action="store_true",
+        help="join DIR as an extra worker: contribute seed ranges but "
+             "leave the final reduce to the coordinating process")
+    campaign_parser.add_argument(
+        "--chunk", type=int, default=2,
+        help="seeds per lease-claimed range (default 2)")
+    campaign_parser.add_argument(
+        "--worker-id", default=None,
+        help="stable lease identity (default: host-pid)")
+    campaign_parser.add_argument(
+        "--heartbeat-s", type=float, default=1.0,
+        help="lease heartbeat interval in seconds (default 1.0)")
+    campaign_parser.add_argument(
+        "--stale-after-s", type=float, default=6.0,
+        help="age after which an untouched lease may be taken over "
+             "(default 6.0; must be >= 3x the heartbeat)")
+    campaign_parser.add_argument(
+        "--coordinate-timeout-s", type=float, default=None,
+        help="give up after this many seconds without claimable work "
+             "(default: wait forever)")
     store_option(campaign_parser, "the campaign and its per-seed runs")
     campaign_parser.set_defaults(handler=_cmd_campaign)
 
@@ -820,6 +941,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="engine offline replays of the served "
                                    "configuration use; advertised in the "
                                    "status payload (default: stepper)")
+    serve_parser.add_argument("--shards", type=int, default=1,
+                              help="shard the service across N worker "
+                                   "processes behind a routing "
+                                   "front-end (default 1: run "
+                                   "in-process, no router)")
+    serve_parser.add_argument("--inflight-limit", type=int, default=1024,
+                              help="per-shard in-flight request cap "
+                                   "before the router sheds load "
+                                   "(default 1024)")
+    serve_parser.add_argument("--max-restarts", type=int, default=3,
+                              help="restarts per shard before the "
+                                   "router abandons it (default 3)")
+    serve_parser.add_argument("--health-interval", type=float,
+                              default=1.0,
+                              help="seconds between shard health "
+                                   "probes (default 1.0)")
     serve_parser.add_argument("--no-verify", action="store_true",
                               help="skip the static verification gate "
                                    "(tests only)")

@@ -1,0 +1,67 @@
+"""Rendezvous (highest-random-weight) channel -> shard hashing.
+
+The sharding router must send every request for a channel to the one
+shard whose ledger owns that channel, and the mapping must be stable
+across router restarts and machines (no coordination, no state files).
+Rendezvous hashing gives both: each (channel, shard) pair gets a
+deterministic score from a salted SHA-256 digest and the channel lives
+on its highest-scoring shard.  Changing the shard count moves only the
+channels whose top shard changed -- there is no modulo reshuffle.
+
+Scores hash arbitrary channel strings, so even a request for a channel
+no shard actually owns routes deterministically (the chosen shard then
+answers ``rejected: unknown channel`` exactly like the single-process
+service would).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List
+
+__all__ = ["SHARD_HASH_SALT", "shard_channels", "shard_for", "shard_map",
+           "shard_score"]
+
+#: Salt pinning the hash domain; part of the wire-visible contract
+#: (tests/distrib/test_hashing.py pins golden mappings against it).
+SHARD_HASH_SALT = "repro-shard"
+
+
+def shard_score(channel: str, shard: int) -> int:
+    """Deterministic 64-bit rendezvous score of one (channel, shard)."""
+    if shard < 0:
+        raise ValueError(f"shard index must be >= 0, got {shard}")
+    text = f"{SHARD_HASH_SALT}|{channel}|{shard}"
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def shard_for(channel: str, shards: int) -> int:
+    """The shard owning ``channel`` in a ``shards``-wide deployment."""
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    best = 0
+    best_score = -1
+    for shard in range(shards):
+        score = shard_score(channel, shard)
+        # Ties (cryptographically negligible) break toward the lower
+        # shard index, deterministically.
+        if score > best_score:
+            best = shard
+            best_score = score
+    return best
+
+
+def shard_map(channels: Iterable[str], shards: int) -> Dict[str, int]:
+    """Owner shard of every channel, as a dict."""
+    return {channel: shard_for(channel, shards)
+            for channel in sorted(channels)}
+
+
+def shard_channels(channels: Iterable[str],
+                   shards: int) -> List[List[str]]:
+    """Channels grouped by owning shard (index ``i`` -> shard ``i``)."""
+    owned: List[List[str]] = [[] for __ in range(shards)]
+    for channel, shard in sorted(shard_map(channels, shards).items()):
+        owned[shard].append(channel)
+    return owned

@@ -77,8 +77,17 @@ class ServiceClient:
         request_id = str(payload["id"])
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(encode_response(payload))  # same line framing
-        await self._writer.drain()
+        # A dead reader already failed (and cleared) every pending
+        # future; one registered after that point would hang forever.
+        if self._reader_task.done() and not future.done():
+            self._pending.pop(request_id, None)
+            raise ConnectionError("service connection closed")
+        try:
+            self._writer.write(encode_response(payload))  # line framing
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            self._pending.pop(request_id, None)
+            raise
         return await future
 
     async def send_raw(self, line: bytes) -> None:
@@ -97,6 +106,13 @@ class ServiceClient:
         if name is not None:
             payload["name"] = name
         return await self.request(payload)
+
+    async def admit_batch(
+            self,
+            requests: List[Dict[str, object]]) -> Dict[str, object]:
+        """Admission-test many requests in one line (positional replies)."""
+        return await self.request(
+            {"op": "admit_batch", "requests": list(requests)})
 
     async def release(self, channel: str, name: str) -> Dict[str, object]:
         """Release a previously admitted task."""
@@ -128,5 +144,7 @@ class ServiceClient:
         self._reader_task.cancel()
         try:
             await self._reader_task
-        except asyncio.CancelledError:
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            # A torn connection's read error is already reflected in
+            # the failed pending futures; close() itself stays quiet.
             pass

@@ -12,6 +12,18 @@ Operations:
     "execution": 3, "deadline": 500}`` (``deadline`` is relative,
     ticks; ``name`` defaults to the id).  Reply ``status`` is
     ``accepted`` / ``rejected`` / ``overload``.
+``admit_batch``
+    Admission-test many tasks in one line (the shard router's
+    aggregation op): ``{"op": "admit_batch", "id": "b1", "requests":
+    [{"channel": "A", "name": "r1", "arrival": 120, "execution": 3,
+    "deadline": 500}, ...]}``.  The reply is ``{"status": "ok",
+    "responses": [...]}`` where ``responses[i]`` is exactly the reply
+    request ``i`` would have received as an individual ``admit``
+    coalesced into the same batch pass.  Entries are error-isolated
+    like request lines: an invalid entry gets a positional
+    ``{"status": "error", ...}`` reply without poisoning its
+    neighbours.  Each entry must carry an explicit ``name``; at most
+    :data:`MAX_BATCH_REQUESTS` entries.
 ``release``
     Reclaim a previously admitted task's slack:
     ``{"op": "release", "channel": "A", "name": "r1"}`` ->
@@ -37,14 +49,18 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
-__all__ = ["MAX_LINE_BYTES", "OPS", "ProtocolError", "Request",
-           "encode_response", "parse_request"]
+__all__ = ["MAX_BATCH_REQUESTS", "MAX_LINE_BYTES", "OPS", "ProtocolError",
+           "Request", "encode_response", "parse_request"]
 
 #: Upper bound on one request line; longer lines are a protocol error.
 MAX_LINE_BYTES = 64 * 1024
 
+#: Upper bound on entries in one ``admit_batch`` request.
+MAX_BATCH_REQUESTS = 512
+
 #: Every operation the server understands.
-OPS = ("admit", "release", "plan_retransmission", "stats", "ping")
+OPS = ("admit", "admit_batch", "release", "plan_retransmission", "stats",
+       "ping")
 
 
 class ProtocolError(ValueError):
@@ -122,6 +138,34 @@ def parse_request(line: str) -> Request:
             raise ProtocolError(
                 "'name' (or a string 'id' to default from) is required")
         fields["name"] = name
+    elif op == "admit_batch":
+        entries = payload.get("requests")
+        if not isinstance(entries, list) or not entries:
+            raise ProtocolError("'requests' must be a non-empty array")
+        if len(entries) > MAX_BATCH_REQUESTS:
+            raise ProtocolError(
+                f"'requests' exceeds {MAX_BATCH_REQUESTS} entries")
+        parsed_entries = []
+        for entry in entries:
+            # Entries are error-isolated, not batch-fatal: a bad entry
+            # becomes a positional error reply (the sharding router
+            # coalesces many clients' admits into one batch; one
+            # client's malformed request must not poison the others).
+            if not isinstance(entry, dict):
+                parsed_entries.append(
+                    {"invalid": "entry must be an object"})
+                continue
+            try:
+                parsed_entries.append({
+                    "channel": _require_str(entry, "channel"),
+                    "arrival": _require_int(entry, "arrival", 0),
+                    "execution": _require_int(entry, "execution", 1),
+                    "deadline": _require_int(entry, "deadline", 1),
+                    "name": _require_str(entry, "name"),
+                })
+            except ProtocolError as error:
+                parsed_entries.append({"invalid": str(error)})
+        fields["requests"] = parsed_entries
     elif op == "release":
         fields["channel"] = _require_str(payload, "channel")
         fields["name"] = _require_str(payload, "name")

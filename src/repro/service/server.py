@@ -230,7 +230,8 @@ class AdmissionService:
         if request.op == "plan_retransmission":
             return self._reply(request, self._plan_response(request))
 
-        # admit / release are serialized through the batcher.
+        # admit / admit_batch / release are serialized through the
+        # batcher.
         if self._draining:
             self._count("service.overload")
             return self._reply(request,
@@ -307,10 +308,34 @@ class AdmissionService:
         if self._obs.enabled:
             self._obs.set_gauge("service.batch.size", len(batch))
         with self._obs.section("service.batch"):
-            releases = [item for item in batch if item[0].op == "release"]
-            admits = [item for item in batch if item[0].op == "admit"]
-            for request, future in releases:
-                self._resolve(future, self._release(request))
+            releases = []
+            admits = []  # (Request, response sink)
+            for request, future in batch:
+                if request.op == "release":
+                    releases.append((request, self._future_sink(future)))
+                elif request.op == "admit":
+                    admits.append((request, self._future_sink(future)))
+                else:  # admit_batch: entries join this pass as admits.
+                    entries = request.fields["requests"]
+                    assert isinstance(entries, list)
+                    self._count("service.batch_admit.entries",
+                                len(entries))
+                    slots: List[Optional[Dict[str, object]]] = (
+                        [None] * len(entries))
+                    remaining = [len(entries)]
+                    for position, entry in enumerate(entries):
+                        sink = self._batch_sink(future, slots,
+                                                remaining, position)
+                        if "invalid" in entry:
+                            self._count("service.protocol_errors")
+                            sink({"status": "error",
+                                  "reason": str(entry["invalid"])})
+                            continue
+                        sub = Request(op="admit", id=None,
+                                      fields=dict(entry))
+                        admits.append((sub, sink))
+            for request, sink in releases:
+                sink(self._release(request))
             admits.sort(key=lambda item: (
                 item[0].fields["arrival"], item[0].fields["deadline"],
                 str(item[0].fields["name"])))
@@ -326,8 +351,8 @@ class AdmissionService:
                         arrivals.get(channel, arrival), arrival)
             for channel in sorted(arrivals):
                 self.ledgers[channel].advance(arrivals[channel])
-            for request, future in admits:
-                self._resolve(future, self._admit(request))
+            for request, sink in admits:
+                sink(self._admit(request))
         if (self._reconcile_every
                 and self._batches % self._reconcile_every == 0):
             self.reconcile()
@@ -339,6 +364,32 @@ class AdmissionService:
         # overload) while this request waited; never double-resolve.
         if not future.done():
             future.set_result(response)
+
+    @classmethod
+    def _future_sink(cls, future: asyncio.Future):
+        """Response sink for a single-request queue item."""
+        def sink(response: Dict[str, object]) -> None:
+            cls._resolve(future, response)
+        return sink
+
+    @classmethod
+    def _batch_sink(cls, future: asyncio.Future,
+                    slots: List[Optional[Dict[str, object]]],
+                    remaining: List[int], position: int):
+        """Response sink for one ``admit_batch`` entry.
+
+        Entries are processed in the pass's deterministic sorted order
+        but answered positionally: ``responses[i]`` is entry ``i``'s
+        reply, byte-identical to what it would have received as an
+        individual ``admit`` in the same batch.
+        """
+        def sink(response: Dict[str, object]) -> None:
+            slots[position] = response
+            remaining[0] -= 1
+            if not remaining[0]:
+                cls._resolve(future,
+                             {"status": "ok", "responses": list(slots)})
+        return sink
 
     def _admit(self, request: Request) -> Dict[str, object]:
         channel = str(request.fields["channel"])

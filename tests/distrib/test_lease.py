@@ -1,0 +1,132 @@
+"""Lease-file claims: exclusivity, takeover, heartbeat loss."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.distrib.lease import LeaseDirectory
+
+
+def make(tmp_path, worker, **kwargs):
+    kwargs.setdefault("heartbeat_s", 0.05)
+    kwargs.setdefault("stale_after_s", 0.2)
+    return LeaseDirectory(str(tmp_path / "leases"), worker, **kwargs)
+
+
+class TestClaim:
+    def test_acquire_is_exclusive(self, tmp_path):
+        first = make(tmp_path, "w1")
+        second = make(tmp_path, "w2")
+        assert first.acquire("range-0")
+        assert not second.acquire("range-0")
+        assert first.owner("range-0") == "w1"
+        assert first.held() == ["range-0"]
+        assert second.held() == []
+
+    def test_release_reopens_the_claim(self, tmp_path):
+        first = make(tmp_path, "w1")
+        second = make(tmp_path, "w2")
+        assert first.acquire("range-0")
+        first.release("range-0")
+        assert first.held() == []
+        assert second.acquire("range-0")
+        assert second.owner("range-0") == "w2"
+
+    def test_reacquire_own_lease_fails(self, tmp_path):
+        leases = make(tmp_path, "w1")
+        assert leases.acquire("range-0")
+        # The file exists and is fresh; even the owner cannot double-
+        # acquire (acquire == fresh claim, not reentrant lock).
+        assert not leases.acquire("range-0")
+
+    def test_lease_file_carries_worker_identity(self, tmp_path):
+        leases = make(tmp_path, "worker-7")
+        leases.acquire("range-3")
+        with open(leases.path_for("range-3")) as handle:
+            payload = json.load(handle)
+        assert payload["worker"] == "worker-7"
+        assert payload["pid"] == os.getpid()
+
+    def test_names_are_sanitized(self, tmp_path):
+        leases = make(tmp_path, "w1")
+        assert leases.acquire("over/../tricky name")
+        path = leases.path_for("over/../tricky name")
+        assert os.path.dirname(path) == leases.root
+        assert os.path.exists(path)
+
+
+class TestTakeover:
+    def test_stale_lease_is_taken_over(self, tmp_path):
+        dead = make(tmp_path, "dead")
+        thief = make(tmp_path, "thief")
+        assert dead.acquire("range-0")
+        # Backdate the mtime past staleness instead of sleeping.
+        path = dead.path_for("range-0")
+        old = time.time() - 10.0
+        os.utime(path, (old, old))
+        assert thief.acquire("range-0")
+        assert thief.takeovers == 1
+        assert thief.owner("range-0") == "thief"
+
+    def test_fresh_lease_is_not_taken_over(self, tmp_path):
+        holder = make(tmp_path, "holder")
+        thief = make(tmp_path, "thief")
+        assert holder.acquire("range-0")
+        assert not thief.acquire("range-0")
+        assert thief.takeovers == 0
+
+    def test_presumed_dead_owner_does_not_unlink_thief(self, tmp_path):
+        slow = make(tmp_path, "slow")
+        thief = make(tmp_path, "thief")
+        assert slow.acquire("range-0")
+        path = slow.path_for("range-0")
+        old = time.time() - 10.0
+        os.utime(path, (old, old))
+        assert thief.acquire("range-0")
+        # The slow worker wakes up and releases: the thief's lease
+        # file must survive (ownership is verified before unlink).
+        slow.release("range-0")
+        assert thief.owner("range-0") == "thief"
+        assert os.path.exists(path)
+
+    def test_refresh_detects_lost_lease(self, tmp_path):
+        slow = make(tmp_path, "slow")
+        assert slow.acquire("range-0")
+        os.unlink(slow.path_for("range-0"))  # stolen + released
+        slow.refresh()
+        assert slow.lost == 1
+        assert slow.held() == []
+
+
+class TestHeartbeat:
+    def test_heartbeat_keeps_lease_fresh(self, tmp_path):
+        with make(tmp_path, "w1") as leases:
+            assert leases.acquire("range-0")
+            path = leases.path_for("range-0")
+            old = time.time() - 10.0
+            os.utime(path, (old, old))
+            deadline = time.time() + 2.0
+            while time.time() < deadline:
+                if os.stat(path).st_mtime > time.time() - 1.0:
+                    break
+                time.sleep(0.02)
+            assert os.stat(path).st_mtime > time.time() - 1.0
+
+    def test_context_manager_stops_thread(self, tmp_path):
+        leases = make(tmp_path, "w1")
+        with leases:
+            assert leases._thread is not None
+        assert leases._thread is None
+
+
+class TestValidation:
+    def test_stale_must_exceed_heartbeat_margin(self, tmp_path):
+        with pytest.raises(ValueError, match="3x"):
+            LeaseDirectory(str(tmp_path), "w1", heartbeat_s=1.0,
+                           stale_after_s=2.0)
+
+    def test_heartbeat_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            LeaseDirectory(str(tmp_path), "w1", heartbeat_s=0.0)

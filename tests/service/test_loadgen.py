@@ -6,6 +6,7 @@ import pytest
 
 from repro.service.config import load_service_setup
 from repro.service.loadgen import (
+    LoadgenReport,
     LoadgenSpec,
     generate_requests,
     percentile,
@@ -118,3 +119,70 @@ class TestEndToEnd:
         assert set(row) >= {"accepted", "rejected", "overload",
                             "acceptance_ratio", "throughput_rps",
                             "p50_ms", "p99_ms", "wall_s"}
+
+
+class TestPercentileEdges:
+    def test_single_sample_is_every_percentile(self):
+        for q in (0, 50, 90, 99, 100):
+            assert percentile([7.5], q) == 7.5
+
+    def test_two_samples_nearest_rank(self):
+        values = [10.0, 20.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 50) == 10.0
+        assert percentile(values, 51) == 20.0
+        assert percentile(values, 99) == 20.0
+        assert percentile(values, 100) == 20.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 100.1)
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert percentile([30.0, 10.0, 20.0], 50) == 20.0
+
+
+class TestReportEdges:
+    def test_empty_latency_report_row(self):
+        # An all-dropped run has no latency samples at all; the row
+        # must still be emittable (zeros, not KeyErrors or NaNs).
+        report = LoadgenReport(
+            requests=5, replies={}, dropped=5, wall_s=0.1,
+            latency_ms={}, releases_sent=0, releases_confirmed=0)
+        row = report.to_row()
+        assert row["dropped"] == 5
+        assert row["p50_ms"] == 0.0
+        assert row["p99_ms"] == 0.0
+        assert row["acceptance_ratio"] == 0.0
+
+    def test_zero_wall_clock_throughput(self):
+        report = LoadgenReport(
+            requests=1, replies={"accepted": 1}, dropped=0, wall_s=0.0,
+            latency_ms={"p50": 1.0}, releases_sent=0,
+            releases_confirmed=0)
+        assert report.throughput_rps == 0.0
+
+    def test_all_connections_refused_counts_drops(self):
+        # A server that accepts and instantly closes: every request
+        # dies with ConnectionError, none ever gets a latency sample.
+        async def body():
+            async def slam(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(slam, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await run_loadgen(
+                    "127.0.0.1", port, LoadgenSpec(requests=6, seed=3),
+                    concurrency=2, connections=2)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        report = asyncio.run(body())
+        assert report.dropped == 6
+        assert report.replies == {}
+        assert report.latency_ms == {}
+        assert report.to_row()["p50_ms"] == 0.0

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.service.protocol import (
+    MAX_BATCH_REQUESTS,
     MAX_LINE_BYTES,
     ProtocolError,
     encode_response,
@@ -124,3 +125,61 @@ class TestEncode:
     def test_roundtrip(self):
         payload = {"status": "accepted", "id": "r1", "window_slack": 4}
         assert json.loads(encode_response(payload)) == payload
+
+
+class TestParseAdmitBatch:
+    def entry(self, **overrides):
+        base = {"channel": "A", "name": "t1", "arrival": 0,
+                "execution": 1, "deadline": 10}
+        base.update(overrides)
+        return base
+
+    def test_valid_batch(self):
+        request = parse_request(line(
+            op="admit_batch", id="b1",
+            requests=[self.entry(name="t1"),
+                      self.entry(name="t2", channel="B", arrival=5)]))
+        assert request.op == "admit_batch"
+        assert request.id == "b1"
+        first, second = request.fields["requests"]
+        assert first == {"channel": "A", "arrival": 0, "execution": 1,
+                         "deadline": 10, "name": "t1"}
+        assert second["channel"] == "B"
+        assert second["arrival"] == 5
+
+    def test_invalid_entry_is_isolated(self):
+        request = parse_request(line(
+            op="admit_batch",
+            requests=[self.entry(),
+                      self.entry(execution=0),
+                      self.entry(name="t3")]))
+        parsed = request.fields["requests"]
+        assert "invalid" not in parsed[0]
+        assert "execution" in parsed[1]["invalid"]
+        assert "invalid" not in parsed[2]
+
+    def test_non_object_entry_is_isolated(self):
+        request = parse_request(line(
+            op="admit_batch", requests=[self.entry(), 42]))
+        assert request.fields["requests"][1] == {
+            "invalid": "entry must be an object"}
+
+    def test_entry_requires_explicit_name(self):
+        # Batch entries have no line-level id to default the name from.
+        request = parse_request(line(
+            op="admit_batch", requests=[self.entry(name=None)]))
+        assert "name" in request.fields["requests"][0]["invalid"]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            parse_request(line(op="admit_batch", requests=[]))
+
+    def test_non_list_batch_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            parse_request(line(op="admit_batch", requests={"a": 1}))
+
+    def test_oversized_batch_rejected(self):
+        entries = [self.entry(name=f"t{i}")
+                   for i in range(MAX_BATCH_REQUESTS + 1)]
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_request(line(op="admit_batch", requests=entries))
