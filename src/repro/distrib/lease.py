@@ -110,6 +110,12 @@ class LeaseDirectory:
         tombstone = (f"{path}.tomb.{_sanitize(self.worker_id)}."
                      f"{os.urandom(4).hex()}")
         try:
+            # Re-check staleness immediately before the rename: a rival
+            # thief may have completed its takeover (tombstone + fresh
+            # O_EXCL recreate) since our first stat, and renaming that
+            # *live* lease would hand the same range to two workers.
+            if time.time() - os.stat(path).st_mtime < self.stale_after_s:
+                return False  # revived underneath us
             os.rename(path, tombstone)
         except FileNotFoundError:
             return False  # somebody else took it over (or released it)

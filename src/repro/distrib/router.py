@@ -8,18 +8,21 @@ The router owns no ledger.  It rendezvous-hashes every request's
 channel (:mod:`repro.distrib.hashing`), coalesces the admits that
 arrived in the same event-loop tick into ONE ``admit_batch`` line per
 target shard (so a shard pays one parse/future/encode per *batch*, not
-per request), forwards everything else individually, and answers
-``ping`` locally.  ``stats`` fans out to every live shard and the
-pinned ``STATUS_FIELDS`` payload is re-aggregated key-for-key
-(:func:`aggregate_stats`), so a sharded service is drop-in observable.
+per request), splits client-sent ``admit_batch`` requests entry-wise
+across owning shards and reassembles the positional replies, forwards
+everything else individually, and answers ``ping`` locally.  ``stats``
+fans out to every live shard and the pinned ``STATUS_FIELDS`` payload
+is re-aggregated key-for-key (:func:`aggregate_stats`), so a sharded
+service is drop-in observable.
 
 Lifecycle: shards are spawned before the router accepts connections; a
 health loop pings each shard and restarts dead ones with bounded
 retries and exponential backoff.  While a shard is down (or its
 in-flight window is full) its requests get immediate
 ``status: overload`` replies -- per-shard backpressure, nothing blocks,
-nothing is silently dropped.  SIGTERM drains: stop accepting, answer
-the in-flight chunks, SIGTERM every shard, exit.
+nothing is silently dropped.  SIGTERM drains: stop accepting, wait for
+every in-flight dispatch chunk to be answered (the shard connections
+stay open until then), SIGTERM every shard, exit.
 """
 
 from __future__ import annotations
@@ -193,11 +196,15 @@ class ShardRouter:
             link = _ShardLink(spec)
             link.restarts_left = max_restarts
             self.links.append(link)
+        self._queue_limit = queue_limit
         self.counters: Dict[str, int] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._health_task: Optional[asyncio.Task] = None
         self._draining = False
         self._drained = asyncio.Event()
+        self._active_chunks = 0
+        self._chunks_done = asyncio.Event()
+        self._chunks_done.set()
 
     # -- counters ------------------------------------------------------
 
@@ -252,6 +259,14 @@ class ShardRouter:
                 await self._health_task
             except asyncio.CancelledError:
                 pass
+        # server.wait_closed() does not wait for active connection
+        # handlers on Python < 3.12; in-flight chunks must be answered
+        # before the shard links go away.  New requests already get
+        # "draining" replies, so this converges.
+        try:
+            await asyncio.wait_for(self._chunks_done.wait(), self._timeout)
+        except asyncio.TimeoutError:  # pragma: no cover - stuck shard
+            pass
         loop = asyncio.get_running_loop()
         for link in self.links:
             if link.client is not None:
@@ -427,11 +442,23 @@ class ShardRouter:
     async def _dispatch_chunk(self, chunk: List[Optional[bytes]]
                               ) -> List[bytes]:
         """Route one chunk of request lines; returns ordered replies."""
+        self._active_chunks += 1
+        self._chunks_done.clear()
+        try:
+            return await self._route_chunk(chunk)
+        finally:
+            self._active_chunks -= 1
+            if self._active_chunks == 0:
+                self._chunks_done.set()
+
+    async def _route_chunk(self, chunk: List[Optional[bytes]]
+                           ) -> List[bytes]:
         results: List[Optional[bytes]] = [None] * len(chunk)
         # shard index -> [(chunk position, original id, raw entry)]
         groups: Dict[int, List[Tuple[int, Optional[str], Dict[str, object]]]] = {}
         forwards: List[Tuple[int, Optional[str], int, Dict[str, object]]] = []
         stats_positions: List[Tuple[int, Optional[str]]] = []
+        client_batches: List[Tuple[int, Optional[str], List[object]]] = []
 
         for position, line in enumerate(chunk):
             if line is None:
@@ -485,6 +512,23 @@ class ShardRouter:
             if op == "stats":
                 stats_positions.append((position, request_id))
                 continue
+            if op == "admit_batch":
+                entries = payload.get("requests")
+                if (not isinstance(entries, list) or not entries
+                        or len(entries) > MAX_BATCH_REQUESTS):
+                    # Let the canonical parser word the canonical error
+                    # (no id, exactly like the single-process service).
+                    try:
+                        parse_request(text)
+                        reason = "unroutable request"  # pragma: no cover
+                    except ProtocolError as error:
+                        reason = str(error)
+                    self._count("router.protocol_errors")
+                    results[position] = encode_response(
+                        {"status": "error", "reason": reason})
+                    continue
+                client_batches.append((position, request_id, entries))
+                continue
             if op == "admit":
                 channel = payload.get("channel")
                 name = payload.get("name", request_id)
@@ -520,6 +564,9 @@ class ShardRouter:
             waiters.append(self._run_forward(
                 self.links[shard], position, request_id, payload,
                 results))
+        for position, request_id, entries in client_batches:
+            waiters.append(self._run_client_batch(
+                position, request_id, entries, results))
         for position, request_id in stats_positions:
             waiters.append(self._run_stats(position, request_id, results))
         if waiters:
@@ -558,6 +605,56 @@ class ShardRouter:
                 results[position] = encode_response(
                     self._with_id(dict(reply), request_id))
 
+    async def _run_client_batch(self, position: int,
+                                request_id: Optional[str],
+                                entries: List[object],
+                                results: List[Optional[bytes]]) -> None:
+        """Split one client admit_batch across owning shards.
+
+        Each entry is routed to its channel's rendezvous shard (entries
+        the shard will reject as malformed go anywhere -- shard 0 words
+        the canonical positional error), the sub-batches run
+        concurrently, and the replies are reassembled in entry order so
+        the client sees exactly the single-process contract:
+        ``{"status": "ok", "responses": [...]}`` with ``responses[i]``
+        answering entry ``i``.  A sub-batch whose shard is down/
+        overloaded yields that shard's verdict for each of its entries
+        without poisoning the entries owned by healthy shards.
+        """
+        self._count("router.client_batches")
+        groups: Dict[int, List[Tuple[int, object]]] = {}
+        for index, entry in enumerate(entries):
+            channel = (entry.get("channel")
+                       if isinstance(entry, dict) else None)
+            shard = (shard_for(channel, self.shard_count)
+                     if isinstance(channel, str) else 0)
+            groups.setdefault(shard, []).append((index, entry))
+        responses: List[Optional[Dict[str, object]]] = [None] * len(entries)
+
+        async def run_sub(link: _ShardLink,
+                          items: List[Tuple[int, object]]) -> None:
+            reply = await self._shard_request(
+                link, {"op": "admit_batch",
+                       "requests": [entry for __, entry in items]})
+            sub = reply.get("responses")
+            if (reply.get("status") == "ok" and isinstance(sub, list)
+                    and len(sub) == len(items)):
+                for (index, __), response in zip(items, sub):
+                    responses[index] = response
+            else:
+                for index, __ in items:
+                    responses[index] = dict(reply)
+
+        waiters = []
+        for shard, items in sorted(groups.items()):
+            link = self.links[shard]
+            for offset in range(0, len(items), ROUTER_BATCH_LIMIT):
+                waiters.append(run_sub(
+                    link, items[offset:offset + ROUTER_BATCH_LIMIT]))
+        await asyncio.gather(*waiters)
+        results[position] = encode_response(self._with_id(
+            {"status": "ok", "responses": responses}, request_id))
+
     async def _run_forward(self, link: _ShardLink, position: int,
                            request_id: Optional[str],
                            payload: Dict[str, object],
@@ -572,13 +669,16 @@ class ShardRouter:
         self._count("router.stats")
         payloads = []
         for link in self.links:
-            if not link.available:
-                continue
-            reply = await self._shard_request(link, {"op": "stats"})
-            if reply.get("status") == "ok":
+            reply = (await self._shard_request(link, {"op": "stats"})
+                     if link.available else None)
+            if reply is not None and reply.get("status") == "ok":
                 payloads.append(reply)
+            else:
+                # Missing channels in the merge are attributable.
+                self._count("router.stats_shards_down")
         merged = aggregate_stats(
             self.setup, payloads, dict(self.counters),
+            queue_limit_fallback=self.shard_count * self._queue_limit,
             draining=self._draining)
         results[position] = encode_response(
             self._with_id(merged, request_id))

@@ -91,6 +91,39 @@ class TestTakeover:
         assert thief.owner("range-0") == "thief"
         assert os.path.exists(path)
 
+    def test_takeover_aborts_if_lease_revives_before_rename(
+            self, tmp_path, monkeypatch):
+        # TOCTOU guard: the lease looks stale at the first stat, but a
+        # rival completes its takeover (fresh recreate) before our
+        # rename.  The re-stat right before the rename must abort the
+        # theft instead of tombstoning the rival's live lease.
+        holder = make(tmp_path, "holder")
+        thief = make(tmp_path, "thief")
+        assert holder.acquire("range-0")
+        path = holder.path_for("range-0")
+        old = time.time() - 10.0
+        os.utime(path, (old, old))
+        real_stat = os.stat
+        calls = {"count": 0}
+
+        def stat_spy(target, *args, **kwargs):
+            result = real_stat(target, *args, **kwargs)
+            if target == path:
+                calls["count"] += 1
+                if calls["count"] == 2:
+                    # The rival's fresh lease lands between the
+                    # staleness check and the re-stat.
+                    os.utime(path)
+                    result = real_stat(target, *args, **kwargs)
+            return result
+
+        monkeypatch.setattr("repro.distrib.lease.os.stat", stat_spy)
+        assert not thief.acquire("range-0")
+        assert thief.takeovers == 0
+        assert thief.owner("range-0") == "holder"
+        assert os.path.exists(path)
+        assert os.listdir(holder.root) == [os.path.basename(path)]
+
     def test_refresh_detects_lost_lease(self, tmp_path):
         slow = make(tmp_path, "slow")
         assert slow.acquire("range-0")

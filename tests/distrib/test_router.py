@@ -110,6 +110,80 @@ class TestRouting:
         assert router.counters["router.batches"] \
             < router.counters["router.batched_admits"]
 
+    def test_client_admit_batch_spans_shards(self):
+        # Regression: a client-sent admit_batch must be split by owning
+        # shard (A -> shard 1, B -> shard 0 by the golden map), not
+        # forwarded whole to shard 0 where foreign channels would be
+        # rejected as unknown.
+        entries = [
+            {"channel": "A", "arrival": 0, "execution": 1,
+             "deadline": 300, "name": "ba1"},
+            {"channel": "B", "arrival": 0, "execution": 1,
+             "deadline": 300, "name": "bb1"},
+            {"channel": "Zebra", "arrival": 0, "execution": 1,
+             "deadline": 300, "name": "bz1"},
+            {"channel": 7, "arrival": 0, "execution": 1,
+             "deadline": 300, "name": "bad1"},
+        ]
+
+        async def body(router, client):
+            return await client.admit_batch(entries)
+
+        router, reply = run(with_router(body))
+        assert reply["status"] == "ok"
+        responses = reply["responses"]
+        assert len(responses) == len(entries)
+        assert responses[0]["status"] == "accepted"
+        assert responses[1]["status"] == "accepted"
+        assert responses[2]["status"] == "rejected"
+        assert "unknown channel" in responses[2]["reason"]
+        assert responses[3]["status"] == "error"
+        assert router.counters["router.client_batches"] == 1
+
+    def test_client_admit_batch_down_shard_does_not_poison(self):
+        # Entries owned by a dead shard get that shard's overload
+        # verdict; entries owned by the live shard still get admitted.
+        entries = [
+            {"channel": "A", "arrival": 0, "execution": 1,
+             "deadline": 300, "name": "da1"},
+            {"channel": "B", "arrival": 0, "execution": 1,
+             "deadline": 300, "name": "db1"},
+        ]
+
+        async def body(router, client):
+            dead = router.links[1]  # A's shard by the golden map
+            await dead.client.close()
+            dead.client = None
+            return await client.admit_batch(entries)
+
+        __, reply = run(with_router(body, health_interval_s=30.0))
+        assert reply["status"] == "ok"
+        assert reply["responses"][0]["status"] == "overload"
+        assert reply["responses"][1]["status"] == "accepted"
+
+    def test_client_admit_batch_shape_errors_are_canonical(self):
+        # Shape errors are worded by the canonical parser and, like
+        # the single-process service, carry no id (-> unmatched).
+        import json
+
+        oversized = json.dumps({"op": "admit_batch", "requests": [
+            {"channel": "A", "arrival": 0, "execution": 1,
+             "deadline": 300, "name": f"o{index}"}
+            for index in range(513)]})
+
+        async def body(router, client):
+            await client.send_raw(b'{"op": "admit_batch", "requests": []}\n')
+            await client.send_raw(oversized.encode("utf-8") + b"\n")
+            await client.ping()  # fence: both error lines are answered
+            return list(client.unmatched)
+
+        __, errors = run(with_router(body))
+        assert len(errors) == 2
+        assert all(e["status"] == "error" for e in errors)
+        reasons = sorted(e["reason"] for e in errors)
+        assert "non-empty array" in reasons[1]
+        assert "exceeds 512" in reasons[0]
+
     def test_channels_land_on_their_rendezvous_shard(self):
         async def body(router, client):
             await client.admit("A", 0, 1, 300, name="a1")
@@ -146,6 +220,23 @@ class TestStats:
         assert sorted(stats["channels"]) == ["A", "B"]
         assert stats["counters"]["router.requests"] >= 3
         assert stats["draining"] is False
+
+    def test_stats_with_all_shards_down_keeps_queue_limit(self):
+        # With every shard unreachable the pinned payload must still
+        # report the deployment's configured capacity, not 0, and the
+        # missing channels must be attributable to a router counter.
+        async def body(router, client):
+            for link in router.links:
+                if link.client is not None:
+                    await link.client.close()
+                    link.client = None
+            return await client.stats()
+
+        router, stats = run(with_router(body, health_interval_s=30.0))
+        assert set(stats) - {"id"} == set(STATUS_FIELDS)
+        assert stats["queue_limit"] == 2 * 1024
+        assert stats["channels"] == {}
+        assert stats["counters"]["router.stats_shards_down"] == 2
 
     def test_aggregate_sums_and_weights(self):
         setup = load_service_setup(**SETUP_KWARGS)
@@ -216,6 +307,27 @@ class TestResilience:
 
         router, __ = run(with_router(body))
         assert router.counters["router.backpressure"] == 1
+
+    def test_stop_answers_inflight_chunks_before_closing_shards(self):
+        # A drain must wait for in-flight dispatch chunks: the admit
+        # below is mid-round-trip when stop() begins, and still has to
+        # come back with a real shard verdict, not "shard unavailable".
+        async def body(router, client):
+            real = router._shard_request
+
+            async def slow(link, payload):
+                await asyncio.sleep(0.3)
+                return await real(link, payload)
+
+            router._shard_request = slow
+            admit = asyncio.create_task(client.admit(
+                "A", 0, 1, 300, name="drain1"))
+            await asyncio.sleep(0.05)  # the chunk is in flight now
+            await router.stop()
+            return await admit
+
+        __, reply = run(with_router(body))
+        assert reply["status"] == "accepted"
 
     def test_draining_router_answers_overload(self):
         async def body(router, client):
