@@ -21,8 +21,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.flexray.params import FlexRayParams
-from repro.flexray.signal import SignalSet
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.signal import SignalSet
 
 __all__ = ["scale_aperiodic_load", "bisect_breakdown",
            "aperiodic_breakdown_factor", "BreakdownResult"]
@@ -138,7 +138,7 @@ def bisect_breakdown(
 
 def aperiodic_breakdown_factor(
     scheduler: str,
-    params: FlexRayParams,
+    params: SegmentGeometry,
     periodic: SignalSet,
     aperiodic: SignalSet,
     ber: float = 1e-7,

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.flexray.channel import Channel
-from repro.flexray.schedule import ScheduleTable
+from repro.protocol.channel import Channel
+from repro.protocol.schedule import ScheduleTable
 from repro.timeline.compiler import CompiledRound, compile_round
 
 __all__ = ["IdleSlotTable"]

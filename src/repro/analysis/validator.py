@@ -18,10 +18,10 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.flexray.channel import Channel
-from repro.flexray.frame import frame_duration_mt
-from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import ScheduleTable
+from repro.protocol.channel import Channel
+from repro.protocol.frame import frame_duration_mt
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.schedule import ScheduleTable
 from repro.packing.frame_packing import PackedMessage, PackingResult
 
 __all__ = ["MessageValidation", "validate_schedule"]
@@ -50,7 +50,7 @@ class MessageValidation:
 
 def _chunk_worst_latency(
     table: ScheduleTable,
-    params: FlexRayParams,
+    params: SegmentGeometry,
     message: PackedMessage,
     chunk_index: int,
 ) -> Optional[int]:
@@ -109,7 +109,7 @@ def _chunk_worst_latency(
 def validate_schedule(
     table: ScheduleTable,
     packing: PackingResult,
-    params: FlexRayParams,
+    params: SegmentGeometry,
 ) -> List[MessageValidation]:
     """Validate every periodic message of a packed workload.
 

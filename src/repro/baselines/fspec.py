@@ -25,9 +25,9 @@ implemented literally:
 from __future__ import annotations
 
 from repro.core.queueing import QueueingPolicyBase
-from repro.flexray.channel import Channel
-from repro.flexray.frame import PendingFrame
-from repro.flexray.schedule import ChannelStrategy
+from repro.protocol.channel import Channel
+from repro.protocol.frame import PendingFrame
+from repro.protocol.schedule import ChannelStrategy
 from repro.packing.frame_packing import PackingResult
 
 __all__ = ["FspecPolicy"]

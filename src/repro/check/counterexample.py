@@ -19,8 +19,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from repro.flexray.channel import Channel
-from repro.flexray.params import FlexRayParams
+from repro.protocol.channel import Channel
+from repro.protocol.geometry import SegmentGeometry
 from repro.results.canonical import canonical_json_bytes
 from repro.timeline.compiler import CompiledRound
 from repro.verify.diagnostics import Report
@@ -116,7 +116,7 @@ def shrink_round(compiled: CompiledRound, failing_rules: Sequence[str],
     return result if result is not None else compiled
 
 
-def find_matching_scenario(params: FlexRayParams,
+def find_matching_scenario(params: SegmentGeometry,
                            max_seeds: int = _SCENARIO_SEED_SCAN
                            ) -> Optional[int]:
     """A generator seed whose cluster geometry matches ``params``.
@@ -168,7 +168,7 @@ def payload_to_round(payload: Dict[str, object]) -> CompiledRound:
             f"not a counterexample payload (format "
             f"{payload.get('format')!r}, expected {PAYLOAD_FORMAT!r})"
         )
-    params = FlexRayParams(**payload["params"])  # type: ignore[arg-type]
+    params = SegmentGeometry(**payload["params"])  # type: ignore[arg-type]
     channels = [Channel[name] for name in payload["channels"]]  # type: ignore[union-attr]
     arrays: Dict[str, List[int]] = payload["arrays"]  # type: ignore[assignment]
     return CompiledRound(

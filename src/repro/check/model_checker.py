@@ -39,7 +39,7 @@ import math
 from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.faults.analysis import log_message_success_probability
-from repro.flexray.channel import Channel
+from repro.protocol.channel import Channel
 from repro.timeline.compiler import (
     CHANNEL_CODES,
     SEGMENT_DYNAMIC,

@@ -54,7 +54,7 @@ from repro.verify.diagnostics import Diagnostic, Report, Severity
 __all__ = ["POLICY_ROOT", "DECISION_ENTRIES", "check_policy_promises"]
 
 #: The abstract policy root every scheduler derives from.
-POLICY_ROOT = "repro.flexray.policy.SchedulerPolicy"
+POLICY_ROOT = "repro.protocol.policy.SchedulerPolicy"
 
 #: The phase-A decision hooks of the engine contract.
 DECISION_ENTRIES = ("static_frame_for", "dynamic_frame_for",

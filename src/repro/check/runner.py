@@ -111,8 +111,7 @@ def check_workload(
     """
     from repro.core.retransmission import plan_retransmissions
     from repro.faults.ber import BitErrorRateModel
-    from repro.flexray.channel import Channel
-    from repro.flexray.schedule import build_dual_schedule
+    from repro.protocol.channel import Channel
     from repro.packing.frame_packing import pack_signals
     from repro.timeline.compiler import compile_round
 
@@ -132,7 +131,7 @@ def check_workload(
         return report
     try:
         packing = pack_signals(workload, params)
-        table = build_dual_schedule(packing.static_frames(), params)
+        table = params.build_schedule(packing.static_frames())
     except (ValueError, RuntimeError) as error:
         report.add(Diagnostic(
             rule_id="MDL401", severity=Severity.ERROR,

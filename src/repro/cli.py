@@ -50,8 +50,8 @@ from repro.obs import (
     format_profile,
     write_metrics_jsonl,
 )
-from repro.flexray.params import paper_dynamic_preset
-from repro.flexray.signal import SignalSet
+from repro.protocol.backend import available_backends, get_backend
+from repro.protocol.signal import SignalSet
 from repro.workloads.acc import acc_signals
 from repro.workloads.bbw import bbw_signals
 from repro.workloads.sae import sae_aperiodic_signals
@@ -73,11 +73,16 @@ def _periodic_workload(name: str, count: int, seed: int) -> SignalSet:
     raise ValueError(f"unknown workload {name!r}")
 
 
-def _params_for(args) -> "FlexRayParams":
+def _backend_of(args):
+    return get_backend(getattr(args, "backend", "flexray"))
+
+
+def _params_for(args) -> "SegmentGeometry":
+    backend = _backend_of(args)
     if args.workload in ("bbw", "acc"):
-        return figures_module.case_study_params(args.workload,
-                                                minislots=args.minislots)
-    return paper_dynamic_preset(args.minislots)
+        return backend.case_study_params(args.workload,
+                                         minislots=args.minislots)
+    return backend.dynamic_preset(args.minislots)
 
 
 def _emit(rows: List[Dict], as_json: bool) -> None:
@@ -272,6 +277,7 @@ def _cmd_campaign_coordinated(args) -> int:
     obs, events = _make_observability(args)
     plan = CampaignPlan(
         scheduler=args.scheduler[0], workload=args.workload,
+        backend=args.backend,
         count=args.count, seed=args.seed,
         seeds=tuple(range(args.seed, args.seed + args.seeds)),
         aperiodic=args.aperiodic, minislots=args.minislots,
@@ -392,7 +398,7 @@ def _cmd_breakdown(args) -> int:
         dynamic_study_periodic,
     )
 
-    params = paper_dynamic_preset(args.minislots)
+    params = get_backend("flexray").dynamic_preset(args.minislots)
     rows = []
     for scheduler in args.scheduler:
         result = aperiodic_breakdown_factor(
@@ -426,6 +432,7 @@ def _verify_target(workload: str, args) -> Dict[str, object]:
     cluster, the SAE/synthetic dynamic studies on the 100-minislot
     paper preset.
     """
+    backend = _backend_of(args)
     minislots = args.minislots
     if minislots is None:
         minislots = 50 if workload in ("bbw", "acc") else 100
@@ -435,18 +442,18 @@ def _verify_target(workload: str, args) -> Dict[str, object]:
         # The SAE set is the paper's aperiodic study: no periodic half.
         count = args.aperiodic if args.aperiodic > 0 else 30
         return {
-            "params": paper_dynamic_preset(minislots),
+            "params": backend.dynamic_preset(minislots),
             "periodic": None,
             "aperiodic": sae_aperiodic_signals(count=count),
         }
     if workload in ("bbw", "acc"):
-        params = figures_module.case_study_params(workload,
-                                                  minislots=minislots)
+        params = backend.case_study_params(workload,
+                                           minislots=minislots)
         periodic = bbw_signals() if workload == "bbw" else acc_signals()
         return {"params": params, "periodic": periodic,
                 "aperiodic": aperiodic}
     return {
-        "params": paper_dynamic_preset(minislots),
+        "params": backend.dynamic_preset(minislots),
         "periodic": synthetic_signals(args.count, seed=args.seed,
                                       max_size_bits=216),
         "aperiodic": aperiodic,
@@ -510,7 +517,8 @@ def _cmd_serve(args) -> int:
         workload=args.workload, count=args.count, seed=args.seed,
         minislots=args.minislots, ber=args.ber,
         reliability_goal=args.rho, tick_us=args.tick_us,
-        verify=not args.no_verify, engine_mode=args.engine_mode)
+        verify=not args.no_verify, engine_mode=args.engine_mode,
+        backend=args.backend)
     if args.shards > 1:
         from repro.distrib import serve_sharded
 
@@ -743,9 +751,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"persist {what} into the SQLite result "
                             f"store at DB (browse with `repro web`)")
 
+    def backend_option(p):
+        p.add_argument("--backend", choices=available_backends(),
+                       default="flexray",
+                       help="protocol backend the cluster geometry "
+                            "comes from (default: flexray)")
+
     run_parser = sub.add_parser("run", help="run one experiment")
     common(run_parser)
     observability(run_parser)
+    backend_option(run_parser)
     run_parser.add_argument("--scheduler", nargs="+", choices=SCHEDULERS,
                             default=["coefficient", "fspec"])
     run_parser.add_argument("--minislots", type=int, default=100)
@@ -766,6 +781,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-seed Monte-Carlo campaign with confidence intervals")
     common(campaign_parser)
     observability(campaign_parser)
+    backend_option(campaign_parser)
     campaign_parser.add_argument("--scheduler", nargs="+",
                                  choices=SCHEDULERS,
                                  default=["coefficient", "fspec"])
@@ -892,6 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     "to 30)")
     verify_parser.add_argument("--json", action="store_true",
                                help="emit JSON instead of a table")
+    backend_option(verify_parser)
     store_option(verify_parser, "each verification report")
     verify_parser.set_defaults(handler=_cmd_verify_config)
 
@@ -912,6 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--minislots", type=int, default=None,
                               help="minislot count (default: 50 for the "
                                    "case studies, 100 otherwise)")
+    backend_option(serve_parser)
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8471,
                               help="TCP port (0 = ephemeral; the bound "
@@ -1057,6 +1075,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--out", default=None, metavar="PATH",
                               help="also write the diagnostics JSON "
                                    "to PATH (the CI artifact)")
+    backend_option(check_parser)
     check_parser.add_argument("--counterexample-dir",
                               default="check-artifacts", metavar="DIR",
                               help="where violation counterexamples are "

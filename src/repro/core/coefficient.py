@@ -48,9 +48,9 @@ from repro.core.retransmission import (
 )
 from repro.core.selective_slack import SelectiveSlackPlanner
 from repro.faults.ber import BitErrorRateModel
-from repro.flexray.channel import Channel
-from repro.flexray.frame import FrameKind, PendingFrame
-from repro.flexray.schedule import ChannelStrategy
+from repro.protocol.channel import Channel
+from repro.protocol.frame import FrameKind, PendingFrame
+from repro.protocol.schedule import ChannelStrategy
 from repro.packing.frame_packing import PackingResult
 from repro.sim.trace import TransmissionOutcome
 

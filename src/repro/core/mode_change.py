@@ -31,15 +31,14 @@ from repro.analysis.slack_table import IdleSlotTable
 from repro.analysis.validator import MessageValidation, validate_schedule
 from repro.core.retransmission import RetransmissionPlan, plan_retransmissions
 from repro.faults.ber import BitErrorRateModel
-from repro.flexray.channel import Channel
-from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import (
+from repro.protocol.channel import Channel
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.schedule import (
     ChannelStrategy,
     ScheduleInfeasibleError,
     ScheduleTable,
-    build_dual_schedule,
 )
-from repro.flexray.signal import Signal, SignalSet
+from repro.protocol.signal import Signal, SignalSet
 from repro.packing.frame_packing import PackingResult, pack_signals
 
 __all__ = ["AdmissionDecision", "ModeChangeController"]
@@ -92,7 +91,7 @@ class ModeChangeController:
 
     def __init__(
         self,
-        params: FlexRayParams,
+        params: SegmentGeometry,
         signals: SignalSet,
         ber_model: Optional[BitErrorRateModel] = None,
         reliability_goal: Optional[float] = None,
@@ -137,8 +136,8 @@ class ModeChangeController:
             return AdmissionDecision(admitted=False,
                                      reason=f"unpackable: {error}")
         try:
-            table = build_dual_schedule(packing.static_frames(),
-                                        self._params, self._strategy)
+            table = self._params.build_schedule(packing.static_frames(),
+                                                self._strategy)
         except ScheduleInfeasibleError as error:
             return AdmissionDecision(admitted=False,
                                      reason=f"schedule infeasible: {error}")

@@ -22,13 +22,13 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
-from repro.flexray.channel import Channel
-from repro.flexray.chi import PriorityOutputQueue, StaticBuffer
-from repro.flexray.cluster import FlexRayCluster
-from repro.flexray.frame import FrameKind, PendingFrame
-from repro.flexray.params import FlexRayParams
-from repro.flexray.policy import SchedulerPolicy
-from repro.flexray.schedule import ScheduleTable, build_dual_schedule
+from repro.protocol.channel import Channel
+from repro.protocol.chi import PriorityOutputQueue, StaticBuffer
+from repro.protocol.cluster import Cluster
+from repro.protocol.frame import FrameKind, PendingFrame
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.policy import SchedulerPolicy
+from repro.protocol.schedule import ScheduleTable
 from repro.packing.frame_packing import PackingResult
 from repro.sim.trace import TransmissionOutcome
 from repro.timeline.compiler import CompiledRound, compile_round
@@ -86,8 +86,8 @@ class QueueingPolicyBase(SchedulerPolicy):
         self.feedback = feedback
         self.drop_expired_dynamic = drop_expired_dynamic
         self._optimize_iterations = optimize_iterations
-        self.params: Optional[FlexRayParams] = None
-        self.cluster: Optional[FlexRayCluster] = None
+        self.params: Optional[SegmentGeometry] = None
+        self.cluster: Optional[Cluster] = None
         self._table: Optional[ScheduleTable] = None
         self._round: Optional[CompiledRound] = None
         # (message_id, chunk) -> [(channel, slot_id), ...]
@@ -156,12 +156,12 @@ class QueueingPolicyBase(SchedulerPolicy):
     # SchedulerPolicy: lifecycle
     # ------------------------------------------------------------------
 
-    def bind(self, cluster: FlexRayCluster) -> None:
+    def bind(self, cluster: Cluster) -> None:
         self.cluster = cluster
         self.params = cluster.params
         frames = self._packing.static_frames()
-        self._table = build_dual_schedule(
-            frames, self.params, strategy=self.channel_strategy()
+        self._table = self.params.build_schedule(
+            frames, strategy=self.channel_strategy()
         )
         if self._optimize_iterations > 0:
             from repro.packing.optimizer import ScheduleOptimizer

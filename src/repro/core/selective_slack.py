@@ -26,8 +26,8 @@ from typing import Dict, List
 
 from repro.analysis.slack_table import IdleSlotTable
 from repro.core.slack_stealing import SlackStealer
-from repro.flexray.frame import PendingFrame
-from repro.flexray.params import FlexRayParams
+from repro.protocol.frame import PendingFrame
+from repro.protocol.geometry import SegmentGeometry
 from repro.obs import NULL_OBS, ObsLike
 
 __all__ = ["max_level_slack", "SelectiveSlackPlanner"]
@@ -83,7 +83,7 @@ class SelectiveSlackPlanner:
             events when enabled.
     """
 
-    def __init__(self, idle_table: IdleSlotTable, params: FlexRayParams,
+    def __init__(self, idle_table: IdleSlotTable, params: SegmentGeometry,
                  dynamic_retransmission_share: float = 0.0,
                  obs: ObsLike = NULL_OBS) -> None:
         if dynamic_retransmission_share < 0:

@@ -36,7 +36,8 @@ PLAN_VERSION = 1
 def build_experiment_kwargs(workload: str, count: int, seed: int,
                             aperiodic: int, minislots: int, ber: float,
                             reliability_goal: float, duration_ms: float,
-                            engine_mode: str) -> Dict[str, object]:
+                            engine_mode: str,
+                            backend: str = "flexray") -> Dict[str, object]:
     """Rebuild ``run_experiment`` kwargs from scalar spec values.
 
     Mirrors the ``repro campaign`` CLI's construction exactly -- the
@@ -44,8 +45,7 @@ def build_experiment_kwargs(workload: str, count: int, seed: int,
     ``run_campaign``) depends on both paths building identical
     configurations from identical scalars.
     """
-    from repro.experiments import figures as figures_module
-    from repro.flexray.params import paper_dynamic_preset
+    from repro.protocol.backend import get_backend
     from repro.workloads.acc import acc_signals
     from repro.workloads.bbw import bbw_signals
     from repro.workloads.sae import sae_aperiodic_signals
@@ -59,11 +59,12 @@ def build_experiment_kwargs(workload: str, count: int, seed: int,
         periodic = synthetic_signals(count, seed=seed, max_size_bits=216)
     else:
         raise ValueError(f"unknown workload {workload!r}")
+    protocol = get_backend(backend)
     if workload in ("bbw", "acc"):
-        params = figures_module.case_study_params(workload,
-                                                  minislots=minislots)
+        params = protocol.case_study_params(workload,
+                                            minislots=minislots)
     else:
-        params = paper_dynamic_preset(minislots)
+        params = protocol.dynamic_preset(minislots)
     return dict(
         params=params,
         periodic=periodic,
@@ -83,6 +84,9 @@ class CampaignPlan:
     Attributes:
         scheduler: Scheduler registry name.
         workload: ``bbw`` / ``acc`` / ``synthetic``.
+        backend: Protocol backend the cluster geometry comes from.
+            Part of claim identity (via the params fingerprint): two
+            plans differing only in backend never share claims.
         count: Synthetic signal count.
         seed: Workload seed *and* first campaign seed (the CLI's
             ``--seed`` semantics).
@@ -109,6 +113,7 @@ class CampaignPlan:
     duration_ms: float
     engine_mode: str = "stepper"
     chunk: int = 2
+    backend: str = "flexray"
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -124,7 +129,8 @@ class CampaignPlan:
             workload=self.workload, count=self.count, seed=self.seed,
             aperiodic=self.aperiodic, minislots=self.minislots,
             ber=self.ber, reliability_goal=self.reliability_goal,
-            duration_ms=self.duration_ms, engine_mode=self.engine_mode)
+            duration_ms=self.duration_ms, engine_mode=self.engine_mode,
+            backend=self.backend)
 
     # -- work ranges ---------------------------------------------------
 

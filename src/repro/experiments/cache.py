@@ -36,7 +36,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
-from repro.flexray.signal import SignalSet
+from repro.protocol.signal import SignalSet
 from repro.obs import NULL_OBS, ObsLike, ObsSnapshot
 
 __all__ = ["CACHE_VERSION", "CacheEntry", "CampaignCache",
@@ -50,7 +50,7 @@ CACHE_VERSION = 1
 def fingerprint(value: object) -> object:
     """Canonical, JSON-able description of one configuration value.
 
-    Dataclasses (``FlexRayParams``, ``Signal`` ...) decompose into their
+    Dataclasses (``SegmentGeometry``, ``Signal`` ...) decompose into their
     fields, signal sets into their ordered signals, floats into their
     exact ``repr`` (so 0.1 and 0.1000000000000001 differ), and anything
     unrecognized falls back to ``repr`` -- a conservative choice that
@@ -61,8 +61,15 @@ def fingerprint(value: object) -> object:
         return {"__signal_set__": value.name,
                 "signals": [fingerprint(s) for s in value]}
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {"__dataclass__": type(value).__name__,
-                "fields": fingerprint(dataclasses.asdict(value))}
+        described = {"__dataclass__": type(value).__name__,
+                     "fields": fingerprint(dataclasses.asdict(value))}
+        # Backend identity: two protocols' geometries must never
+        # fingerprint identically, even if their field values (or even
+        # class names, in a pathological backend) coincide.
+        protocol = getattr(value, "protocol", None)
+        if isinstance(protocol, str):
+            described["__protocol__"] = protocol
+        return described
     if isinstance(value, Mapping):
         return {str(key): fingerprint(val)
                 for key, val in sorted(value.items(),
@@ -90,17 +97,27 @@ def cache_key(scheduler: str, seed: int,
     The key covers the package release alongside ``CACHE_VERSION``:
     simulation semantics may change between releases without anyone
     remembering to bump the cache format, and a stale hit would
-    silently mix results from two different simulators.
+    silently mix results from two different simulators.  It also names
+    the *protocol backend* explicitly (read off the ``params`` value),
+    so runs of different backends can never collide even if their
+    remaining configuration is identical.
     """
     payload = {
         "version": CACHE_VERSION,
         "repro_version": _package_version(),
+        "protocol": _protocol_of(experiment_kwargs),
         "scheduler": scheduler,
         "seed": seed,
         "kwargs": fingerprint(experiment_kwargs),
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _protocol_of(experiment_kwargs: Mapping[str, object]) -> Optional[str]:
+    """Backend identity of a run's geometry (``None`` when paramless)."""
+    protocol = getattr(experiment_kwargs.get("params"), "protocol", None)
+    return protocol if isinstance(protocol, str) else None
 
 
 def _strip_engine_mode(experiment_kwargs: Mapping[str, object],
@@ -133,6 +150,7 @@ def config_key(scheduler: str,
     payload = {
         "version": CACHE_VERSION,
         "repro_version": _package_version(),
+        "protocol": _protocol_of(experiment_kwargs),
         "scheduler": scheduler,
         "kwargs": fingerprint(_strip_engine_mode(experiment_kwargs)),
     }

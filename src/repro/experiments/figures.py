@@ -29,10 +29,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import run_experiment
-from repro.flexray.params import FlexRayParams, paper_dynamic_preset, paper_static_preset
+from repro.protocol.backend import get_backend
+from repro.protocol.geometry import SegmentGeometry
 from repro.obs import NULL_OBS
-from repro.flexray.signal import SignalSet
-from repro.packing.frame_packing import derive_params_for
+from repro.protocol.signal import SignalSet
 from repro.workloads.acc import acc_signals
 from repro.workloads.bbw import bbw_signals
 from repro.workloads.sae import sae_aperiodic_signals
@@ -108,32 +108,28 @@ def dynamic_study_aperiodic(count: int = 30, seed: int = 11) -> SignalSet:
     )
 
 
-def case_study_params(workload: str, minislots: int = 50) -> FlexRayParams:
+def paper_dynamic_preset(minislots: int = 100) -> SegmentGeometry:
+    """The paper's dynamic-study preset (FlexRay backend)."""
+    return get_backend("flexray").dynamic_preset(minislots)
+
+
+def paper_static_preset(static_slots: int = 80) -> SegmentGeometry:
+    """The paper's static-study preset (FlexRay backend)."""
+    return get_backend("flexray").static_preset(static_slots)
+
+
+def case_study_params(workload: str, minislots: int = 50) -> SegmentGeometry:
     """Derived cluster parameters for a case-study workload.
+
+    Delegates to the FlexRay backend's derivation (slot headroom 1.1
+    for BBW, 1.6 for ACC; see
+    :meth:`repro.protocol.backend.ProtocolBackend.case_study_params`).
 
     Args:
         workload: ``"bbw"`` or ``"acc"``.
         minislots: Dynamic-segment length.
     """
-    if workload == "bbw":
-        # BBW nearly fills a 4 ms cycle; the smaller headroom still
-        # leaves idle slots (cycle-multiplexed period-8 frames fire only
-        # every other cycle) without overflowing the cycle.
-        return derive_params_for(
-            bbw_signals(), cycle_ms=4.0, minislots=minislots,
-            slot_headroom=1.1,
-        )
-    if workload == "acc":
-        # A 4 ms cycle halves the latency cost of base-cycle shifts
-        # (ACC's offsets all fall in cycle 0, so shifts are common).
-        # The larger headroom provisions the slack a SIL-grade
-        # reliability goal's redundancy copies ride in; without it the
-        # strict-goal experiments crowd out dynamic slack stealing.
-        return derive_params_for(
-            acc_signals(), cycle_ms=4.0, minislots=minislots,
-            slot_headroom=1.6,
-        )
-    raise ValueError(f"unknown case study {workload!r}")
+    return get_backend("flexray").case_study_params(workload, minislots)
 
 
 def _case_study_signals(workload: str) -> SignalSet:

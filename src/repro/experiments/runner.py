@@ -18,10 +18,10 @@ from repro.baselines.static_only import StaticOnlyPolicy
 from repro.core.coefficient import CoEfficientPolicy
 from repro.faults.ber import BitErrorRateModel
 from repro.faults.injector import TransientFaultInjector
-from repro.flexray.cluster import FlexRayCluster
-from repro.flexray.params import FlexRayParams
-from repro.flexray.policy import SchedulerPolicy
-from repro.flexray.signal import SignalSet
+from repro.protocol.cluster import Cluster
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.policy import SchedulerPolicy
+from repro.protocol.signal import SignalSet
 from repro.obs import NULL_OBS
 from repro.packing.frame_packing import PackingResult, pack_signals
 from repro.sim.engine import EngineMode
@@ -61,8 +61,8 @@ class ExperimentResult:
     metrics: SimulationMetrics
     counters: Dict[str, int]
     cycles_run: int
-    params: FlexRayParams
-    cluster: FlexRayCluster
+    params: SegmentGeometry
+    cluster: Cluster
     engine_mode: str = "stepper"
 
     @property
@@ -120,7 +120,7 @@ def make_policy(
 
 
 def run_experiment(
-    params: FlexRayParams,
+    params: SegmentGeometry,
     scheduler: str,
     periodic: Optional[SignalSet] = None,
     aperiodic: Optional[SignalSet] = None,
@@ -188,7 +188,7 @@ def run_experiment(
         )
         policy.attach_observability(obs)
         sources = packing.build_sources(rng, instance_limit=instance_limit)
-        cluster = FlexRayCluster(
+        cluster = Cluster(
             params=params,
             policy=policy,
             sources=sources,

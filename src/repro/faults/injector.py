@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.faults.ber import BitErrorRateModel, frame_failure_probability
-from repro.flexray.channel import Channel
+from repro.protocol.channel import Channel
 from repro.sim.rng import RngStream
 
 __all__ = ["TransientFaultInjector", "BurstFaultInjector"]

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict
 
-from repro.flexray.channel import Channel
+from repro.protocol.channel import Channel
 
 __all__ = ["PermanentFaultScenario"]
 

@@ -1,36 +1,40 @@
-"""FlexRay protocol substrate.
+"""FlexRay backend: the first protocol behind the neutral core.
 
-A cycle-accurate software model of a FlexRay cluster, built from scratch:
-the time hierarchy (macroticks / cycles), frame format, TDMA static
-segment, FTDMA dynamic segment with minislot counting, dual channels,
-controller-host interface buffering, nodes and cluster topologies.
+The cycle-accurate engine itself (time hierarchy, frame model, TDMA
+static segment, FTDMA dynamic segment, channels, CHI buffering, nodes,
+topologies) lives in :mod:`repro.protocol`; this package pins FlexRay's
+parameter defaults and frame-overhead model (:mod:`repro.flexray.params`),
+the FlexRay-specific physical-layer services (encoding, wakeup, startup,
+clock sync, bus guardian), and the backend registration
+(:mod:`repro.flexray.backend`).  Every name the pre-refactor package
+exported is still importable from here.
 
 The model follows the FlexRay 2.1 protocol description summarized in
 Section II of the paper.  All timing arithmetic is in integer macroticks.
 """
 
-from repro.flexray.arrivals import (
+from repro.protocol.arrivals import (
     ArrivalMultiplexer,
     MessageSource,
     PeriodicSource,
     Release,
     SporadicSource,
 )
-from repro.flexray.channel import Channel, ChannelSet
-from repro.flexray.chi import ControllerHostInterface, PriorityOutputQueue, StaticBuffer
+from repro.protocol.channel import Channel, ChannelSet
+from repro.protocol.chi import ControllerHostInterface, PriorityOutputQueue, StaticBuffer
 from repro.flexray.cluster import FlexRayCluster
-from repro.flexray.clock import MacrotickClock
-from repro.flexray.controller import CommunicationController, ProtocolPhase
-from repro.flexray.cycle import CycleLayout
+from repro.protocol.clock import MacrotickClock
+from repro.protocol.controller import CommunicationController, ProtocolPhase
+from repro.protocol.cycle import CycleLayout
 from repro.flexray.encoding import (
     EncodedFrame,
     encoded_frame_bits,
     frame_crc,
     header_crc,
 )
-from repro.flexray.dynamic_segment import DynamicSegmentEngine, DynamicSlotResult
-from repro.flexray.frame import Frame, FrameKind, PendingFrame, frame_duration_mt
-from repro.flexray.node import EcuNode
+from repro.protocol.dynamic_segment import DynamicSegmentEngine, DynamicSlotResult
+from repro.protocol.frame import Frame, FrameKind, PendingFrame, frame_duration_mt
+from repro.protocol.node import EcuNode
 from repro.flexray.params import (
     FRAME_OVERHEAD_BITS,
     MAX_PAYLOAD_BITS,
@@ -38,8 +42,8 @@ from repro.flexray.params import (
     paper_dynamic_preset,
     paper_static_preset,
 )
-from repro.flexray.policy import SchedulerPolicy
-from repro.flexray.schedule import (
+from repro.protocol.policy import SchedulerPolicy
+from repro.protocol.schedule import (
     ChannelStrategy,
     ScheduleInfeasibleError,
     ScheduleTable,
@@ -49,12 +53,12 @@ from repro.flexray.schedule import (
     patterns_conflict,
     repetition_for_period,
 )
-from repro.flexray.signal import Signal, SignalSet
-from repro.flexray.slots import MinislotCounter, SlotCounter
+from repro.protocol.signal import Signal, SignalSet
+from repro.protocol.slots import MinislotCounter, SlotCounter
 from repro.flexray.startup import StartupNode, StartupPhase, StartupSimulation
-from repro.flexray.static_segment import StaticSegmentEngine
+from repro.protocol.static_segment import StaticSegmentEngine
 from repro.flexray.sync import ClockSyncService, fault_tolerant_midpoint
-from repro.flexray.topology import BusTopology, HybridTopology, StarTopology, Topology
+from repro.protocol.topology import BusTopology, HybridTopology, StarTopology, Topology
 from repro.flexray.wakeup import WakeupNode, WakeupResult, WakeupSimulation, WakeupState
 
 __all__ = [

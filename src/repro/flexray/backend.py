@@ -1,0 +1,55 @@
+"""FlexRay's :class:`~repro.protocol.backend.ProtocolBackend` registration."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.flexray.params import (
+    FlexRayParams,
+    paper_dynamic_preset,
+    paper_static_preset,
+)
+from repro.protocol.backend import ProtocolBackend
+
+__all__ = ["FlexRayBackend"]
+
+#: Fuzz-scenario window lengths: the paper's published static slot and
+#: minislot (Section IV-A).
+_SCENARIO_SLOT_MT = 40
+_SCENARIO_MINISLOT_MT = 8
+_SCENARIO_NIT_MT = 40
+
+
+class FlexRayBackend(ProtocolBackend):
+    """FlexRay 2.1 at 10 Mbit/s -- the paper's experimental platform."""
+
+    name: ClassVar[str] = "flexray"
+
+    def geometry_template(self) -> FlexRayParams:
+        return FlexRayParams()
+
+    def dynamic_preset(self, minislots: int = 100) -> FlexRayParams:
+        return paper_dynamic_preset(minislots)
+
+    def static_preset(self, static_slots: int = 80) -> FlexRayParams:
+        return paper_static_preset(static_slots)
+
+    def scenario_geometry(
+        self,
+        *,
+        static_slots: int,
+        minislots: int,
+        p_latest_tx_minislot: int = 0,
+        channel_count: int = 2,
+    ) -> FlexRayParams:
+        cycle_mt = (static_slots * _SCENARIO_SLOT_MT
+                    + minislots * _SCENARIO_MINISLOT_MT + _SCENARIO_NIT_MT)
+        return FlexRayParams(
+            gd_cycle_mt=cycle_mt,
+            gd_static_slot_mt=_SCENARIO_SLOT_MT,
+            g_number_of_static_slots=static_slots,
+            gd_minislot_mt=_SCENARIO_MINISLOT_MT,
+            g_number_of_minislots=minislots,
+            p_latest_tx_minislot=p_latest_tx_minislot,
+            channel_count=channel_count,
+        )

@@ -26,10 +26,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Set
 
-from repro.flexray.channel import Channel
-from repro.flexray.cycle import CycleLayout
+from repro.protocol.channel import Channel
+from repro.protocol.cycle import CycleLayout
 from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import ScheduleTable
+from repro.protocol.schedule import ScheduleTable
 from repro.sim.rng import RngStream
 
 __all__ = ["BabblingIdiotScenario"]

@@ -1,94 +1,9 @@
-"""Macrotick clock with a drift-and-correction model.
+"""Back-compat shim: this module moved to ``repro.protocol.clock``.
 
-Every FlexRay node derives its macrotick from a local oscillator; the
-protocol's clock-synchronization service measures sync-frame arrival
-offsets and applies rate/offset correction each double-cycle so that all
-nodes agree on slot boundaries within a precision bound.
-
-The cluster simulation itself runs on the *global* (perfect) timebase --
-the protocol guarantees all nodes stay within the precision window, so
-slot boundary disagreement never reorders transmissions.  This module
-models the node-local view: given drift parts-per-million and the
-correction cadence, it reports the worst-case deviation, which the
-parameter validation uses to check that the configured action-point
-offsets actually cover the precision window (the real reason those
-offsets exist).
+The engine is protocol-neutral; ``repro.flexray`` re-exports it so
+existing imports keep working.  New code should import from
+``repro.protocol.clock``.
 """
 
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass
-
-__all__ = ["MacrotickClock"]
-
-
-@dataclass
-class MacrotickClock:
-    """Node-local clock model.
-
-    Attributes:
-        drift_ppm: Oscillator deviation from nominal, parts per million.
-            Automotive-grade crystals are within +/-200 ppm; the FlexRay
-            spec bounds tolerated drift at 1500 ppm.
-        correction_interval_mt: Macroticks between rate corrections (one
-            double-cycle in a real cluster).
-    """
-
-    drift_ppm: float = 100.0
-    correction_interval_mt: int = 10000
-
-    def __post_init__(self) -> None:
-        if abs(self.drift_ppm) > 1500.0:
-            raise ValueError(
-                f"drift of {self.drift_ppm} ppm exceeds the FlexRay "
-                f"tolerated bound of 1500 ppm"
-            )
-        if self.correction_interval_mt <= 0:
-            raise ValueError("correction_interval_mt must be positive")
-
-    def worst_case_deviation_mt(self) -> float:
-        """Largest offset (in macroticks) accumulated between corrections."""
-        return abs(self.drift_ppm) * 1e-6 * self.correction_interval_mt
-
-    def local_time(self, global_time_mt: int) -> int:
-        """This node's clock reading at a global instant, in macroticks.
-
-        Deviation grows linearly within each correction interval and is
-        zeroed at every correction point (ideal offset correction).
-
-        A node-local clock *counts macroticks* -- an integer -- so the
-        continuous drifted reading is quantized.  Rounding rule:
-        round-half-up (``floor(x + 0.5)``), chosen over banker's
-        rounding so the quantized clock is a monotone step function of
-        the exact reading and two readings exactly half a tick apart
-        never collapse.  The simulation kernel rejects float times
-        outright (``SimulationEngine.schedule`` raises ``TypeError``),
-        so every time that reaches the event queue has passed through
-        this rule -- the int/float seam lives here and only here.
-        Use :meth:`local_time_exact` for the unquantized model.
-        """
-        return math.floor(self.local_time_exact(global_time_mt) + 0.5)
-
-    def local_time_exact(self, global_time_mt: int) -> float:
-        """Unquantized drifted clock reading (analysis/plotting only)."""
-        if global_time_mt < 0:
-            raise ValueError(f"time must be >= 0, got {global_time_mt}")
-        into_interval = global_time_mt % self.correction_interval_mt
-        deviation = self.drift_ppm * 1e-6 * into_interval
-        return global_time_mt + deviation
-
-    def required_action_point_offset_mt(self) -> int:
-        """Smallest action-point offset covering the precision window.
-
-        A transmission must not start before all receivers believe the
-        slot has begun, so the action-point offset must exceed the
-        worst-case pairwise clock deviation (twice the single-clock
-        deviation, as two nodes may drift in opposite directions).
-        """
-        pairwise = 2.0 * self.worst_case_deviation_mt()
-        return max(1, int(pairwise + 0.999999))
-
-    def validate_against(self, action_point_offset_mt: int) -> bool:
-        """Whether a configured action-point offset covers this clock."""
-        return action_point_offset_mt >= self.required_action_point_offset_mt()
+from repro.protocol.clock import *  # noqa: F401,F403
+from repro.protocol.clock import __all__  # noqa: F401

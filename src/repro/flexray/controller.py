@@ -1,144 +1,9 @@
-"""Communication controller (CC) state.
+"""Back-compat shim: this module moved to ``repro.protocol.controller``.
 
-Section II-B: each node's communication controller executes the FlexRay
-protocol services -- it tracks the protocol phase, owns the node's view
-of the slot counters, and moves frames between the CHI and the bus.
-
-In this reproduction the bus-level arbitration runs centrally in the
-segment engines (they are the "bus"), so the controller's remaining
-responsibilities are per-node bookkeeping: which slots and frame IDs this
-node owns, protocol-phase sanity, and send/receive counters that the node
--level tests and examples inspect.
+The engine is protocol-neutral; ``repro.flexray`` re-exports it so
+existing imports keep working.  New code should import from
+``repro.protocol.controller``.
 """
 
-from __future__ import annotations
-
-import enum
-from typing import TYPE_CHECKING, List, Set
-
-from repro.flexray.chi import ControllerHostInterface
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.timeline.compiler import CompiledRound
-
-__all__ = ["ProtocolPhase", "CommunicationController"]
-
-
-class ProtocolPhase(enum.Enum):
-    """Coarse protocol state machine of a communication controller."""
-
-    CONFIG = "config"
-    READY = "ready"
-    NORMAL_ACTIVE = "normal-active"
-    HALT = "halt"
-
-
-class CommunicationController:
-    """Per-node protocol bookkeeping.
-
-    Args:
-        node_id: Index of the owning node.
-        chi: The node's controller-host interface.
-    """
-
-    def __init__(self, node_id: int, chi: ControllerHostInterface) -> None:
-        if node_id < 0:
-            raise ValueError(f"node_id must be >= 0, got {node_id}")
-        self._node_id = node_id
-        self._chi = chi
-        self._phase = ProtocolPhase.CONFIG
-        self._owned_static_slots: Set[int] = set()
-        self._owned_dynamic_ids: Set[int] = set()
-        self.frames_sent = 0
-        self.frames_received = 0
-        self.faults_seen = 0
-
-    @property
-    def node_id(self) -> int:
-        """Owning node index."""
-        return self._node_id
-
-    @property
-    def phase(self) -> ProtocolPhase:
-        """Current protocol phase."""
-        return self._phase
-
-    @property
-    def chi(self) -> ControllerHostInterface:
-        """The node's CHI."""
-        return self._chi
-
-    def configure_static_slot(self, slot_id: int) -> None:
-        """Claim a static slot (CONFIG phase only)."""
-        self._require_phase(ProtocolPhase.CONFIG, "configure static slot")
-        self._owned_static_slots.add(slot_id)
-        self._chi.static_buffer(slot_id)
-
-    def configure_from_round(self, compiled: "CompiledRound") -> None:
-        """Claim every static slot the compiled round assigns this node.
-
-        The compiled round's ``owner_nodes`` array is the authoritative
-        slot-ownership record (it resolves cycle multiplexing, which a
-        naive cycle-0 table lookup misses), so node configuration reads
-        it directly instead of re-deriving the signal->slot mapping.
-        CONFIG phase only.
-        """
-        from repro.timeline.compiler import SEGMENT_STATIC
-
-        self._require_phase(ProtocolPhase.CONFIG,
-                            "configure from compiled round")
-        for kind, owner, slot_id in zip(compiled.segment_kinds,
-                                        compiled.owner_nodes,
-                                        compiled.slot_ids):
-            if kind == SEGMENT_STATIC and owner == self._node_id \
-                    and slot_id not in self._owned_static_slots:
-                self.configure_static_slot(slot_id)
-
-    def configure_dynamic_id(self, frame_id: int) -> None:
-        """Claim a dynamic frame ID (CONFIG phase only)."""
-        self._require_phase(ProtocolPhase.CONFIG, "configure dynamic frame id")
-        self._owned_dynamic_ids.add(frame_id)
-        self._chi.dynamic_queue(frame_id)
-
-    def owned_static_slots(self) -> List[int]:
-        """Static slots this node transmits in."""
-        return sorted(self._owned_static_slots)
-
-    def owned_dynamic_ids(self) -> List[int]:
-        """Dynamic frame IDs this node transmits with."""
-        return sorted(self._owned_dynamic_ids)
-
-    def owns_slot(self, slot_id: int) -> bool:
-        """Whether this node owns a static slot."""
-        return slot_id in self._owned_static_slots
-
-    def owns_dynamic_id(self, frame_id: int) -> bool:
-        """Whether this node owns a dynamic frame ID."""
-        return frame_id in self._owned_dynamic_ids
-
-    def start(self) -> None:
-        """CONFIG -> READY -> NORMAL_ACTIVE (startup/integration done)."""
-        self._require_phase(ProtocolPhase.CONFIG, "start")
-        self._phase = ProtocolPhase.READY
-        self._phase = ProtocolPhase.NORMAL_ACTIVE
-
-    def halt(self) -> None:
-        """Enter the HALT phase (end of simulation or fatal error)."""
-        self._phase = ProtocolPhase.HALT
-
-    def note_sent(self) -> None:
-        """Count a transmission by this node."""
-        self.frames_sent += 1
-
-    def note_received(self, corrupted: bool) -> None:
-        """Count a reception observed by this node."""
-        self.frames_received += 1
-        if corrupted:
-            self.faults_seen += 1
-
-    def _require_phase(self, phase: ProtocolPhase, action: str) -> None:
-        if self._phase is not phase:
-            raise RuntimeError(
-                f"node {self._node_id}: cannot {action} in phase "
-                f"{self._phase.value} (requires {phase.value})"
-            )
+from repro.protocol.controller import *  # noqa: F401,F403
+from repro.protocol.controller import __all__  # noqa: F401

@@ -1,26 +1,33 @@
-"""FlexRay cluster parameter set.
+"""FlexRay cluster parameter set (the FlexRay backend's geometry).
 
-Names follow the FlexRay specification's Hungarian-style conventions used
-throughout the paper: global cluster constants carry a ``gd`` (global,
-duration) or ``g`` prefix, node-local constants a ``p`` prefix.
-
-The paper's experimental configuration (Section IV-A) is captured in two
-presets:
+:class:`FlexRayParams` specializes the protocol-neutral
+:class:`~repro.protocol.geometry.SegmentGeometry` with FlexRay's frame
+overhead model and the paper's two experimental configurations
+(Section IV-A):
 
 - :func:`paper_static_preset` -- the static-segment study configuration:
   5 ms communication cycle, 3 ms static segment;
 - :func:`paper_dynamic_preset` -- the dynamic-segment study configuration:
   1 ms cycle, 0.75 ms static segment, plus the published parameter list
   (gdMacrotick = 1 us, gdMinislot = 8 MT, gdStaticSlot = 40 MT, ...).
+
+Names follow the FlexRay specification's Hungarian-style conventions used
+throughout the paper: global cluster constants carry a ``gd`` (global,
+duration) or ``g`` prefix, node-local constants a ``p`` prefix.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, replace
-from typing import Dict
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.protocol.geometry import SegmentGeometry
 
 __all__ = [
+    "FRAME_HEADER_BITS",
+    "FRAME_TRAILER_BITS",
+    "FRAME_OVERHEAD_BITS",
+    "MAX_PAYLOAD_BITS",
     "FlexRayParams",
     "paper_static_preset",
     "paper_dynamic_preset",
@@ -37,212 +44,18 @@ MAX_PAYLOAD_BITS = 254 * 8
 
 
 @dataclass(frozen=True)
-class FlexRayParams:
-    """Validated, immutable cluster configuration.
+class FlexRayParams(SegmentGeometry):
+    """FlexRay 2.1 cluster configuration.
 
-    Attributes:
-        gd_macrotick_us: Macrotick length in microseconds.
-        gd_cycle_mt: Communication-cycle length in macroticks
-            (= gdMacroPerCycle when gdMacrotick is 1 us).
-        gd_static_slot_mt: Static slot length in macroticks.
-        g_number_of_static_slots: Static slots per cycle (gNumberOfStaticSlots).
-        gd_minislot_mt: Minislot length in macroticks (gdMinislot).
-        g_number_of_minislots: Minislots per cycle (gNumberOfMinislots).
-        gd_symbol_window_mt: Symbol-window length (gdSymbolWindow); the
-            paper's configuration sets it to 0.
-        gd_action_point_offset_mt: Static-slot action point offset.
-        gd_minislot_action_point_offset_mt: Minislot action point offset
-            (gdMinislotActionPointOffset).
-        gd_dynamic_slot_idle_phase_minislots: Idle minislots appended after
-            each dynamic transmission (gdDynamicSlotIdlePhase).
-        p_latest_tx_minislot: Last minislot index at which a node may start
-            a dynamic transmission (pLatestTx).  ``None`` derives the
-            spec-conformant value from the largest expressible frame.
-        bit_rate_mbps: Channel bit rate; FlexRay runs at 10 Mbit/s.
-        channel_count: 1 (single channel) or 2 (dual channel).
+    Inherits every geometry field; the defaults already describe a
+    FlexRay cluster (10 Mbit/s, 8-byte frame overhead, 254-byte maximum
+    payload), so this subclass only pins the backend identity.
     """
 
-    gd_macrotick_us: float = 1.0
-    gd_cycle_mt: int = 5000
-    gd_static_slot_mt: int = 40
-    g_number_of_static_slots: int = 80
-    gd_minislot_mt: int = 8
-    g_number_of_minislots: int = 100
-    gd_symbol_window_mt: int = 0
-    gd_action_point_offset_mt: int = 1
-    gd_minislot_action_point_offset_mt: int = 2
-    gd_dynamic_slot_idle_phase_minislots: int = 1
-    p_latest_tx_minislot: int = 0
-    bit_rate_mbps: float = 10.0
-    channel_count: int = 2
+    protocol: ClassVar[str] = "flexray"
 
-    def __post_init__(self) -> None:
-        if self.gd_macrotick_us <= 0:
-            raise ValueError("gd_macrotick_us must be positive")
-        if self.gd_cycle_mt <= 0:
-            raise ValueError("gd_cycle_mt must be positive")
-        if self.gd_static_slot_mt <= 0:
-            raise ValueError("gd_static_slot_mt must be positive")
-        if self.g_number_of_static_slots < 2:
-            # The spec requires at least 2 static slots (sync frames).
-            raise ValueError("g_number_of_static_slots must be >= 2")
-        if self.gd_minislot_mt <= 0:
-            raise ValueError("gd_minislot_mt must be positive")
-        if self.g_number_of_minislots < 0:
-            raise ValueError("g_number_of_minislots must be >= 0")
-        if self.gd_symbol_window_mt < 0:
-            raise ValueError("gd_symbol_window_mt must be >= 0")
-        if self.bit_rate_mbps <= 0:
-            raise ValueError("bit_rate_mbps must be positive")
-        if self.channel_count not in (1, 2):
-            raise ValueError("channel_count must be 1 or 2")
-        used = (self.static_segment_mt + self.dynamic_segment_mt
-                + self.gd_symbol_window_mt)
-        if used > self.gd_cycle_mt:
-            raise ValueError(
-                f"segments ({used} MT) exceed the communication cycle "
-                f"({self.gd_cycle_mt} MT)"
-            )
-        if not 0 <= self.p_latest_tx_minislot <= self.g_number_of_minislots:
-            raise ValueError(
-                "p_latest_tx_minislot must lie within the dynamic segment"
-            )
-
-    # ------------------------------------------------------------------
-    # Derived geometry
-    # ------------------------------------------------------------------
-
-    @property
-    def static_segment_mt(self) -> int:
-        """Static-segment length in macroticks."""
-        return self.gd_static_slot_mt * self.g_number_of_static_slots
-
-    @property
-    def dynamic_segment_mt(self) -> int:
-        """Dynamic-segment length in macroticks."""
-        return self.gd_minislot_mt * self.g_number_of_minislots
-
-    @property
-    def nit_mt(self) -> int:
-        """Network idle time: cycle remainder after all segments."""
-        return (self.gd_cycle_mt - self.static_segment_mt
-                - self.dynamic_segment_mt - self.gd_symbol_window_mt)
-
-    @property
-    def cycle_us(self) -> float:
-        """Communication-cycle length in microseconds (gdCycle)."""
-        return self.gd_cycle_mt * self.gd_macrotick_us
-
-    @property
-    def cycle_ms(self) -> float:
-        """Communication-cycle length in milliseconds."""
-        return self.cycle_us / 1000.0
-
-    @property
-    def bits_per_macrotick(self) -> float:
-        """Channel bits transferable in one macrotick."""
-        return self.bit_rate_mbps * self.gd_macrotick_us
-
-    @property
-    def static_slot_capacity_bits(self) -> int:
-        """Payload bits one static slot can carry.
-
-        The action-point offset at both slot edges and the frame overhead
-        (header + trailer CRC) are subtracted from the raw slot capacity.
-        """
-        usable_mt = self.gd_static_slot_mt - 2 * self.gd_action_point_offset_mt
-        raw_bits = int(usable_mt * self.bits_per_macrotick)
-        capacity = raw_bits - FRAME_OVERHEAD_BITS
-        return max(0, min(capacity, MAX_PAYLOAD_BITS))
-
-    @property
-    def first_dynamic_slot_id(self) -> int:
-        """Slot ID of the first dynamic slot (static IDs are 1-based)."""
-        return self.g_number_of_static_slots + 1
-
-    @property
-    def last_dynamic_slot_id(self) -> int:
-        """Largest usable dynamic slot ID (one per minislot at minimum)."""
-        return self.g_number_of_static_slots + self.g_number_of_minislots
-
-    @property
-    def effective_latest_tx(self) -> int:
-        """pLatestTx: latest minislot index at which a send may start.
-
-        In a real cluster each *node* derives pLatestTx from its own
-        largest dynamic frame, so a node with small frames may start
-        late while one with a maximal frame must stop early.  The
-        simulation engine enforces the underlying invariant directly --
-        a transmission is held for the next cycle unless it fits the
-        remaining minislots -- so the auto value (configured 0) imposes
-        no extra gate.  Setting ``p_latest_tx_minislot`` explicitly
-        models a cluster-wide conservative configuration.
-        """
-        if self.p_latest_tx_minislot > 0:
-            return self.p_latest_tx_minislot
-        return self.g_number_of_minislots
-
-    # ------------------------------------------------------------------
-    # Unit conversion helpers
-    # ------------------------------------------------------------------
-
-    def ms_to_mt(self, milliseconds: float) -> int:
-        """Convert milliseconds to (rounded) macroticks."""
-        return int(round(milliseconds * 1000.0 / self.gd_macrotick_us))
-
-    def mt_to_ms(self, macroticks: int) -> float:
-        """Convert macroticks to milliseconds."""
-        return macroticks * self.gd_macrotick_us / 1000.0
-
-    def transmission_mt(self, bits: int) -> int:
-        """Macroticks needed to transfer ``bits`` on the channel."""
-        if bits < 0:
-            raise ValueError(f"bits must be non-negative, got {bits}")
-        return int(math.ceil(bits / self.bits_per_macrotick))
-
-    def minislots_for_bits(self, payload_bits: int) -> int:
-        """Minislots a dynamic transmission of ``payload_bits`` occupies.
-
-        Includes frame overhead and the mandated dynamic-slot idle phase.
-        """
-        total_bits = payload_bits + FRAME_OVERHEAD_BITS
-        tx_mt = self.transmission_mt(total_bits) \
-            + self.gd_minislot_action_point_offset_mt
-        slots = int(math.ceil(tx_mt / self.gd_minislot_mt))
-        return max(1, slots) + self.gd_dynamic_slot_idle_phase_minislots
-
-    # ------------------------------------------------------------------
-    # Convenience constructors
-    # ------------------------------------------------------------------
-
-    def with_minislots(self, count: int) -> "FlexRayParams":
-        """Copy with a different gNumberOfMinislots (the Fig. 3/5 sweep axis)."""
-        return replace(self, g_number_of_minislots=count)
-
-    def with_static_slots(self, count: int) -> "FlexRayParams":
-        """Copy with a different gNumberOfStaticSlots (80 vs 120 in Figs. 1-2)."""
-        return replace(self, g_number_of_static_slots=count)
-
-    def with_channels(self, count: int) -> "FlexRayParams":
-        """Copy with a different channel count."""
-        return replace(self, channel_count=count)
-
-    def describe(self) -> Dict[str, float]:
-        """Human-readable parameter summary (for experiment logs)."""
-        return {
-            "gdMacrotick_us": self.gd_macrotick_us,
-            "gdCycle_us": self.cycle_us,
-            "gdStaticSlot_mt": self.gd_static_slot_mt,
-            "gNumberOfStaticSlots": self.g_number_of_static_slots,
-            "gdMinislot_mt": self.gd_minislot_mt,
-            "gNumberOfMinislots": self.g_number_of_minislots,
-            "pLatestTx": self.effective_latest_tx,
-            "staticSegment_mt": self.static_segment_mt,
-            "dynamicSegment_mt": self.dynamic_segment_mt,
-            "NIT_mt": self.nit_mt,
-            "staticSlotCapacity_bits": self.static_slot_capacity_bits,
-            "channels": self.channel_count,
-        }
+    frame_overhead_bits: int = FRAME_OVERHEAD_BITS
+    max_payload_bits: int = MAX_PAYLOAD_BITS
 
 
 def paper_static_preset(static_slots: int = 80) -> FlexRayParams:

@@ -1,420 +1,9 @@
-"""Static-segment schedule table construction.
+"""Back-compat shim: this module moved to ``repro.protocol.schedule``.
 
-Section II-B: "each node contains a schedule table [that] maintains the
-scheduling sequences of transmitting the messages within the static
-segments" -- a mapping from (cycle, slot) to frame.
-
-FlexRay's static segment sends at communication-cycle granularity, so a
-message's period is mapped onto the cycle raster:
-
-- ``period >= cycle``: the frame uses *cycle multiplexing* -- it occupies
-  its slot only in cycles where ``cycle % repetition == base_cycle``,
-  with ``repetition`` the largest power of two (<= 64) such that
-  ``repetition * cycle_length <= period``.  (Rounding the service
-  interval *down* never under-serves the message.)
-- ``period < cycle``: the message needs ``ceil(cycle / period)`` slot
-  instances per cycle, spread evenly across the static segment so
-  consecutive instances see similar queueing delay.
-
-Slot sharing: two frames may own the same slot ID if their
-(base_cycle, repetition) patterns never coincide; for power-of-two
-repetitions the patterns collide iff the base cycles are congruent modulo
-the smaller repetition.
+The engine is protocol-neutral; ``repro.flexray`` re-exports it so
+existing imports keep working.  New code should import from
+``repro.protocol.schedule``.
 """
 
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-from repro.flexray.channel import Channel
-from repro.flexray.frame import Frame
-from repro.flexray.params import FlexRayParams
-
-__all__ = ["SlotAssignment", "ScheduleTable", "build_schedule",
-           "build_dual_schedule", "ChannelStrategy",
-           "repetition_for_period", "patterns_conflict",
-           "ScheduleInfeasibleError"]
-
-
-def repetition_for_period(period_ms: float, cycle_ms: float) -> int:
-    """Largest power-of-two repetition serving ``period_ms`` on the raster.
-
-    Returns 1 when the period is shorter than the cycle (the caller must
-    then allocate multiple slots per cycle instead).
-    """
-    if period_ms <= 0 or cycle_ms <= 0:
-        raise ValueError("period and cycle must be positive")
-    repetition = 1
-    while repetition * 2 * cycle_ms <= period_ms and repetition < 64:
-        repetition *= 2
-    return repetition
-
-
-def patterns_conflict(base_a: int, rep_a: int, base_b: int, rep_b: int) -> bool:
-    """Whether two (base, repetition) cycle patterns ever share a cycle.
-
-    For power-of-two repetitions, pattern A fires at cycles
-    ``{base_a + k * rep_a}``; the sets intersect iff the bases agree
-    modulo ``gcd(rep_a, rep_b)`` (= the smaller repetition here).
-    """
-    modulus = math.gcd(rep_a, rep_b)
-    return base_a % modulus == base_b % modulus
-
-
-@dataclass(frozen=True)
-class SlotAssignment:
-    """One frame's claim on a static slot."""
-
-    slot_id: int
-    frame: Frame
-
-    def fires_in(self, cycle: int) -> bool:
-        """Whether this assignment transmits in communication cycle ``cycle``."""
-        return self.frame.sends_in_cycle(cycle)
-
-
-class ScheduleTable:
-    """Per-channel static-segment schedule.
-
-    The table answers the one question the static engine asks each slot:
-    *which frame (if any) owns channel X, cycle c, slot s?*
-    """
-
-    def __init__(self, params: FlexRayParams) -> None:
-        self._params = params
-        self._assignments: Dict[Channel, Dict[int, List[SlotAssignment]]] = {}
-
-    @property
-    def params(self) -> FlexRayParams:
-        """Cluster parameters the table was built for."""
-        return self._params
-
-    def assign(self, channel: Channel, assignment: SlotAssignment) -> None:
-        """Add an assignment, enforcing slot-sharing compatibility.
-
-        Raises:
-            ValueError: If the slot ID is outside the static segment or
-                the cycle pattern collides with an existing assignment.
-        """
-        slot_id = assignment.slot_id
-        if not 1 <= slot_id <= self._params.g_number_of_static_slots:
-            raise ValueError(
-                f"slot {slot_id} outside static segment "
-                f"[1, {self._params.g_number_of_static_slots}]"
-            )
-        per_slot = self._assignments.setdefault(channel, {}).setdefault(slot_id, [])
-        for existing in per_slot:
-            if patterns_conflict(
-                existing.frame.base_cycle, existing.frame.cycle_repetition,
-                assignment.frame.base_cycle, assignment.frame.cycle_repetition,
-            ):
-                raise ValueError(
-                    f"slot {slot_id} channel {channel}: cycle pattern of "
-                    f"{assignment.frame.message_id} collides with "
-                    f"{existing.frame.message_id}"
-                )
-        per_slot.append(assignment)
-
-    def lookup(self, channel: Channel, cycle: int, slot_id: int) -> Optional[Frame]:
-        """The frame owning (channel, cycle, slot), or ``None`` (idle slot)."""
-        per_slot = self._assignments.get(channel, {}).get(slot_id, ())
-        for assignment in per_slot:
-            if assignment.fires_in(cycle):
-                return assignment.frame
-        return None
-
-    def assignments(self, channel: Channel) -> List[SlotAssignment]:
-        """All assignments on a channel, ordered by slot."""
-        per_channel = self._assignments.get(channel, {})
-        out: List[SlotAssignment] = []
-        for slot_id in sorted(per_channel):
-            out.extend(per_channel[slot_id])
-        return out
-
-    def owned_slots(self, channel: Channel) -> List[int]:
-        """Slot IDs with at least one assignment on a channel."""
-        return sorted(self._assignments.get(channel, {}))
-
-    def frames(self, channel: Channel) -> List[Frame]:
-        """All frames scheduled on a channel."""
-        return [a.frame for a in self.assignments(channel)]
-
-    def idle_slot_count(self, channel: Channel, cycle: int) -> int:
-        """Slots with no transmission on ``channel`` in ``cycle``."""
-        total = self._params.g_number_of_static_slots
-        busy = sum(
-            1 for slot_id in range(1, total + 1)
-            if self.lookup(channel, cycle, slot_id) is not None
-        )
-        return total - busy
-
-    def utilization_over(self, channel: Channel, cycles: int) -> float:
-        """Fraction of (slot, cycle) pairs carrying a frame."""
-        if cycles <= 0:
-            raise ValueError(f"cycles must be positive, got {cycles}")
-        total = self._params.g_number_of_static_slots * cycles
-        busy = sum(
-            self._params.g_number_of_static_slots
-            - self.idle_slot_count(channel, cycle)
-            for cycle in range(cycles)
-        )
-        return busy / total
-
-
-class ScheduleInfeasibleError(ValueError):
-    """Raised when the static segment cannot hold the periodic workload."""
-
-
-def _first_slot_at_or_after(phase_mt: int, params: FlexRayParams) -> int:
-    """First slot whose *action point* is at or after an in-cycle phase.
-
-    Slot s transmits at ``(s-1) * gdStaticSlot + actionPointOffset``; a
-    frame released at ``phase_mt`` can only ride slots satisfying that
-    bound, so the allocator's rotation must start there (starting one
-    slot early silently costs a whole period of latency).
-    """
-    slot_mt = params.gd_static_slot_mt
-    offset = params.gd_action_point_offset_mt
-    if phase_mt <= offset:
-        return 1
-    return (phase_mt - offset + slot_mt - 1) // slot_mt + 1
-
-
-def build_schedule(
-    frames: Sequence[Frame],
-    params: FlexRayParams,
-    channels: Sequence[Channel],
-) -> ScheduleTable:
-    """Greedy slot allocation with cycle-multiplexed slot sharing.
-
-    Frames are placed in the order given (callers sort by priority:
-    deadline-monotonic order means urgent messages get early slots, which
-    minimizes their in-cycle queuing delay).  Each frame is packed into
-    the lowest slot whose existing cycle patterns admit it.
-
-    Args:
-        frames: Configured frames; their ``base_cycle``/``cycle_repetition``
-            fields are honoured, and ``frame_id`` is *reassigned* to the
-            allocated slot (the returned table's frames carry final IDs).
-        params: Cluster parameters.
-        channels: Channels to replicate the schedule onto (identical slot
-            ownership on each, as the spec requires).
-
-    Returns:
-        A populated :class:`ScheduleTable`.
-
-    Raises:
-        ScheduleInfeasibleError: If the static segment runs out of slots.
-    """
-    import dataclasses
-
-    table = ScheduleTable(params)
-    # Track per-slot patterns once; replicate assignment across channels.
-    slot_patterns: Dict[int, List[Tuple[int, int]]] = {}
-    total_slots = params.g_number_of_static_slots
-
-    def fits(slot_id: int, frame: Frame) -> bool:
-        patterns = slot_patterns.setdefault(slot_id, [])
-        return not any(
-            patterns_conflict(base, rep, frame.base_cycle,
-                              frame.cycle_repetition)
-            for base, rep in patterns
-        )
-
-    def candidate_order(frame: Frame) -> List[int]:
-        """Slots to try, lowest first, rotated past the preferred phase.
-
-        When the frame's payload becomes available ``preferred_phase_mt``
-        into the cycle, any slot whose *action point* precedes that phase
-        would carry the value only in the *next* cycle; trying the slots
-        whose action point is at or after the phase first keeps
-        release-to-slot delay small.
-        """
-        all_slots = list(range(1, total_slots + 1))
-        phase = frame.preferred_phase_mt
-        if phase is None:
-            return all_slots
-        first_usable = _first_slot_at_or_after(phase, params)
-        if first_usable > total_slots:
-            return all_slots
-        return all_slots[first_usable - 1:] + all_slots[:first_usable - 1]
-
-    for frame in frames:
-        placed = False
-        for slot_id in candidate_order(frame):
-            if not fits(slot_id, frame):
-                continue
-            bound = dataclasses.replace(frame, frame_id=slot_id)
-            slot_patterns[slot_id].append(
-                (frame.base_cycle, frame.cycle_repetition)
-            )
-            for channel in channels:
-                table.assign(channel, SlotAssignment(slot_id=slot_id, frame=bound))
-            placed = True
-            break
-        if not placed:
-            raise ScheduleInfeasibleError(
-                f"no static slot can host {frame.message_id} "
-                f"(base={frame.base_cycle}, rep={frame.cycle_repetition}); "
-                f"static segment has {total_slots} slots"
-            )
-    return table
-
-
-class ChannelStrategy:
-    """How static frames are spread over the dual channels.
-
-    Attributes (class constants used as enum values):
-        REPLICATE: Every frame transmits on both channels in the same
-            slot -- full redundancy, half the aggregate capacity.  This
-            is the FlexRay-specification default the paper calls
-            "best-effort" redundancy.
-        DISTRIBUTE: Each frame transmits once; channel A is filled first
-            and channel B receives the spill.  This is the cooperative
-            use of the dual channels CoEfficient builds on: channel B's
-            remaining slots become a slack pool.
-        DUPLICATE_BEST_EFFORT: Single-copy placement first (as
-            DISTRIBUTE), then duplicates are added on the *other* channel
-            wherever a compatible slot remains -- redundancy for as many
-            frames as capacity allows.
-    """
-
-    REPLICATE = "replicate"
-    DISTRIBUTE = "distribute"
-    DUPLICATE_BEST_EFFORT = "duplicate-best-effort"
-
-    ALL = (REPLICATE, DISTRIBUTE, DUPLICATE_BEST_EFFORT)
-
-
-@dataclass
-class _ChannelAllocator:
-    """Per-channel slot-pattern bookkeeping for the dual builder."""
-
-    params: FlexRayParams
-    patterns: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
-
-    def fits(self, slot_id: int, base: int, repetition: int) -> bool:
-        existing = self.patterns.setdefault(slot_id, [])
-        return not any(
-            patterns_conflict(existing_base, existing_rep, base, repetition)
-            for existing_base, existing_rep in existing
-        )
-
-    def claim(self, slot_id: int, base: int, repetition: int) -> None:
-        self.patterns.setdefault(slot_id, []).append((base, repetition))
-
-    def place(self, frame: Frame) -> Optional[Tuple[int, int]]:
-        """Find and claim the best (slot, base_cycle) for ``frame``.
-
-        Tries the frame's preferred base first across all slots (in
-        phase-preferred order), then -- within the frame's declared
-        ``base_flexibility`` -- later bases, each costing one cycle of
-        worst-case latency but enabling slot sharing when every frame
-        wants the same base (the common all-offsets-near-zero case).
-
-        Returns:
-            ``(slot_id, base_cycle)`` or ``None`` if nothing fits.
-        """
-        total = self.params.g_number_of_static_slots
-        order = list(range(1, total + 1))
-        phase = frame.preferred_phase_mt
-        if phase is not None:
-            first = min(total, _first_slot_at_or_after(phase, self.params))
-            order = order[first - 1:] + order[:first - 1]
-        repetition = frame.cycle_repetition
-        max_shift = min(frame.base_flexibility, repetition - 1)
-        for shift in range(max_shift + 1):
-            base = (frame.base_cycle + shift) % repetition
-            for slot_id in order:
-                if self.fits(slot_id, base, repetition):
-                    self.claim(slot_id, base, repetition)
-                    return slot_id, base
-        return None
-
-
-def build_dual_schedule(
-    frames: Sequence[Frame],
-    params: FlexRayParams,
-    strategy: str = ChannelStrategy.DISTRIBUTE,
-) -> ScheduleTable:
-    """Build a dual-channel schedule table under a channel strategy.
-
-    Args:
-        frames: Frames in placement-priority order (most urgent first).
-        params: Cluster parameters; ``channel_count`` selects whether
-            channel B exists at all.
-        strategy: One of :class:`ChannelStrategy`'s constants.
-
-    Returns:
-        A :class:`ScheduleTable` with per-channel assignments.  Frames
-        that could not be placed at all raise; frames whose *duplicate*
-        could not be placed under ``DUPLICATE_BEST_EFFORT`` are silently
-        left single-copy (that is the "best effort").
-
-    Raises:
-        ScheduleInfeasibleError: If a primary copy cannot be placed on
-            any channel.
-        ValueError: If the strategy is unknown.
-    """
-    import dataclasses
-
-    if strategy not in ChannelStrategy.ALL:
-        raise ValueError(f"unknown channel strategy {strategy!r}")
-
-    table = ScheduleTable(params)
-    channels = [Channel.A]
-    if params.channel_count == 2:
-        channels.append(Channel.B)
-    allocators = {channel: _ChannelAllocator(params) for channel in channels}
-
-    if strategy == ChannelStrategy.REPLICATE:
-        # One combined placement, mirrored on every channel: a slot must be
-        # free on all channels simultaneously.
-        combined = _ChannelAllocator(params)
-        for frame in frames:
-            placement = combined.place(frame)
-            if placement is None:
-                raise ScheduleInfeasibleError(
-                    f"replicated schedule cannot host {frame.message_id}"
-                )
-            slot_id, base = placement
-            bound = dataclasses.replace(frame, frame_id=slot_id,
-                                        base_cycle=base)
-            for channel in channels:
-                table.assign(channel, SlotAssignment(slot_id=slot_id, frame=bound))
-        return table
-
-    # DISTRIBUTE and DUPLICATE_BEST_EFFORT share the primary placement.
-    bound_primary: List[Tuple[Channel, Frame]] = []
-    for frame in frames:
-        placed_on: Optional[Channel] = None
-        placement: Optional[Tuple[int, int]] = None
-        for channel in channels:
-            placement = allocators[channel].place(frame)
-            if placement is not None:
-                placed_on = channel
-                break
-        if placed_on is None or placement is None:
-            raise ScheduleInfeasibleError(
-                f"distributed schedule cannot host {frame.message_id} "
-                f"on any channel"
-            )
-        slot_id, base = placement
-        bound = dataclasses.replace(frame, frame_id=slot_id, base_cycle=base)
-        table.assign(placed_on, SlotAssignment(slot_id=slot_id, frame=bound))
-        bound_primary.append((placed_on, bound))
-
-    if strategy == ChannelStrategy.DUPLICATE_BEST_EFFORT and len(channels) == 2:
-        for primary_channel, bound in bound_primary:
-            other = Channel.B if primary_channel is Channel.A else Channel.A
-            duplicate_placement = allocators[other].place(bound)
-            if duplicate_placement is None:
-                continue
-            duplicate_slot, duplicate_base = duplicate_placement
-            duplicate = dataclasses.replace(bound, frame_id=duplicate_slot,
-                                            base_cycle=duplicate_base)
-            table.assign(other, SlotAssignment(slot_id=duplicate_slot,
-                                               frame=duplicate))
-    return table
+from repro.protocol.schedule import *  # noqa: F401,F403
+from repro.protocol.schedule import __all__  # noqa: F401

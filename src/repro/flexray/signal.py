@@ -1,200 +1,9 @@
-"""ECU signal model.
+"""Back-compat shim: this module moved to ``repro.protocol.signal``.
 
-Section II-A of the paper: each ECU ``E_i`` produces signals
-``s^i_j = (period, offset, deadline, length)``.  Signals are the unit the
-case-study tables (BBW, ACC) are given in; the frame-packing substrate
-(:mod:`repro.packing`) turns them into FlexRay frames.
+The engine is protocol-neutral; ``repro.flexray`` re-exports it so
+existing imports keep working.  New code should import from
+``repro.protocol.signal``.
 """
 
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
-
-__all__ = ["Signal", "SignalSet"]
-
-
-@dataclass(frozen=True)
-class Signal:
-    """One real-time signal.
-
-    Attributes:
-        name: Unique signal identifier (e.g. ``"bbw-03"``).
-        ecu: Index of the producing ECU (0-based).
-        period_ms: Production period P in milliseconds; ``None`` marks an
-            aperiodic (event-triggered) signal whose period field then
-            denotes its minimum inter-arrival time via
-            ``min_interarrival_ms``.
-        offset_ms: Release offset O of the first instance.
-        deadline_ms: Relative deadline D (D <= P for periodic signals).
-        size_bits: Signal length W in bits.
-        priority: Smaller = more urgent; used for dynamic-segment frame
-            ID assignment.  Defaults derive from the deadline (deadline-
-            monotonic), matching the paper's "tasks with smaller d_i are
-            allocated higher priority".
-        aperiodic: True for event-triggered signals (dynamic segment).
-        min_interarrival_ms: Sporadic minimum inter-arrival time for
-            aperiodic signals (defaults to the period field semantics used
-            by the paper's SAE set: 50 ms).
-    """
-
-    name: str
-    ecu: int
-    period_ms: float
-    offset_ms: float
-    deadline_ms: float
-    size_bits: int
-    priority: Optional[int] = None
-    aperiodic: bool = False
-    min_interarrival_ms: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if not self.name:
-            raise ValueError("signal name must be non-empty")
-        if self.ecu < 0:
-            raise ValueError(f"{self.name}: ecu index must be >= 0")
-        if self.period_ms <= 0:
-            raise ValueError(f"{self.name}: period must be positive")
-        if self.offset_ms < 0:
-            raise ValueError(f"{self.name}: offset must be >= 0")
-        if self.deadline_ms <= 0:
-            raise ValueError(f"{self.name}: deadline must be positive")
-        if self.size_bits <= 0:
-            raise ValueError(f"{self.name}: size must be positive")
-        if not self.aperiodic and self.deadline_ms > self.period_ms:
-            raise ValueError(
-                f"{self.name}: constrained-deadline model requires "
-                f"deadline ({self.deadline_ms} ms) <= period ({self.period_ms} ms)"
-            )
-        if not self.aperiodic and self.offset_ms > self.period_ms:
-            raise ValueError(
-                f"{self.name}: offset ({self.offset_ms} ms) must not exceed "
-                f"the period ({self.period_ms} ms)"
-            )
-
-    @property
-    def effective_priority(self) -> int:
-        """Deadline-monotonic default priority when none is assigned.
-
-        Priorities are compared numerically: smaller wins.  Scaling the
-        deadline by 1000 keeps sub-millisecond deadline differences
-        distinguishable as integers.
-        """
-        if self.priority is not None:
-            return self.priority
-        return int(round(self.deadline_ms * 1000))
-
-    @property
-    def utilization(self) -> float:
-        """Signal bandwidth demand as bits per millisecond."""
-        return self.size_bits / self.period_ms
-
-    def instances_in(self, horizon_ms: float) -> int:
-        """Number of instances released in ``[0, horizon_ms)``."""
-        if horizon_ms <= self.offset_ms:
-            return 0
-        return int(math.ceil((horizon_ms - self.offset_ms) / self.period_ms))
-
-    def release_time_ms(self, instance: int) -> float:
-        """Absolute release time of the ``instance``-th job (0-based)."""
-        if instance < 0:
-            raise ValueError(f"instance must be >= 0, got {instance}")
-        return self.offset_ms + instance * self.period_ms
-
-    def absolute_deadline_ms(self, instance: int) -> float:
-        """Absolute deadline of the ``instance``-th job (0-based)."""
-        return self.release_time_ms(instance) + self.deadline_ms
-
-
-class SignalSet:
-    """An ordered collection of signals with lookup and summary helpers.
-
-    Signal sets are the workload currency of the whole reproduction:
-    workload generators produce them, packers consume them, and schedulers
-    plan over the resulting frames.
-    """
-
-    def __init__(self, signals: Sequence[Signal], name: str = "unnamed") -> None:
-        names = [s.name for s in signals]
-        duplicates = {n for n in names if names.count(n) > 1}
-        if duplicates:
-            raise ValueError(f"duplicate signal names: {sorted(duplicates)}")
-        self._signals: List[Signal] = list(signals)
-        self._by_name: Dict[str, Signal] = {s.name: s for s in signals}
-        self.name = name
-
-    def __len__(self) -> int:
-        return len(self._signals)
-
-    def __iter__(self) -> Iterator[Signal]:
-        return iter(self._signals)
-
-    def __getitem__(self, name: str) -> Signal:
-        return self._by_name[name]
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._by_name
-
-    @property
-    def signals(self) -> List[Signal]:
-        """Signals in declaration order."""
-        return list(self._signals)
-
-    def periodic(self) -> "SignalSet":
-        """Subset of time-triggered (static-segment) signals."""
-        return SignalSet([s for s in self._signals if not s.aperiodic],
-                         name=f"{self.name}/periodic")
-
-    def aperiodic(self) -> "SignalSet":
-        """Subset of event-triggered (dynamic-segment) signals."""
-        return SignalSet([s for s in self._signals if s.aperiodic],
-                         name=f"{self.name}/aperiodic")
-
-    def by_ecu(self) -> Dict[int, List[Signal]]:
-        """Signals grouped by producing ECU."""
-        grouped: Dict[int, List[Signal]] = {}
-        for signal in self._signals:
-            grouped.setdefault(signal.ecu, []).append(signal)
-        return grouped
-
-    def ecu_count(self) -> int:
-        """Number of distinct producing ECUs."""
-        return len({s.ecu for s in self._signals})
-
-    def hyperperiod_ms(self) -> float:
-        """Least common multiple of periodic-signal periods (milliseconds).
-
-        Periods are scaled to microsecond integers first, so fractional
-        millisecond periods are handled exactly.
-        """
-        periodic = [s for s in self._signals if not s.aperiodic]
-        if not periodic:
-            return 0.0
-        scaled = [int(round(s.period_ms * 1000)) for s in periodic]
-        lcm = scaled[0]
-        for value in scaled[1:]:
-            lcm = lcm * value // math.gcd(lcm, value)
-        return lcm / 1000.0
-
-    def total_utilization(self) -> float:
-        """Aggregate bandwidth demand in bits per millisecond."""
-        return sum(s.utilization for s in self._signals)
-
-    def merged_with(self, other: "SignalSet", name: Optional[str] = None) -> "SignalSet":
-        """Union of two signal sets (names must not collide)."""
-        return SignalSet(self._signals + other.signals,
-                         name=name or f"{self.name}+{other.name}")
-
-    def summary(self) -> Dict[str, float]:
-        """Headline statistics for experiment logs."""
-        periodic = self.periodic()
-        aperiodic = self.aperiodic()
-        return {
-            "signals": len(self),
-            "periodic": len(periodic),
-            "aperiodic": len(aperiodic),
-            "ecus": self.ecu_count(),
-            "hyperperiod_ms": self.hyperperiod_ms(),
-            "utilization_bits_per_ms": round(self.total_utilization(), 2),
-        }
+from repro.protocol.signal import *  # noqa: F401,F403
+from repro.protocol.signal import __all__  # noqa: F401

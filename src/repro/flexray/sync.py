@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.flexray.clock import MacrotickClock
+from repro.protocol.clock import MacrotickClock
 
 __all__ = ["fault_tolerant_midpoint", "ftm_discard_count",
            "ClockSyncService", "SyncRoundResult"]

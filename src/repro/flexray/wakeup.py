@@ -30,7 +30,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.flexray.channel import Channel
+from repro.protocol.channel import Channel
 from repro.sim.rng import RngStream
 
 __all__ = ["WakeupState", "WakeupNode", "WakeupSimulation", "WakeupResult"]

@@ -23,7 +23,8 @@ __all__ = ["LINT_RULES", "RESTRICTED_PACKAGES", "ORDERED_OUTPUT_PACKAGES",
 
 #: Sub-packages of ``repro`` in which simulated time and randomness are
 #: load-bearing: wall-clock and unseeded-RNG rules apply here.
-RESTRICTED_PACKAGES = frozenset({"sim", "core", "flexray", "analysis"})
+RESTRICTED_PACKAGES = frozenset(
+    {"sim", "core", "protocol", "flexray", "ttethernet", "analysis"})
 
 #: Sub-packages whose output ordering is part of the determinism
 #: contract (campaign merge, observability export): the set-iteration
@@ -45,13 +46,15 @@ LINT_RULES: Dict[str, Rule] = _catalogue(
          "suppressions must say why the finding is safe."),
     Rule("DET101", "wall-clock-read", Severity.ERROR,
          "time.time()/datetime.now()-style wall-clock reads inside "
-         "sim/, core/, flexray/ or analysis/ make runs "
-         "irreproducible; simulated time comes from the engine."),
+         "sim/, core/, protocol/, the protocol backends or analysis/ "
+         "make runs irreproducible; simulated time comes from the "
+         "engine."),
     Rule("DET102", "unseeded-rng", Severity.ERROR,
          "Global random.* or numpy.random.* draws (including "
          "np.random.default_rng() without a seed) inside sim/, core/, "
-         "flexray/ or analysis/ bypass the seeded stream-splitting "
-         "design; route through repro.sim.rng.RngStream."),
+         "protocol/, the protocol backends or analysis/ bypass the "
+         "seeded stream-splitting design; route through "
+         "repro.sim.rng.RngStream."),
     Rule("DET103", "mutable-default-argument", Severity.ERROR,
          "A mutable default argument (list/dict/set literal or "
          "constructor) is shared across calls and mutates global "

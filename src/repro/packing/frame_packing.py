@@ -17,7 +17,7 @@ The packer performs three transformations, in order:
    sub-cycle-period signals onto the cycle raster.
 
 The result knows how to emit the two artifacts schedulers need: the
-chunk :class:`~repro.flexray.frame.Frame` templates (for schedule-table
+chunk :class:`~repro.protocol.frame.Frame` templates (for schedule-table
 construction) and the message sources (for the hosts).
 """
 
@@ -28,10 +28,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.flexray.arrivals import MessageSource, PeriodicSource, SporadicSource
-from repro.flexray.frame import Frame, FrameKind
-from repro.flexray.params import FRAME_OVERHEAD_BITS, MAX_PAYLOAD_BITS, FlexRayParams
-from repro.flexray.signal import Signal, SignalSet
+from repro.protocol.arrivals import MessageSource, PeriodicSource, SporadicSource
+from repro.protocol.frame import Frame, FrameKind
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.signal import Signal, SignalSet
 from repro.sim.rng import RngStream
 
 __all__ = ["PackedMessage", "PackingResult", "pack_signals",
@@ -87,7 +87,7 @@ class PackingResult:
     """
 
     messages: List[PackedMessage]
-    params: FlexRayParams
+    params: SegmentGeometry
     unpackable: List[str] = field(default_factory=list)
 
     def periodic_messages(self) -> List[PackedMessage]:
@@ -236,7 +236,7 @@ def _select_repetition(period_ms: float, deadline_ms: float,
 
 def pack_signals(
     signals: SignalSet,
-    params: FlexRayParams,
+    params: SegmentGeometry,
     merge: bool = True,
     strict: bool = True,
 ) -> PackingResult:
@@ -339,6 +339,7 @@ def pack_signals(
                     chunk_count=len(chunk_sizes),
                     preferred_phase_mt=phase_mt,
                     base_flexibility=flexibility,
+                    overhead_bits=params.frame_overhead_bits,
                 )
                 for chunk_index, size in enumerate(chunk_sizes)
             )
@@ -358,12 +359,12 @@ def pack_signals(
     # variable-length, so merging buys nothing and costs latency).
     # ------------------------------------------------------------------
     for signal in signals.aperiodic().signals:
-        if signal.size_bits > MAX_PAYLOAD_BITS:
+        if signal.size_bits > params.max_payload_bits:
             if strict:
                 raise ValueError(
                     f"aperiodic signal {signal.name} "
-                    f"({signal.size_bits} bits) exceeds the FlexRay "
-                    f"payload maximum {MAX_PAYLOAD_BITS}"
+                    f"({signal.size_bits} bits) exceeds the protocol "
+                    f"payload maximum {params.max_payload_bits}"
                 )
             unpackable.append(signal.name)
             continue
@@ -374,6 +375,7 @@ def pack_signals(
             payload_bits=signal.size_bits,
             producer_ecu=signal.ecu,
             kind=FrameKind.DYNAMIC,
+            overhead_bits=params.frame_overhead_bits,
         )
         messages.append(PackedMessage(
             message_id=signal.name,
@@ -397,7 +399,8 @@ def derive_params_for(
     macrotick_us: float = 1.0,
     channel_count: int = 2,
     slot_headroom: float = 1.0,
-) -> FlexRayParams:
+    template: Optional[SegmentGeometry] = None,
+) -> SegmentGeometry:
     """Derive a feasible parameter set for a workload.
 
     The paper's published gdStaticSlot (40 MT) cannot physically carry
@@ -415,40 +418,56 @@ def derive_params_for(
         channel_count: 1 or 2.
         slot_headroom: Multiplier (>= 1) on the required static slot
             count, leaving idle slots -- the slack CoEfficient exploits.
+        template: Backend geometry the derivation specializes: supplies
+            the bit rate, frame overhead, payload cap and minislot
+            length, and fixes the *type* of the returned parameter set
+            (via :func:`dataclasses.replace`).  Defaults to the FlexRay
+            backend's template, preserving the pre-refactor behaviour.
 
     Returns:
-        A validated :class:`FlexRayParams`.
+        A validated parameter set of the template's type.
 
     Raises:
         ValueError: If the workload cannot fit the cycle at all.
     """
     if slot_headroom < 1.0:
         raise ValueError(f"slot_headroom must be >= 1, got {slot_headroom}")
-    bits_per_mt = 10.0 * macrotick_us  # FlexRay is 10 Mbit/s
+    if template is None:
+        from repro.protocol.backend import get_backend
+        template = get_backend("flexray").geometry_template()
+    bits_per_mt = template.bit_rate_mbps * macrotick_us
+    overhead = template.frame_overhead_bits
+    minislot_mt = template.gd_minislot_mt
+    cycle_mt = int(cycle_ms * 1000 / macrotick_us)
+
+    def _probe(slot_mt: int, slots: int,
+               probe_minislots: int) -> SegmentGeometry:
+        return dataclasses.replace(
+            template,
+            gd_macrotick_us=macrotick_us,
+            gd_cycle_mt=cycle_mt,
+            gd_static_slot_mt=slot_mt,
+            g_number_of_static_slots=slots,
+            gd_minislot_mt=minislot_mt,
+            g_number_of_minislots=probe_minislots,
+            p_latest_tx_minislot=0,
+            channel_count=channel_count,
+        )
 
     # Iterate: slot size determines packing, packing determines slot size.
     # Start from the largest single signal, converge in a few rounds.
     periodic_sizes = [s.size_bits for s in signals.periodic().signals]
     if not periodic_sizes:
         periodic_sizes = [64]
-    largest = min(max(periodic_sizes), MAX_PAYLOAD_BITS)
-    slot_mt = int(math.ceil((largest + FRAME_OVERHEAD_BITS) / bits_per_mt)) + 2
+    largest = min(max(periodic_sizes), template.max_payload_bits)
+    slot_mt = int(math.ceil((largest + overhead) / bits_per_mt)) + 2
 
     for __ in range(4):
-        probe = FlexRayParams(
-            gd_macrotick_us=macrotick_us,
-            gd_cycle_mt=int(cycle_ms * 1000 / macrotick_us),
-            gd_static_slot_mt=slot_mt,
-            g_number_of_static_slots=2,
-            gd_minislot_mt=8,
-            g_number_of_minislots=0,
-            channel_count=channel_count,
-        )
-        packing = pack_signals(signals, probe)
+        packing = pack_signals(signals, _probe(slot_mt, 2, 0))
         frames = packing.static_frames()
         if not frames:
             break
-        required = max(f.payload_bits for f in frames) + FRAME_OVERHEAD_BITS
+        required = max(f.payload_bits for f in frames) + overhead
         new_slot_mt = int(math.ceil(required / bits_per_mt)) + 2
         if new_slot_mt == slot_mt:
             break
@@ -456,21 +475,11 @@ def derive_params_for(
 
     # Demand: slots per cycle per channel, accounting for repetition
     # sharing.  Each frame with repetition r claims 1/r of a slot.
-    probe = FlexRayParams(
-        gd_macrotick_us=macrotick_us,
-        gd_cycle_mt=int(cycle_ms * 1000 / macrotick_us),
-        gd_static_slot_mt=slot_mt,
-        g_number_of_static_slots=2,
-        gd_minislot_mt=8,
-        g_number_of_minislots=0,
-        channel_count=channel_count,
-    )
-    packing = pack_signals(signals, probe)
+    packing = pack_signals(signals, _probe(slot_mt, 2, 0))
     demand = sum(1.0 / f.cycle_repetition for f in packing.static_frames())
     slots_needed = max(2, math.ceil(demand * slot_headroom / channel_count))
 
-    cycle_mt = int(cycle_ms * 1000 / macrotick_us)
-    dynamic_mt = minislots * 8
+    dynamic_mt = minislots * minislot_mt
     static_mt = slots_needed * slot_mt
     if static_mt + dynamic_mt > cycle_mt:
         raise ValueError(
@@ -478,12 +487,4 @@ def derive_params_for(
             f"dynamic but the cycle is only {cycle_mt} MT; use a longer "
             f"cycle or fewer minislots"
         )
-    return FlexRayParams(
-        gd_macrotick_us=macrotick_us,
-        gd_cycle_mt=cycle_mt,
-        gd_static_slot_mt=slot_mt,
-        g_number_of_static_slots=slots_needed,
-        gd_minislot_mt=8,
-        g_number_of_minislots=minislots,
-        channel_count=channel_count,
-    )
+    return _probe(slot_mt, slots_needed, minislots)

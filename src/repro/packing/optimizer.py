@@ -2,7 +2,7 @@
 
 The paper's related work optimizes static-segment schedules offline
 (Zeng et al. [3], Lukasiewycz et al. [15], both cited in Section V-B);
-the greedy builder in :mod:`repro.flexray.schedule` is fast but
+the greedy builder in :mod:`repro.protocol.schedule` is fast but
 first-fit.  This module adds a seeded hill-climbing optimizer over slot
 assignments with a three-part objective:
 
@@ -26,10 +26,10 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.flexray.channel import Channel
-from repro.flexray.frame import Frame
-from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import (
+from repro.protocol.channel import Channel
+from repro.protocol.frame import Frame
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.schedule import (
     ScheduleTable,
     SlotAssignment,
     patterns_conflict,
@@ -64,13 +64,13 @@ class _Placement:
     base_cycle: int
 
 
-def _slot_action_point(slot_id: int, params: FlexRayParams) -> int:
+def _slot_action_point(slot_id: int, params: SegmentGeometry) -> int:
     return ((slot_id - 1) * params.gd_static_slot_mt
             + params.gd_action_point_offset_mt)
 
 
 def _placement_latency(placement: _Placement,
-                       params: FlexRayParams) -> float:
+                       params: SegmentGeometry) -> float:
     """Rate-weighted expected wait from release phase to slot fire."""
     frame = placement.frame
     phase = frame.preferred_phase_mt
@@ -86,7 +86,7 @@ def _placement_latency(placement: _Placement,
     return wait * rate
 
 
-def _cost(placements: Sequence[_Placement], params: FlexRayParams,
+def _cost(placements: Sequence[_Placement], params: SegmentGeometry,
           objective: ScheduleObjective) -> float:
     """Full objective over a placement set."""
     latency = sum(_placement_latency(p, params) for p in placements)
@@ -114,7 +114,7 @@ def _cost(placements: Sequence[_Placement], params: FlexRayParams,
             * params.gd_static_slot_mt)
 
 
-def schedule_cost(table: ScheduleTable, params: FlexRayParams,
+def schedule_cost(table: ScheduleTable, params: SegmentGeometry,
                   objective: Optional[ScheduleObjective] = None) -> float:
     """Objective value of an existing schedule table."""
     objective = objective or ScheduleObjective()
@@ -137,7 +137,7 @@ class ScheduleOptimizer:
         rng: Seeded stream driving the proposal sequence.
     """
 
-    def __init__(self, params: FlexRayParams,
+    def __init__(self, params: SegmentGeometry,
                  objective: Optional[ScheduleObjective] = None,
                  rng: Optional[RngStream] = None) -> None:
         self._params = params

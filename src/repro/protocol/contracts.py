@@ -1,0 +1,95 @@
+"""Structural contracts of the protocol-neutral core.
+
+The scheduling core (``repro.core``), the timeline engines
+(``repro.timeline``), the verifier (``repro.verify``), the analysis
+layer and the service depend on the *shapes* documented here, not on
+any backend package.  The contracts are expressed as
+:class:`typing.Protocol` classes so they can be checked structurally
+(``isinstance`` with ``runtime_checkable``) and by mypy without
+inheriting from them.
+
+Five contracts define a backend:
+
+==================  ====================================================
+Contract            Carried by
+==================  ====================================================
+segment geometry    :class:`repro.protocol.geometry.SegmentGeometry`
+window ownership    :class:`repro.protocol.schedule.ScheduleTable`
+capacity / slack    ``static_slot_capacity_bits`` / ``minislots_for_bits``
+                    on the geometry plus the compiled round's idle maps
+fault model         :data:`FaultOracle` (``(channel, bits, time) -> bool``)
+trace identity      :data:`TraceIdentity` -- the ``protocol`` string
+                    stamped into cache keys, result-store run identity
+                    and canonical trace bytes
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocol.channel import Channel
+    from repro.protocol.frame import Frame
+    from repro.protocol.schedule import ScheduleTable
+
+__all__ = ["FaultOracle", "GeometryContract", "TraceIdentity"]
+
+#: The fault model: a predicate deciding whether a transmission of
+#: ``bits`` wire bits on ``channel`` starting at macrotick ``time`` is
+#: corrupted.  Backends and fault injectors provide implementations;
+#: the segment engines only ever call it.
+FaultOracle = Callable[["Channel", int, int], bool]
+
+
+@runtime_checkable
+class TraceIdentity(Protocol):
+    """Anything that declares which protocol produced it.
+
+    The ``protocol`` string is the backend identity token: it flows
+    into :func:`repro.experiments.cache.run_key`, the result store's
+    run identity and the header line of
+    :func:`repro.sim.trace.canonical_trace_bytes`, so artifacts from
+    different backends can never alias.
+    """
+
+    @property
+    def protocol(self) -> str: ...
+
+
+@runtime_checkable
+class GeometryContract(Protocol):
+    """The slice of :class:`~repro.protocol.geometry.SegmentGeometry`
+    the core layers actually consume.
+
+    Kept deliberately small: a backend geometry may add fields, but the
+    core must not require more than this.
+    """
+
+    @property
+    def gd_macrotick_us(self) -> float: ...
+    @property
+    def gd_cycle_mt(self) -> int: ...
+    @property
+    def gd_static_slot_mt(self) -> int: ...
+    @property
+    def g_number_of_static_slots(self) -> int: ...
+    @property
+    def gd_minislot_mt(self) -> int: ...
+    @property
+    def g_number_of_minislots(self) -> int: ...
+    @property
+    def channel_count(self) -> int: ...
+    @property
+    def frame_overhead_bits(self) -> int: ...
+    @property
+    def max_payload_bits(self) -> int: ...
+    @property
+    def static_slot_capacity_bits(self) -> int: ...
+
+    def ms_to_mt(self, milliseconds: float) -> int: ...
+    def mt_to_ms(self, macroticks: int) -> float: ...
+    def transmission_mt(self, bits: int) -> int: ...
+    def minislots_for_bits(self, payload_bits: int) -> int: ...
+    def build_schedule(self, frames: Sequence["Frame"],
+                       strategy: str = "distribute") -> "ScheduleTable": ...

@@ -1,0 +1,88 @@
+"""Communication-cycle layout.
+
+A FlexRay communication cycle is ``static segment | dynamic segment |
+symbol window | network idle time (NIT)``.  :class:`CycleLayout` converts
+between (cycle, slot/minislot) coordinates and absolute macrotick times;
+the segment engines and the trace recorder both rely on it so that every
+recorded transmission interval is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.protocol.geometry import SegmentGeometry
+
+__all__ = ["CycleLayout"]
+
+
+@dataclass(frozen=True)
+class CycleLayout:
+    """Time geometry of the communication cycle for a parameter set."""
+
+    params: SegmentGeometry
+
+    def cycle_start(self, cycle: int) -> int:
+        """Absolute start time of communication cycle ``cycle`` (0-based)."""
+        if cycle < 0:
+            raise ValueError(f"cycle must be >= 0, got {cycle}")
+        return cycle * self.params.gd_cycle_mt
+
+    def cycle_of_time(self, time_mt: int) -> int:
+        """Communication cycle containing absolute time ``time_mt``."""
+        if time_mt < 0:
+            raise ValueError(f"time must be >= 0, got {time_mt}")
+        return time_mt // self.params.gd_cycle_mt
+
+    def static_slot_window(self, cycle: int, slot_id: int) -> Tuple[int, int]:
+        """Absolute ``[start, end)`` of a static slot.
+
+        Args:
+            cycle: Communication cycle (0-based).
+            slot_id: Static slot ID (1-based).
+        """
+        if not 1 <= slot_id <= self.params.g_number_of_static_slots:
+            raise ValueError(
+                f"slot_id {slot_id} outside static range "
+                f"[1, {self.params.g_number_of_static_slots}]"
+            )
+        start = (self.cycle_start(cycle)
+                 + (slot_id - 1) * self.params.gd_static_slot_mt)
+        return start, start + self.params.gd_static_slot_mt
+
+    def static_action_point(self, cycle: int, slot_id: int) -> int:
+        """Absolute macrotick at which a static transmission starts."""
+        start, __ = self.static_slot_window(cycle, slot_id)
+        return start + self.params.gd_action_point_offset_mt
+
+    def dynamic_segment_window(self, cycle: int) -> Tuple[int, int]:
+        """Absolute ``[start, end)`` of the cycle's dynamic segment."""
+        start = self.cycle_start(cycle) + self.params.static_segment_mt
+        return start, start + self.params.dynamic_segment_mt
+
+    def minislot_start(self, cycle: int, minislot_index: int) -> int:
+        """Absolute start of the ``minislot_index``-th minislot (0-based)."""
+        if not 0 <= minislot_index <= self.params.g_number_of_minislots:
+            raise ValueError(
+                f"minislot index {minislot_index} outside "
+                f"[0, {self.params.g_number_of_minislots}]"
+            )
+        segment_start, __ = self.dynamic_segment_window(cycle)
+        return segment_start + minislot_index * self.params.gd_minislot_mt
+
+    def symbol_window(self, cycle: int) -> Tuple[int, int]:
+        """Absolute ``[start, end)`` of the symbol window (may be empty)."""
+        __, dynamic_end = self.dynamic_segment_window(cycle)
+        return dynamic_end, dynamic_end + self.params.gd_symbol_window_mt
+
+    def nit_window(self, cycle: int) -> Tuple[int, int]:
+        """Absolute ``[start, end)`` of the network idle time."""
+        __, symbol_end = self.symbol_window(cycle)
+        return symbol_end, self.cycle_start(cycle + 1)
+
+    def cycles_for_horizon(self, horizon_mt: int) -> int:
+        """Number of whole cycles fitting in ``[0, horizon_mt]``."""
+        if horizon_mt < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon_mt}")
+        return horizon_mt // self.params.gd_cycle_mt

@@ -1,0 +1,274 @@
+"""Protocol-neutral segment geometry for time-triggered rounds.
+
+The scheduling core operates on one abstraction: a *communication
+round* of ``gd_cycle_mt`` macroticks containing a TDMA static segment
+(fixed-length windows with static ownership), an optional
+minislot-arbitrated dynamic segment, an optional symbol window, and
+idle time.  FlexRay cycles and time-triggered-Ethernet integration
+cycles are both instances of this geometry; each backend package
+subclasses :class:`SegmentGeometry` with its own field defaults,
+frame-overhead model, presets and schedule-construction policy.
+
+Field names retain the FlexRay specification's Hungarian-style ``gd``/
+``g``/``p`` prefixes: they are the vocabulary the source paper (and the
+whole repo) speaks, and they map one-to-one onto time-triggered
+Ethernet concepts (static slot <-> scheduled traffic window, minislot
+<-> rate-constrained quantum, communication cycle <-> integration
+cycle, NIT <-> guard band).  ``docs/backends.md`` tabulates the
+mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, ClassVar, Dict, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocol.frame import Frame
+    from repro.protocol.schedule import ScheduleTable
+
+__all__ = ["SegmentGeometry"]
+
+
+@dataclass(frozen=True)
+class SegmentGeometry:
+    """Validated, immutable round geometry (the protocol-neutral contract).
+
+    Attributes:
+        gd_macrotick_us: Macrotick length in microseconds.
+        gd_cycle_mt: Communication-cycle length in macroticks
+            (= gdMacroPerCycle when gdMacrotick is 1 us).
+        gd_static_slot_mt: Static slot length in macroticks.
+        g_number_of_static_slots: Static slots per cycle (gNumberOfStaticSlots).
+        gd_minislot_mt: Minislot length in macroticks (gdMinislot).
+        g_number_of_minislots: Minislots per cycle (gNumberOfMinislots).
+        gd_symbol_window_mt: Symbol-window length (gdSymbolWindow); the
+            paper's configuration sets it to 0.
+        gd_action_point_offset_mt: Static-slot action point offset.
+        gd_minislot_action_point_offset_mt: Minislot action point offset
+            (gdMinislotActionPointOffset).
+        gd_dynamic_slot_idle_phase_minislots: Idle minislots appended after
+            each dynamic transmission (gdDynamicSlotIdlePhase).
+        p_latest_tx_minislot: Last minislot index at which a node may start
+            a dynamic transmission (pLatestTx).  ``None`` derives the
+            spec-conformant value from the largest expressible frame.
+        bit_rate_mbps: Channel bit rate; FlexRay runs at 10 Mbit/s.
+        channel_count: 1 (single channel) or 2 (dual channel).
+        frame_overhead_bits: Wire overhead (header + trailer) added to
+            every frame payload by the backend protocol.
+        max_payload_bits: Largest payload one frame of the backend
+            protocol can carry.
+    """
+
+    #: Backend identity: stamped into cache keys, result-store run
+    #: identity and canonical trace bytes so runs of different
+    #: protocols can never alias.
+    protocol: ClassVar[str] = "generic"
+
+    gd_macrotick_us: float = 1.0
+    gd_cycle_mt: int = 5000
+    gd_static_slot_mt: int = 40
+    g_number_of_static_slots: int = 80
+    gd_minislot_mt: int = 8
+    g_number_of_minislots: int = 100
+    gd_symbol_window_mt: int = 0
+    gd_action_point_offset_mt: int = 1
+    gd_minislot_action_point_offset_mt: int = 2
+    gd_dynamic_slot_idle_phase_minislots: int = 1
+    p_latest_tx_minislot: int = 0
+    bit_rate_mbps: float = 10.0
+    channel_count: int = 2
+    frame_overhead_bits: int = 64
+    max_payload_bits: int = 254 * 8
+
+    def __post_init__(self) -> None:
+        if self.gd_macrotick_us <= 0:
+            raise ValueError("gd_macrotick_us must be positive")
+        if self.gd_cycle_mt <= 0:
+            raise ValueError("gd_cycle_mt must be positive")
+        if self.gd_static_slot_mt <= 0:
+            raise ValueError("gd_static_slot_mt must be positive")
+        if self.g_number_of_static_slots < 2:
+            # The spec requires at least 2 static slots (sync frames).
+            raise ValueError("g_number_of_static_slots must be >= 2")
+        if self.gd_minislot_mt <= 0:
+            raise ValueError("gd_minislot_mt must be positive")
+        if self.g_number_of_minislots < 0:
+            raise ValueError("g_number_of_minislots must be >= 0")
+        if self.gd_symbol_window_mt < 0:
+            raise ValueError("gd_symbol_window_mt must be >= 0")
+        if self.bit_rate_mbps <= 0:
+            raise ValueError("bit_rate_mbps must be positive")
+        if self.channel_count not in (1, 2):
+            raise ValueError("channel_count must be 1 or 2")
+        if self.frame_overhead_bits < 0:
+            raise ValueError("frame_overhead_bits must be >= 0")
+        if self.max_payload_bits <= 0:
+            raise ValueError("max_payload_bits must be positive")
+        used = (self.static_segment_mt + self.dynamic_segment_mt
+                + self.gd_symbol_window_mt)
+        if used > self.gd_cycle_mt:
+            raise ValueError(
+                f"segments ({used} MT) exceed the communication cycle "
+                f"({self.gd_cycle_mt} MT)"
+            )
+        if not 0 <= self.p_latest_tx_minislot <= self.g_number_of_minislots:
+            raise ValueError(
+                "p_latest_tx_minislot must lie within the dynamic segment"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def static_segment_mt(self) -> int:
+        """Static-segment length in macroticks."""
+        return self.gd_static_slot_mt * self.g_number_of_static_slots
+
+    @property
+    def dynamic_segment_mt(self) -> int:
+        """Dynamic-segment length in macroticks."""
+        return self.gd_minislot_mt * self.g_number_of_minislots
+
+    @property
+    def nit_mt(self) -> int:
+        """Network idle time: cycle remainder after all segments."""
+        return (self.gd_cycle_mt - self.static_segment_mt
+                - self.dynamic_segment_mt - self.gd_symbol_window_mt)
+
+    @property
+    def cycle_us(self) -> float:
+        """Communication-cycle length in microseconds (gdCycle)."""
+        return self.gd_cycle_mt * self.gd_macrotick_us
+
+    @property
+    def cycle_ms(self) -> float:
+        """Communication-cycle length in milliseconds."""
+        return self.cycle_us / 1000.0
+
+    @property
+    def bits_per_macrotick(self) -> float:
+        """Channel bits transferable in one macrotick."""
+        return self.bit_rate_mbps * self.gd_macrotick_us
+
+    @property
+    def static_slot_capacity_bits(self) -> int:
+        """Payload bits one static slot can carry.
+
+        The action-point offset at both slot edges and the frame overhead
+        (header + trailer CRC) are subtracted from the raw slot capacity.
+        """
+        usable_mt = self.gd_static_slot_mt - 2 * self.gd_action_point_offset_mt
+        raw_bits = int(usable_mt * self.bits_per_macrotick)
+        capacity = raw_bits - self.frame_overhead_bits
+        return max(0, min(capacity, self.max_payload_bits))
+
+    @property
+    def first_dynamic_slot_id(self) -> int:
+        """Slot ID of the first dynamic slot (static IDs are 1-based)."""
+        return self.g_number_of_static_slots + 1
+
+    @property
+    def last_dynamic_slot_id(self) -> int:
+        """Largest usable dynamic slot ID (one per minislot at minimum)."""
+        return self.g_number_of_static_slots + self.g_number_of_minislots
+
+    @property
+    def effective_latest_tx(self) -> int:
+        """pLatestTx: latest minislot index at which a send may start.
+
+        In a real cluster each *node* derives pLatestTx from its own
+        largest dynamic frame, so a node with small frames may start
+        late while one with a maximal frame must stop early.  The
+        simulation engine enforces the underlying invariant directly --
+        a transmission is held for the next cycle unless it fits the
+        remaining minislots -- so the auto value (configured 0) imposes
+        no extra gate.  Setting ``p_latest_tx_minislot`` explicitly
+        models a cluster-wide conservative configuration.
+        """
+        if self.p_latest_tx_minislot > 0:
+            return self.p_latest_tx_minislot
+        return self.g_number_of_minislots
+
+    # ------------------------------------------------------------------
+    # Unit conversion helpers
+    # ------------------------------------------------------------------
+
+    def ms_to_mt(self, milliseconds: float) -> int:
+        """Convert milliseconds to (rounded) macroticks."""
+        return int(round(milliseconds * 1000.0 / self.gd_macrotick_us))
+
+    def mt_to_ms(self, macroticks: int) -> float:
+        """Convert macroticks to milliseconds."""
+        return macroticks * self.gd_macrotick_us / 1000.0
+
+    def transmission_mt(self, bits: int) -> int:
+        """Macroticks needed to transfer ``bits`` on the channel."""
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        return int(math.ceil(bits / self.bits_per_macrotick))
+
+    def minislots_for_bits(self, payload_bits: int) -> int:
+        """Minislots a dynamic transmission of ``payload_bits`` occupies.
+
+        Includes frame overhead and the mandated dynamic-slot idle phase.
+        """
+        total_bits = payload_bits + self.frame_overhead_bits
+        tx_mt = self.transmission_mt(total_bits) \
+            + self.gd_minislot_action_point_offset_mt
+        slots = int(math.ceil(tx_mt / self.gd_minislot_mt))
+        return max(1, slots) + self.gd_dynamic_slot_idle_phase_minislots
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    def with_minislots(self, count: int) -> "SegmentGeometry":
+        """Copy with a different gNumberOfMinislots (the Fig. 3/5 sweep axis)."""
+        return replace(self, g_number_of_minislots=count)
+
+    def with_static_slots(self, count: int) -> "SegmentGeometry":
+        """Copy with a different gNumberOfStaticSlots (80 vs 120 in Figs. 1-2)."""
+        return replace(self, g_number_of_static_slots=count)
+
+    def with_channels(self, count: int) -> "SegmentGeometry":
+        """Copy with a different channel count."""
+        return replace(self, channel_count=count)
+
+    def describe(self) -> Dict[str, float]:
+        """Human-readable parameter summary (for experiment logs)."""
+        return {
+            "gdMacrotick_us": self.gd_macrotick_us,
+            "gdCycle_us": self.cycle_us,
+            "gdStaticSlot_mt": self.gd_static_slot_mt,
+            "gNumberOfStaticSlots": self.g_number_of_static_slots,
+            "gdMinislot_mt": self.gd_minislot_mt,
+            "gNumberOfMinislots": self.g_number_of_minislots,
+            "pLatestTx": self.effective_latest_tx,
+            "staticSegment_mt": self.static_segment_mt,
+            "dynamicSegment_mt": self.dynamic_segment_mt,
+            "NIT_mt": self.nit_mt,
+            "staticSlotCapacity_bits": self.static_slot_capacity_bits,
+            "channels": self.channel_count,
+        }
+
+
+    # ------------------------------------------------------------------
+    # Backend seam
+    # ------------------------------------------------------------------
+
+    def build_schedule(self, frames: Sequence["Frame"],
+                       strategy: str = "distribute") -> "ScheduleTable":
+        """Construct the static-segment schedule for ``frames``.
+
+        The neutral implementation is the greedy dual-channel allocator
+        in :mod:`repro.protocol.schedule`; backends override this to
+        impose protocol-specific placement policy (e.g. the
+        time-triggered-Ethernet backend adds jitter-constrained window
+        placement on top of it).
+        """
+        from repro.protocol.schedule import build_dual_schedule
+
+        return build_dual_schedule(frames, self, strategy)

@@ -1,0 +1,63 @@
+"""ECU node: host + communication controller + CHI.
+
+Section II-B: "each node in a FlexRay cluster contains a host and a
+Communication Controller (CC) ... the host is a part of an ECU and can
+carry out the application software to deal with incoming messages and
+generate outgoing messages."
+
+The host side here is the arrival machinery (:mod:`repro.protocol.arrivals`
+sources are attributed to nodes); the node object binds a controller, a
+CHI and a local clock into the unit the cluster is assembled from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocol.chi import ControllerHostInterface
+from repro.protocol.clock import MacrotickClock
+from repro.protocol.controller import CommunicationController
+
+__all__ = ["EcuNode"]
+
+
+class EcuNode:
+    """One FlexRay node.
+
+    Args:
+        node_id: Cluster-wide node index (0-based).
+        name: Human-readable ECU name (defaults to ``"ECU<n>"``).
+        clock: Node-local clock model (defaults to a 100 ppm crystal).
+    """
+
+    def __init__(self, node_id: int, name: Optional[str] = None,
+                 clock: Optional[MacrotickClock] = None) -> None:
+        if node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {node_id}")
+        self.node_id = node_id
+        self.name = name or f"ECU{node_id}"
+        self.clock = clock or MacrotickClock()
+        self.chi = ControllerHostInterface()
+        self.controller = CommunicationController(node_id, self.chi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EcuNode({self.node_id}, {self.name!r})"
+
+    def start(self) -> None:
+        """Bring the node's controller into normal operation."""
+        self.controller.start()
+
+    def halt(self) -> None:
+        """Halt the node's controller."""
+        self.controller.halt()
+
+    def summary(self) -> dict:
+        """Per-node counters for experiment logs."""
+        return {
+            "node": self.name,
+            "static_slots": self.controller.owned_static_slots(),
+            "dynamic_ids": self.controller.owned_dynamic_ids(),
+            "sent": self.controller.frames_sent,
+            "received": self.controller.frames_received,
+            "faults_seen": self.controller.faults_seen,
+        }

@@ -1,0 +1,106 @@
+"""Slot and minislot counters.
+
+Section III-D of the paper: each channel maintains its own slot counter
+(``SlotCounter(A)``, ``SlotCounter(B)``), initialized to 1 at the start of
+every communication cycle and incremented at each slot boundary.  The
+dynamic segment additionally counts minislots (``vSlotCounter`` advances
+once per *dynamic slot*, whose length is one minislot when idle or the
+frame's length when transmitting).
+
+These counters are deliberately small, dumb state machines -- the protocol
+correctness lives in how the segment engines drive them, and keeping them
+separate makes that logic directly testable.
+"""
+
+from __future__ import annotations
+
+
+__all__ = ["SlotCounter", "MinislotCounter"]
+
+
+class SlotCounter:
+    """Per-channel slot ID counter (vSlotCounter).
+
+    The counter starts at 1 each communication cycle; static slots consume
+    IDs ``1..gNumberOfStaticSlots`` and dynamic slots continue from there.
+    """
+
+    def __init__(self) -> None:
+        self._value = 1
+
+    @property
+    def value(self) -> int:
+        """Current slot ID (1-based)."""
+        return self._value
+
+    def reset(self) -> None:
+        """Reset to 1 (start of a communication cycle)."""
+        self._value = 1
+
+    def advance(self) -> int:
+        """Move to the next slot ID and return the new value."""
+        self._value += 1
+        return self._value
+
+    def jump_to(self, slot_id: int) -> None:
+        """Set the counter (used when entering the dynamic segment)."""
+        if slot_id < 1:
+            raise ValueError(f"slot_id must be >= 1, got {slot_id}")
+        self._value = slot_id
+
+
+class MinislotCounter:
+    """Dynamic-segment minislot counter.
+
+    Tracks how many minislots of the dynamic segment have elapsed.  The
+    FTDMA rule gating transmission starts (pLatestTx) is evaluated against
+    this counter.
+    """
+
+    def __init__(self, total_minislots: int) -> None:
+        if total_minislots < 0:
+            raise ValueError(
+                f"total_minislots must be >= 0, got {total_minislots}"
+            )
+        self._total = total_minislots
+        self._elapsed = 0
+
+    @property
+    def elapsed(self) -> int:
+        """Minislots consumed so far this cycle."""
+        return self._elapsed
+
+    @property
+    def remaining(self) -> int:
+        """Minislots left in the dynamic segment."""
+        return self._total - self._elapsed
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the dynamic segment has ended."""
+        return self._elapsed >= self._total
+
+    def reset(self) -> None:
+        """Reset at the start of each communication cycle."""
+        self._elapsed = 0
+
+    def consume(self, minislots: int) -> int:
+        """Consume ``minislots`` (clamped to what remains).
+
+        Returns:
+            The number actually consumed.
+        """
+        if minislots < 0:
+            raise ValueError(f"minislots must be >= 0, got {minislots}")
+        consumed = min(minislots, self.remaining)
+        self._elapsed += consumed
+        return consumed
+
+    def can_start_transmission(self, latest_tx: int) -> bool:
+        """pLatestTx gate: a send may only *start* at or before it.
+
+        FlexRay compares the current minislot counter with pLatestTx; a
+        node whose slot arrives later must hold the message for the next
+        cycle even if the frame would physically fit.
+        """
+        return not self.exhausted and self._elapsed < latest_tx

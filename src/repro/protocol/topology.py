@@ -1,0 +1,159 @@
+"""Cluster topology models.
+
+Section II-B: "a FlexRay cluster consists of multiple nodes ... the
+topology includes bus, star or hybrid connection."  Topology has no
+influence on slot timing (the TDMA schedule is global), but it determines
+which node pairs share a fault domain: a passive bus stub fault hits every
+node, while a star-coupler branch fault is isolated to one branch.
+
+The fault injector uses :meth:`Topology.fault_domain_of` to scope
+injected faults, and cluster construction validates node counts and
+connectivity through these classes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Set
+
+__all__ = ["Topology", "BusTopology", "StarTopology", "HybridTopology"]
+
+
+class Topology(abc.ABC):
+    """Abstract cluster interconnect."""
+
+    @abc.abstractmethod
+    def node_count(self) -> int:
+        """Number of nodes attached."""
+
+    @abc.abstractmethod
+    def fault_domain_of(self, node: int) -> FrozenSet[int]:
+        """Nodes sharing a physical fault domain with ``node`` (inclusive)."""
+
+    @abc.abstractmethod
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an ill-formed configuration."""
+
+    def nodes(self) -> List[int]:
+        """All node indices."""
+        return list(range(self.node_count()))
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Whether two nodes can communicate.
+
+        All FlexRay topologies are single broadcast domains, so any two
+        attached nodes can communicate; subclasses only override this if
+        they model partitioned/degraded operation.
+        """
+        count = self.node_count()
+        return 0 <= source < count and 0 <= target < count
+
+
+@dataclass
+class BusTopology(Topology):
+    """A passive linear bus: one shared fault domain.
+
+    Attributes:
+        nodes_attached: Number of nodes on the bus (2..64 per channel,
+            per the FlexRay electrical limits).
+    """
+
+    nodes_attached: int
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not 2 <= self.nodes_attached <= 64:
+            raise ValueError(
+                f"a FlexRay bus supports 2..64 nodes, got {self.nodes_attached}"
+            )
+
+    def node_count(self) -> int:
+        return self.nodes_attached
+
+    def fault_domain_of(self, node: int) -> FrozenSet[int]:
+        if not 0 <= node < self.nodes_attached:
+            raise ValueError(f"node {node} not attached")
+        return frozenset(range(self.nodes_attached))
+
+
+@dataclass
+class StarTopology(Topology):
+    """An active star: each branch is its own fault domain.
+
+    Attributes:
+        branches: For each star-coupler branch, the node indices attached
+            to it.  Node indices must partition ``0..n-1``.
+    """
+
+    branches: Sequence[Sequence[int]]
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        seen: Set[int] = set()
+        if not self.branches:
+            raise ValueError("a star needs at least one branch")
+        for branch in self.branches:
+            if not branch:
+                raise ValueError("empty star branch")
+            overlap = seen.intersection(branch)
+            if overlap:
+                raise ValueError(f"nodes {sorted(overlap)} appear in two branches")
+            seen.update(branch)
+        expected = set(range(len(seen)))
+        if seen != expected:
+            raise ValueError(
+                f"branch node indices must partition 0..{len(seen) - 1}, "
+                f"got {sorted(seen)}"
+            )
+
+    def node_count(self) -> int:
+        return sum(len(branch) for branch in self.branches)
+
+    def fault_domain_of(self, node: int) -> FrozenSet[int]:
+        for branch in self.branches:
+            if node in branch:
+                return frozenset(branch)
+        raise ValueError(f"node {node} not attached")
+
+
+@dataclass
+class HybridTopology(Topology):
+    """A star whose branches may be multi-node bus stubs.
+
+    This is the common production automotive layout: a central active
+    star with short passive stubs hanging off each branch.  Structurally
+    identical to :class:`StarTopology` (branches are fault domains), but
+    kept as its own class so configuration code reads naturally and so
+    per-branch electrical limits can be validated.
+    """
+
+    branches: Sequence[Sequence[int]]
+    max_stub_nodes: int = 22
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        star = StarTopology.__new__(StarTopology)
+        star.branches = self.branches
+        star.validate()
+        for branch in self.branches:
+            if len(branch) > self.max_stub_nodes:
+                raise ValueError(
+                    f"bus stub of {len(branch)} nodes exceeds the electrical "
+                    f"limit of {self.max_stub_nodes}"
+                )
+
+    def node_count(self) -> int:
+        return sum(len(branch) for branch in self.branches)
+
+    def fault_domain_of(self, node: int) -> FrozenSet[int]:
+        for branch in self.branches:
+            if node in branch:
+                return frozenset(branch)
+        raise ValueError(f"node {node} not attached")

@@ -26,9 +26,10 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.tasks import PeriodicTask, TaskSet
-from repro.flexray.channel import Channel
-from repro.flexray.params import FlexRayParams, paper_dynamic_preset
-from repro.flexray.signal import Signal, SignalSet
+from repro.protocol.backend import get_backend
+from repro.protocol.channel import Channel
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.signal import Signal, SignalSet
 from repro.timeline.compiler import CompiledRound
 from repro.verify import ConfigurationError, verify_experiment
 from repro.workloads.acc import acc_signals
@@ -44,11 +45,13 @@ __all__ = ["SERVICE_WORKLOADS", "ServiceSetup", "build_channel_task_sets",
 #: admission traffic expected from the load generator.
 SERVICE_WORKLOADS = ("bbw", "acc", "synthetic", "sae")
 
-#: FlexRay frame overhead in bits (header + trailer), matching the
-#: ``repro plan`` wire-size convention.
+#: Default frame overhead in bits (FlexRay header + trailer), matching
+#: the ``repro plan`` wire-size convention; other backends pass their
+#: geometry's ``frame_overhead_bits`` explicitly.
 FRAME_OVERHEAD_BITS = 64
 
-#: FlexRay channel bit rate (10 Mbit/s).
+#: Default channel bit rate (FlexRay's 10 Mbit/s); other backends pass
+#: their geometry's rate explicitly.
 BIT_RATE_BPS = 10_000_000
 
 
@@ -70,7 +73,7 @@ class ServiceSetup:
     """
 
     workload: str
-    params: FlexRayParams
+    params: SegmentGeometry
     tick_us: int
     channel_tasks: Dict[str, TaskSet]
     verified: bool
@@ -87,13 +90,15 @@ class ServiceSetup:
 
 
 def signal_to_task(signal: Signal, tick_us: int = 100,
-                   bit_rate_bps: int = BIT_RATE_BPS) -> PeriodicTask:
+                   bit_rate_bps: int = BIT_RATE_BPS,
+                   overhead_bits: int = FRAME_OVERHEAD_BITS) -> PeriodicTask:
     """Quantize one periodic signal into a processor-model task.
 
     Args:
         signal: A periodic (non-aperiodic) signal.
         tick_us: Tick length in microseconds.
         bit_rate_bps: Channel bit rate.
+        overhead_bits: Per-frame wire overhead of the protocol.
 
     Returns:
         A :class:`PeriodicTask` in ticks; execution is the wire time
@@ -104,7 +109,7 @@ def signal_to_task(signal: Signal, tick_us: int = 100,
         raise ValueError(f"{signal.name}: aperiodic signals do not map "
                          f"to periodic tasks")
     ticks_per_ms = 1000.0 / tick_us
-    wire_bits = signal.size_bits + FRAME_OVERHEAD_BITS
+    wire_bits = signal.size_bits + overhead_bits
     wire_ms = wire_bits * 1000.0 / bit_rate_bps
     execution = max(1, math.ceil(wire_ms * ticks_per_ms))
     period = max(1, round(signal.period_ms * ticks_per_ms))
@@ -118,6 +123,7 @@ def signal_to_task(signal: Signal, tick_us: int = 100,
 def build_channel_task_sets(signals: SignalSet, tick_us: int = 100,
                             bit_rate_bps: int = BIT_RATE_BPS,
                             channels: Tuple[str, ...] = ("A", "B"),
+                            overhead_bits: int = FRAME_OVERHEAD_BITS,
                             ) -> Dict[str, TaskSet]:
     """Partition periodic signals over channels, balanced by load.
 
@@ -129,7 +135,7 @@ def build_channel_task_sets(signals: SignalSet, tick_us: int = 100,
     """
     if not channels:
         raise ValueError("need at least one channel")
-    tasks = [signal_to_task(s, tick_us, bit_rate_bps)
+    tasks = [signal_to_task(s, tick_us, bit_rate_bps, overhead_bits)
              for s in signals if not s.aperiodic]
     ordered = sorted(tasks, key=lambda t: (-t.utilization, t.name))
     load: Dict[str, float] = {c: 0.0 for c in channels}
@@ -145,7 +151,7 @@ def build_channel_task_sets(signals: SignalSet, tick_us: int = 100,
 
 
 def round_task_sets(compiled: CompiledRound, tick_us: int = 100,
-                    bit_rate_bps: int = BIT_RATE_BPS) -> Dict[str, TaskSet]:
+                    bit_rate_bps: Optional[int] = None) -> Dict[str, TaskSet]:
     """Per-channel task sets read directly from a compiled round.
 
     The admission service's analysis view and the simulator's execution
@@ -159,6 +165,8 @@ def round_task_sets(compiled: CompiledRound, tick_us: int = 100,
     their next firing).
     """
     params = compiled.params
+    if bit_rate_bps is None:
+        bit_rate_bps = int(params.bit_rate_mbps * 1_000_000)
     ticks_per_ms = 1000.0 / tick_us
     mt_per_ms = 1000.0 / params.gd_macrotick_us
     sets: Dict[str, TaskSet] = {}
@@ -207,7 +215,8 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
                        tick_us: int = 100,
                        verify: bool = True,
                        mapping: str = "signals",
-                       engine_mode: str = "stepper") -> ServiceSetup:
+                       engine_mode: str = "stepper",
+                       backend: str = "flexray") -> ServiceSetup:
     """Build and statically verify one service configuration.
 
     Args:
@@ -232,25 +241,26 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
             runs under (``"stepper"``, ``"interpreter"`` or
             ``"vectorized"``); validated here so a typo fails at
             startup, and advertised via the status payload.
+        backend: Protocol backend name (``repro.protocol.get_backend``);
+            selects the geometry the workload is packed against.
 
     Returns:
         A :class:`ServiceSetup` ready to hand to the server.
     """
-    from repro.experiments import figures as figures_module
     from repro.sim.engine import EngineMode
 
     if mapping not in ("signals", "round"):
         raise ValueError(f"unknown task mapping {mapping!r}; "
                          f"expected 'signals' or 'round'")
     engine_mode = EngineMode.parse(engine_mode).value
+    protocol = get_backend(backend)
     periodic = _workload_signals(workload, count, seed)
     if minislots is None:
         minislots = 50 if workload in ("bbw", "acc") else 100
     if workload in ("bbw", "acc"):
-        params = figures_module.case_study_params(workload,
-                                                  minislots=minislots)
+        params = protocol.case_study_params(workload, minislots=minislots)
     else:
-        params = paper_dynamic_preset(minislots)
+        params = protocol.dynamic_preset(minislots)
 
     if verify:
         aperiodic = sae_aperiodic_signals() if workload == "sae" else None
@@ -261,18 +271,21 @@ def load_service_setup(workload: str = "synthetic", count: int = 20,
             raise ConfigurationError(report)
 
     if mapping == "round":
-        from repro.flexray.schedule import build_dual_schedule
         from repro.packing.frame_packing import pack_signals
         from repro.timeline.compiler import compile_round
 
         packing = pack_signals(periodic, params)
-        table = build_dual_schedule(packing.static_frames(), params)
+        table = params.build_schedule(packing.static_frames())
         channels = [Channel.A] + ([Channel.B]
                                   if params.channel_count == 2 else [])
         compiled = compile_round(table, params, channels)
         channel_tasks = round_task_sets(compiled, tick_us=tick_us)
     else:
-        channel_tasks = build_channel_task_sets(periodic, tick_us=tick_us)
+        channel_tasks = build_channel_task_sets(
+            periodic, tick_us=tick_us,
+            bit_rate_bps=int(params.bit_rate_mbps * 1_000_000),
+            overhead_bits=params.frame_overhead_bits,
+        )
     return ServiceSetup(workload=workload, params=params, tick_us=tick_us,
                         channel_tasks=channel_tasks, verified=verify,
                         engine_mode=engine_mode)

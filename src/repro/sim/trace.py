@@ -105,7 +105,11 @@ class TraceRecorder:
     over (a later redundant copy does not improve latency).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, protocol: str = "generic") -> None:
+        #: Backend identity of the geometry the trace was produced
+        #: under; stamped into the canonical byte form so traces of
+        #: different protocols can never compare equal.
+        self.protocol = protocol
         self._records: List[FrameRecord] = []
         self._instances: Dict[Tuple[str, int], _InstanceState] = {}
         # Incremental count of fully delivered instances.  Delivery is
@@ -271,9 +275,13 @@ def canonical_trace_bytes(trace: TraceRecorder) -> bytes:
     order.  This is the equivalence relation the differential engine
     tests (stepper vs interpreter) are proved under; it is deliberately
     stricter than metric equality.
+
+    The first line names the trace's protocol backend, so two backends
+    producing coincidentally identical frame sequences still serialize
+    (and digest) differently -- trace identity includes the protocol.
     """
     names = [f.name for f in fields(FrameRecord)]
-    lines = []
+    lines = [f"protocol={getattr(trace, 'protocol', 'generic')}"]
     for record in trace:
         values = []
         for name in names:

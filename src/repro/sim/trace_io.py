@@ -28,6 +28,10 @@ _FIELDS = ["message_id", "instance", "channel", "slot_id", "cycle",
            "start", "end", "bits", "payload_bits", "segment", "outcome",
            "is_retransmission", "generation_time", "deadline", "chunk"]
 
+#: Exported alongside the per-record fields so the backend identity of
+#: a trace survives the round-trip (it is part of the canonical bytes).
+_CSV_FIELDS = _FIELDS + ["protocol"]
+
 
 def export_csv(trace: TraceRecorder, stream: TextIO) -> int:
     """Write every transmission attempt as CSV.
@@ -35,13 +39,15 @@ def export_csv(trace: TraceRecorder, stream: TextIO) -> int:
     Returns:
         The number of rows written (excluding the header).
     """
-    writer = csv.DictWriter(stream, fieldnames=_FIELDS)
+    writer = csv.DictWriter(stream, fieldnames=_CSV_FIELDS)
     writer.writeheader()
     count = 0
+    protocol = getattr(trace, "protocol", "generic")
     for record in trace:
         row = {field: getattr(record, field) for field in _FIELDS}
         row["outcome"] = record.outcome.value
         row["is_retransmission"] = int(record.is_retransmission)
+        row["protocol"] = protocol
         writer.writerow(row)
         count += 1
     return count
@@ -58,7 +64,9 @@ def import_csv(stream: TextIO) -> TraceRecorder:
     reader = csv.DictReader(stream)
     records: List[FrameRecord] = []
     chunk_counts: Dict[tuple, int] = {}
+    protocol = "generic"
     for row in reader:
+        protocol = row.get("protocol", protocol) or protocol
         record = FrameRecord(
             message_id=row["message_id"],
             instance=int(row["instance"]),
@@ -81,7 +89,7 @@ def import_csv(stream: TextIO) -> TraceRecorder:
         chunk_counts[key] = max(chunk_counts.get(key, 0),
                                 record.chunk + 1)
 
-    trace = TraceRecorder()
+    trace = TraceRecorder(protocol=protocol)
     for record in records:
         key = (record.message_id, record.instance)
         trace.note_instance(record.message_id, record.instance,
@@ -95,9 +103,11 @@ def import_csv(stream: TextIO) -> TraceRecorder:
 def export_jsonl(trace: TraceRecorder, stream: TextIO) -> int:
     """Write one JSON object per attempt; returns the line count."""
     count = 0
+    protocol = getattr(trace, "protocol", "generic")
     for record in trace:
         row = {field: getattr(record, field) for field in _FIELDS}
         row["outcome"] = record.outcome.value
+        row["protocol"] = protocol
         stream.write(json.dumps(row) + "\n")
         count += 1
     return count

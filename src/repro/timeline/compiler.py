@@ -3,7 +3,7 @@
 The 64-cycle FlexRay communication matrix is strictly periodic, so it can
 be compiled once instead of re-derived slot by slot at runtime (the
 hypercycle-level-reservation idea applied to our simulator).  The
-compiler walks one full matrix of a :class:`~repro.flexray.schedule.ScheduleTable`
+compiler walks one full matrix of a :class:`~repro.protocol.schedule.ScheduleTable`
 and emits a :class:`CompiledRound`: parallel tuples of
 
     (start, end, action, slot id, channel, owner node, frame id, kind)
@@ -30,10 +30,10 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
-from repro.flexray.channel import Channel
-from repro.flexray.frame import Frame
-from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import ScheduleTable
+from repro.protocol.channel import Channel
+from repro.protocol.frame import Frame
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.schedule import ScheduleTable
 from repro.obs import NULL_OBS, ObsLike
 
 __all__ = ["CompiledRound", "StaticStep", "RoundEntry", "compile_round",
@@ -111,7 +111,7 @@ class CompiledRound:
 
     def __init__(
         self,
-        params: FlexRayParams,
+        params: SegmentGeometry,
         channels: Sequence[Channel],
         cycle_count: int,
         pattern_length: int,
@@ -380,7 +380,7 @@ def _pattern_length_of(table: ScheduleTable) -> int:
     return length
 
 
-def compile_round(table: ScheduleTable, params: FlexRayParams,
+def compile_round(table: ScheduleTable, params: SegmentGeometry,
                   channels: Sequence[Channel],
                   obs: ObsLike = NULL_OBS) -> CompiledRound:
     """Compile one full communication matrix of a schedule table.

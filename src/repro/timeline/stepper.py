@@ -5,8 +5,8 @@ pair of every cycle -- ~2 x gNumberOfStaticSlots heap-ordered queries per
 cycle even when the answer is a foregone conclusion.  The stepper walks
 the *compiled* round instead: it executes exactly the owned static steps
 and skips the idle (channel, slot) queries whenever the policy proves,
-via :meth:`~repro.flexray.policy.SchedulerPolicy.static_idle_is_noop`
-and :meth:`~repro.flexray.policy.SchedulerPolicy.dynamic_idle_is_noop`,
+via :meth:`~repro.protocol.policy.SchedulerPolicy.static_idle_is_noop`
+and :meth:`~repro.protocol.policy.SchedulerPolicy.dynamic_idle_is_noop`,
 that those queries would be side-effect-free ``None``\\ s.
 
 The moment a proof obligation fails -- a retransmission is planned, a
@@ -33,7 +33,7 @@ Exactness argument (the invariant each skip preserves):
   answered ``None`` without side effects.
 - Within an owned step, every channel that owns the slot runs through
   the interpreter's own slot body
-  (:meth:`~repro.flexray.static_segment.StaticSegmentEngine.execute_slot`),
+  (:meth:`~repro.protocol.static_segment.StaticSegmentEngine.execute_slot`),
   so records and outcome feedback are produced by the same code in both
   modes; the co-channel's idle query is skipped only while the proof
   still holds (outcome feedback, e.g. a planned retransmission, revokes
@@ -44,12 +44,12 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.flexray.channel import ChannelSet
-from repro.flexray.cycle import CycleLayout
-from repro.flexray.dynamic_segment import DynamicSegmentEngine
-from repro.flexray.params import FlexRayParams
-from repro.flexray.policy import SchedulerPolicy
-from repro.flexray.static_segment import StaticSegmentEngine
+from repro.protocol.channel import ChannelSet
+from repro.protocol.cycle import CycleLayout
+from repro.protocol.dynamic_segment import DynamicSegmentEngine
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.policy import SchedulerPolicy
+from repro.protocol.static_segment import StaticSegmentEngine
 from repro.obs import NULL_OBS, ObsLike
 from repro.timeline.compiler import CompiledRound, StaticStep
 
@@ -79,7 +79,7 @@ class TimelineStepper:
     def __init__(
         self,
         compiled: CompiledRound,
-        params: FlexRayParams,
+        params: SegmentGeometry,
         layout: CycleLayout,
         channels: ChannelSet,
         policy: SchedulerPolicy,

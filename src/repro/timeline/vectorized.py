@@ -23,7 +23,7 @@ is evaluated in two phases:
   are replayed to the policy in interpreter order.
 
 Splitting the phases is sound only when the policy promises, via
-:meth:`~repro.flexray.policy.SchedulerPolicy.decisions_are_outcome_free`,
+:meth:`~repro.protocol.policy.SchedulerPolicy.decisions_are_outcome_free`,
 that no phase-A answer reads state phase B mutates.  Open-loop policies
 (the paper's Theorem-1 regime) qualify; feedback ARQ does not and runs
 on the inherited stepper/interpreter path unchanged.
@@ -80,13 +80,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.flexray.channel import Channel, ChannelSet
-from repro.flexray.cycle import CycleLayout
-from repro.flexray.dynamic_segment import DynamicSegmentEngine, DynamicSlotResult
-from repro.flexray.frame import PendingFrame, frame_duration_mt
-from repro.flexray.params import FlexRayParams
-from repro.flexray.policy import SchedulerPolicy
-from repro.flexray.static_segment import StaticSegmentEngine
+from repro.protocol.channel import Channel, ChannelSet
+from repro.protocol.cycle import CycleLayout
+from repro.protocol.dynamic_segment import DynamicSegmentEngine, DynamicSlotResult
+from repro.protocol.frame import PendingFrame, frame_duration_mt
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.policy import SchedulerPolicy
+from repro.protocol.static_segment import StaticSegmentEngine
 from repro.obs import NULL_OBS, ObsLike
 from repro.sim.trace import FrameRecord, TraceRecorder, TransmissionOutcome
 from repro.timeline.compiler import CompiledRound
@@ -122,7 +122,7 @@ class VectorizedStepper(TimelineStepper):
     def __init__(
         self,
         compiled: CompiledRound,
-        params: FlexRayParams,
+        params: SegmentGeometry,
         layout: CycleLayout,
         channels: ChannelSet,
         policy: SchedulerPolicy,

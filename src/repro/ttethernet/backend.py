@@ -1,0 +1,55 @@
+"""TTEthernet's :class:`~repro.protocol.backend.ProtocolBackend` registration."""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.protocol.backend import ProtocolBackend
+from repro.ttethernet.params import (
+    TTEthernetParams,
+    integration_dynamic_preset,
+    integration_static_preset,
+)
+
+__all__ = ["TTEthernetBackend"]
+
+#: Fuzz-scenario window/quantum lengths (see the preset rationale in
+#: :mod:`repro.ttethernet.params`).
+_SCENARIO_WINDOW_MT = 16
+_SCENARIO_QUANTUM_MT = 8
+_SCENARIO_GUARD_MT = 40
+
+
+class TTEthernetBackend(ProtocolBackend):
+    """Time-triggered Ethernet at 100 Mbit/s (SAE AS6802 flavoured)."""
+
+    name: ClassVar[str] = "ttethernet"
+
+    def geometry_template(self) -> TTEthernetParams:
+        return TTEthernetParams()
+
+    def dynamic_preset(self, minislots: int = 100) -> TTEthernetParams:
+        return integration_dynamic_preset(minislots)
+
+    def static_preset(self, static_slots: int = 80) -> TTEthernetParams:
+        return integration_static_preset(static_slots)
+
+    def scenario_geometry(
+        self,
+        *,
+        static_slots: int,
+        minislots: int,
+        p_latest_tx_minislot: int = 0,
+        channel_count: int = 2,
+    ) -> TTEthernetParams:
+        cycle_mt = (static_slots * _SCENARIO_WINDOW_MT
+                    + minislots * _SCENARIO_QUANTUM_MT + _SCENARIO_GUARD_MT)
+        return TTEthernetParams(
+            gd_cycle_mt=cycle_mt,
+            gd_static_slot_mt=_SCENARIO_WINDOW_MT,
+            g_number_of_static_slots=static_slots,
+            gd_minislot_mt=_SCENARIO_QUANTUM_MT,
+            g_number_of_minislots=minislots,
+            p_latest_tx_minislot=p_latest_tx_minislot,
+            channel_count=channel_count,
+        )

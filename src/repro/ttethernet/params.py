@@ -1,0 +1,134 @@
+"""Time-triggered Ethernet integration-cycle parameter set.
+
+:class:`TTEthernetParams` maps TTEthernet (SAE AS6802 flavoured)
+concepts onto the neutral :class:`~repro.protocol.geometry.
+SegmentGeometry` vocabulary:
+
+==========================  ========================================
+Geometry field              TTEthernet concept
+==========================  ========================================
+``gd_cycle_mt``             integration cycle
+``gd_static_slot_mt``       scheduled-traffic (TT) window
+``g_number_of_static_slots``TT windows per integration cycle
+``gd_minislot_mt``          rate-constrained (RC) bandwidth quantum
+``g_number_of_minislots``   RC quanta per integration cycle
+``nit_mt``                  guard band / protocol-control frames
+==========================  ========================================
+
+The frame-overhead model is full Ethernet framing: preamble + SFD
+(64 bits), MAC header (112 bits), FCS (32 bits) and the 96-bit
+inter-frame gap -- 304 bits around up to 1500 bytes of payload, at
+100 Mbit/s.
+
+Window placement is jitter-constrained per Minaeva et al.
+(arXiv:1711.00398): see :mod:`repro.ttethernet.schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Sequence
+
+from repro.protocol.geometry import SegmentGeometry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.protocol.frame import Frame
+    from repro.protocol.schedule import ScheduleTable
+
+__all__ = [
+    "ETHERNET_OVERHEAD_BITS",
+    "ETHERNET_MAX_PAYLOAD_BITS",
+    "TTEthernetParams",
+    "integration_dynamic_preset",
+    "integration_static_preset",
+]
+
+#: Ethernet wire overhead per frame: preamble + SFD (8 B), MAC header
+#: (14 B), FCS (4 B) and the 12-byte inter-frame gap = 38 bytes.
+ETHERNET_OVERHEAD_BITS = (8 + 14 + 4 + 12) * 8
+
+#: Maximum standard Ethernet payload: 1500 bytes.
+ETHERNET_MAX_PAYLOAD_BITS = 1500 * 8
+
+
+@dataclass(frozen=True)
+class TTEthernetParams(SegmentGeometry):
+    """A validated TTEthernet integration-cycle configuration.
+
+    Defaults describe a 1 ms integration cycle at 100 Mbit/s with
+    16-macrotick TT windows; one macrotick stays 1 us, so one window
+    moves up to ``(16 - 2) * 100 - 304 = 1096`` payload bits.
+
+    Attributes (beyond the inherited geometry):
+        max_window_lag_mt: Jitter bound on window placement -- the
+            largest admissible gap between a stream's release phase and
+            its window's action point, in macroticks.  ``0`` disables
+            the constraint (placement still *minimizes* the lag).
+    """
+
+    protocol: ClassVar[str] = "ttethernet"
+
+    gd_cycle_mt: int = 1000
+    gd_static_slot_mt: int = 16
+    g_number_of_static_slots: int = 25
+    gd_minislot_mt: int = 8
+    g_number_of_minislots: int = 50
+    bit_rate_mbps: float = 100.0
+    frame_overhead_bits: int = ETHERNET_OVERHEAD_BITS
+    max_payload_bits: int = ETHERNET_MAX_PAYLOAD_BITS
+    max_window_lag_mt: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_window_lag_mt < 0:
+            raise ValueError("max_window_lag_mt must be >= 0")
+
+    def build_schedule(self, frames: Sequence["Frame"],
+                       strategy: str = "distribute") -> "ScheduleTable":
+        """Jitter-constrained TT-window placement (Minaeva et al.)."""
+        from repro.ttethernet.schedule import build_tt_schedule
+
+        return build_tt_schedule(frames, self, strategy)
+
+
+def integration_dynamic_preset(minislots: int = 100) -> TTEthernetParams:
+    """Dynamic-study analogue of the paper's FlexRay preset.
+
+    25 TT windows of 16 MT (0.4 ms of scheduled traffic) followed by a
+    rate-constrained segment swept over ``minislots`` 8-MT quanta, plus
+    a small guard band -- mirroring the shape of
+    :func:`repro.flexray.params.paper_dynamic_preset` so the same
+    workloads and sweeps run on both backends.
+    """
+    windows = 25
+    window_mt = 16
+    dynamic_mt = minislots * 8
+    cycle_mt = windows * window_mt + dynamic_mt + 10  # small guard band
+    return TTEthernetParams(
+        gd_cycle_mt=cycle_mt,
+        gd_static_slot_mt=window_mt,
+        g_number_of_static_slots=windows,
+        gd_minislot_mt=8,
+        g_number_of_minislots=minislots,
+        channel_count=2,
+    )
+
+
+def integration_static_preset(static_slots: int = 80) -> TTEthernetParams:
+    """Static-study analogue of the paper's FlexRay preset.
+
+    ``static_slots`` TT windows of 16 MT dominate the integration
+    cycle; the remainder (at least 100 quanta) is rate-constrained.
+    """
+    window_mt = 16
+    static_mt = static_slots * window_mt
+    cycle_mt = max(2000, static_mt + 800)
+    minislots = (cycle_mt - static_mt) // 8
+    return TTEthernetParams(
+        gd_cycle_mt=cycle_mt,
+        gd_static_slot_mt=window_mt,
+        g_number_of_static_slots=static_slots,
+        gd_minislot_mt=8,
+        g_number_of_minislots=minislots,
+        channel_count=2,
+    )

@@ -1,0 +1,118 @@
+"""Jitter-constrained TT-window placement.
+
+Minaeva et al. (arXiv:1711.00398) formulate time-triggered Ethernet
+scheduling as placing each stream's windows so that the gap between a
+stream's release and its transmission window -- the *window lag*,
+their release jitter -- is bounded.  In this repo's round model a
+frame's window recurs at the same in-cycle offset every integration
+cycle it fires in, so jitter control reduces to *placement*: choose
+the window whose action point follows the stream's release phase as
+closely as possible, and reject schedules whose worst lag exceeds the
+configured bound.
+
+The neutral allocator in :mod:`repro.protocol.schedule` already
+honours per-frame phase preferences; the TTEthernet layer adds
+
+1. a deterministic phase assignment for streams that declare none
+   (spreading them evenly over the scheduled segment, the zero-jitter
+   porosity heuristic), and
+2. the lag measurement / enforcement pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.protocol.channel import Channel
+from repro.protocol.frame import Frame
+from repro.protocol.schedule import (
+    ScheduleInfeasibleError,
+    ScheduleTable,
+    build_dual_schedule,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ttethernet.params import TTEthernetParams
+
+__all__ = ["assign_release_phases", "build_tt_schedule", "window_lags"]
+
+
+def assign_release_phases(frames: Sequence[Frame],
+                          params: "TTEthernetParams") -> List[Frame]:
+    """Give phase-less frames evenly spread release phases.
+
+    Frames arrive in placement-priority order; those without a
+    ``preferred_phase_mt`` are assigned target action points spread
+    uniformly over the scheduled segment, so their windows land evenly
+    spaced (minimizing the worst queueing a burst of same-priority
+    streams can see) while declared phases are left untouched.
+    Deterministic: depends only on the input order.
+    """
+    unphased = [f for f in frames if f.preferred_phase_mt is None]
+    if not unphased:
+        return list(frames)
+    segment_mt = params.static_segment_mt
+    spread = {
+        id(frame): (index * segment_mt) // len(unphased)
+        for index, frame in enumerate(unphased)
+    }
+    return [
+        frame if frame.preferred_phase_mt is not None
+        else dataclasses.replace(frame, preferred_phase_mt=spread[id(frame)])
+        for frame in frames
+    ]
+
+
+def window_lags(table: ScheduleTable,
+                params: "TTEthernetParams") -> Dict[str, int]:
+    """Worst window lag per message, in macroticks.
+
+    The lag of one placed frame is the in-cycle distance from its
+    release phase to its window's action point (modulo the integration
+    cycle: a window *before* the phase carries the value only in the
+    next cycle, costing almost a full cycle).  Frames without a phase
+    preference have no defined release, hence no lag.
+    """
+    lags: Dict[str, int] = {}
+    channels = [Channel.A] + ([Channel.B] if params.channel_count == 2 else [])
+    for channel in channels:
+        for assignment in table.assignments(channel):
+            frame = assignment.frame
+            phase = frame.preferred_phase_mt
+            if phase is None:
+                continue
+            action_mt = ((assignment.slot_id - 1) * params.gd_static_slot_mt
+                         + params.gd_action_point_offset_mt)
+            lag = (action_mt - phase) % params.gd_cycle_mt
+            key = frame.message_id
+            lags[key] = max(lags.get(key, 0), lag)
+    return lags
+
+
+def build_tt_schedule(frames: Sequence[Frame],
+                      params: "TTEthernetParams",
+                      strategy: str = "distribute") -> ScheduleTable:
+    """Build a TT-window schedule with bounded placement lag.
+
+    Args:
+        frames: Frames in placement-priority order.
+        params: TTEthernet configuration; ``max_window_lag_mt > 0``
+            turns the lag bound into a hard feasibility constraint.
+        strategy: Channel strategy, as for
+            :func:`repro.protocol.schedule.build_dual_schedule`.
+
+    Raises:
+        ScheduleInfeasibleError: If a window cannot be placed, or the
+            worst placement lag exceeds ``max_window_lag_mt``.
+    """
+    phased = assign_release_phases(frames, params)
+    table = build_dual_schedule(phased, params, strategy)
+    if params.max_window_lag_mt > 0:
+        for message_id, lag in sorted(window_lags(table, params).items()):
+            if lag > params.max_window_lag_mt:
+                raise ScheduleInfeasibleError(
+                    f"window lag of {message_id} is {lag} MT, exceeding "
+                    f"the configured bound of {params.max_window_lag_mt} MT"
+                )
+    return table

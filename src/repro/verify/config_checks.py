@@ -1,11 +1,12 @@
 """Cluster-configuration checks (``FRC*`` rules).
 
-The checks accept either a validated :class:`FlexRayParams` or a raw
-mapping of parameter names (the ``FlexRayParams`` field names, plus the
+The checks accept either a validated :class:`SegmentGeometry` (any
+backend's subclass) or a raw
+mapping of parameter names (the ``SegmentGeometry`` field names, plus the
 optional explicit ``nit_mt`` / ``static_segment_mt`` /
 ``dynamic_segment_mt`` declarations a hand-written or imported
 configuration may carry).  Working on the raw mapping matters: a
-configuration that ``FlexRayParams.__post_init__`` would reject still
+configuration that ``SegmentGeometry.__post_init__`` would reject still
 gets a *diagnosis* here -- rule id, location, fix hint -- instead of a
 bare ``ValueError``, and inconsistent *redundant* declarations (an
 explicit NIT that does not match the segment arithmetic) are only
@@ -17,10 +18,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Mapping, Union
 
-from repro.flexray.params import (
-    FRAME_OVERHEAD_BITS,
-    FlexRayParams,
-)
+from repro.protocol.geometry import SegmentGeometry
 from repro.verify.diagnostics import Diagnostic, Report, Severity
 
 __all__ = ["check_params", "as_raw_config"]
@@ -35,10 +33,10 @@ _POSITIVE_FIELDS = ("gd_macrotick_us", "gd_cycle_mt", "gd_static_slot_mt",
                     "gd_minislot_mt", "bit_rate_mbps")
 
 
-def as_raw_config(params: Union[FlexRayParams, Mapping[str, float]]) \
+def as_raw_config(params: Union[SegmentGeometry, Mapping[str, float]]) \
         -> Dict[str, float]:
     """Normalize a configuration to the raw-mapping form the checks use."""
-    if isinstance(params, FlexRayParams):
+    if isinstance(params, SegmentGeometry):
         return dict(dataclasses.asdict(params))
     return dict(params)
 
@@ -48,20 +46,20 @@ def _get(raw: Mapping[str, float], key: str, default: float) -> float:
     return default if value is None else value
 
 
-def check_params(params: Union[FlexRayParams, Mapping[str, float]]) -> Report:
+def check_params(params: Union[SegmentGeometry, Mapping[str, float]]) -> Report:
     """Run every ``FRC*`` rule against a cluster configuration.
 
     Args:
-        params: A :class:`FlexRayParams` or a raw mapping using the same
+        params: A :class:`SegmentGeometry` or a raw mapping using the same
             field names (unknown keys are ignored; missing keys take the
-            ``FlexRayParams`` defaults).
+            ``SegmentGeometry`` defaults).
 
     Returns:
         A :class:`Report`; empty when the configuration is sound.
     """
     raw = as_raw_config(params)
     report = Report()
-    defaults = {f.name: f.default for f in dataclasses.fields(FlexRayParams)}
+    defaults = {f.name: f.default for f in dataclasses.fields(SegmentGeometry)}
 
     # FRC009: positivity of every duration/rate parameter.  Checked
     # first because the arithmetic below divides by several of them.
@@ -173,14 +171,16 @@ def check_params(params: Union[FlexRayParams, Mapping[str, float]]) -> Report:
 
     # FRC006: a slot must hold a non-empty frame after overhead.
     usable_mt = slot_mt - 2 * action
-    capacity_bits = usable_mt * bit_rate * macrotick - FRAME_OVERHEAD_BITS
+    overhead_bits = _get(raw, "frame_overhead_bits",
+                         defaults["frame_overhead_bits"])
+    capacity_bits = usable_mt * bit_rate * macrotick - overhead_bits
     if capacity_bits <= 0:
         report.add(Diagnostic(
             rule_id="FRC006", severity=Severity.ERROR,
             location="params.gd_static_slot_mt",
             message=f"static slot of {slot_mt:g} MT carries "
                     f"{max(capacity_bits, 0):g} payload bits after action "
-                    f"points and the {FRAME_OVERHEAD_BITS}-bit overhead",
+                    f"points and the {overhead_bits:g}-bit overhead",
             fix_hint="lengthen gdStaticSlot or reduce the action-point "
                      "offset",
         ))

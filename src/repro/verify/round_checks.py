@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.flexray.channel import Channel
-from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import ScheduleTable
+from repro.protocol.channel import Channel
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.schedule import ScheduleTable
 from repro.timeline.compiler import CHANNEL_CODES, SEGMENT_STATIC, CompiledRound
 from repro.verify.diagnostics import (
     Diagnostic,
@@ -78,7 +78,7 @@ def check_compiled_round(compiled: CompiledRound,
 
 def _check_owner_agreement(compiled: CompiledRound,
                            table: Optional[ScheduleTable],
-                           params: FlexRayParams, budget: _Budget) -> None:
+                           params: SegmentGeometry, budget: _Budget) -> None:
     """FRS110: round owners == schedule lookups, both directions."""
     if table is None:
         return
@@ -109,7 +109,7 @@ def _check_owner_agreement(compiled: CompiledRound,
                 ))
 
 
-def _check_windows(compiled: CompiledRound, params: FlexRayParams,
+def _check_windows(compiled: CompiledRound, params: SegmentGeometry,
                    budget: _Budget) -> None:
     """FRS111: static windows aligned, slot-long, non-overlapping."""
     cycle_mt = params.gd_cycle_mt
@@ -159,7 +159,7 @@ def _check_windows(compiled: CompiledRound, params: FlexRayParams,
                 ))
 
 
-def _check_slack_tables(compiled: CompiledRound, params: FlexRayParams,
+def _check_slack_tables(compiled: CompiledRound, params: SegmentGeometry,
                         budget: _Budget) -> None:
     """FRS112: idle tables are the exact complement of the owner arrays."""
     total_slots = params.g_number_of_static_slots
@@ -203,7 +203,7 @@ def _check_slack_tables(compiled: CompiledRound, params: FlexRayParams,
             ))
 
 
-def _check_static_steps(compiled: CompiledRound, params: FlexRayParams,
+def _check_static_steps(compiled: CompiledRound, params: SegmentGeometry,
                         budget: _Budget) -> None:
     """FRS113: the static-step batch view re-derives from the flat arrays.
 

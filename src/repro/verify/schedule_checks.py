@@ -1,7 +1,7 @@
 """Static-segment schedule-table checks (``FRS*`` rules).
 
 The checks re-derive every invariant from first principles instead of
-trusting :class:`~repro.flexray.schedule.ScheduleTable`'s constructor
+trusting :class:`~repro.protocol.schedule.ScheduleTable`'s constructor
 guards: the verifier's job is to catch tables that were built by other
 tools, deserialized, hand-edited, or verified against a *different*
 cluster configuration than they were built for (the common
@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence, Union
 
-from repro.flexray.channel import Channel
-from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import (
+from repro.protocol.channel import Channel
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.schedule import (
     ScheduleTable,
     SlotAssignment,
     patterns_conflict,
@@ -37,7 +37,7 @@ def _assignments_by_channel(schedule: ScheduleLike) \
             for channel, assignments in schedule.items()}
 
 
-def check_schedule(schedule: ScheduleLike, params: FlexRayParams) -> Report:
+def check_schedule(schedule: ScheduleLike, params: SegmentGeometry) -> Report:
     """Run every ``FRS*`` rule against a static-segment schedule.
 
     Args:

@@ -27,15 +27,14 @@ from repro.core.retransmission import (
     uniform_retransmission_plan,
 )
 from repro.faults.ber import BitErrorRateModel
-from repro.flexray.channel import Channel
-from repro.flexray.frame import frame_duration_mt
-from repro.flexray.params import FlexRayParams
-from repro.flexray.schedule import (
+from repro.protocol.channel import Channel
+from repro.protocol.frame import frame_duration_mt
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.schedule import (
     ChannelStrategy,
     ScheduleTable,
-    build_dual_schedule,
 )
-from repro.flexray.signal import SignalSet
+from repro.protocol.signal import SignalSet
 from repro.packing.frame_packing import pack_signals
 from repro.verify.analysis_checks import (
     check_deadlines,
@@ -78,7 +77,7 @@ def _slack_levels(slack_table: Union[IdleSlotTable,
 
 
 def verify_configuration(
-    params: Optional[Union[FlexRayParams, Mapping[str, float]]] = None,
+    params: Optional[Union[SegmentGeometry, Mapping[str, float]]] = None,
     schedule: Optional[ScheduleLike] = None,
     workload: Optional[Sequence[Tuple[str, float, float]]] = None,
     tasks: Optional[Sequence[Tuple[float, float]]] = None,
@@ -98,7 +97,7 @@ def verify_configuration(
         schedule: Static-segment schedule (``FRS*`` rules).
         compiled: A compiled communication round (``FRS11x`` rules);
             cross-checked against ``schedule`` when that is a
-            :class:`~repro.flexray.schedule.ScheduleTable`.
+            :class:`~repro.protocol.schedule.ScheduleTable`.
         workload: ``(name, deadline_ms, period_ms)`` triples of hard
             periodic messages (``ANA205``).
         tasks: ``(C, T)`` pairs in priority order (``ANA203``).
@@ -120,9 +119,9 @@ def verify_configuration(
     if params is not None:
         report.merge(check_params(params))
     if schedule is not None:
-        if not isinstance(params, FlexRayParams):
+        if not isinstance(params, SegmentGeometry):
             raise ValueError(
-                "schedule verification needs a FlexRayParams instance")
+                "schedule verification needs a SegmentGeometry instance")
         report.merge(check_schedule(schedule, params))
     if compiled is not None:
         source = schedule if isinstance(schedule, ScheduleTable) else None
@@ -167,7 +166,7 @@ def verify_configuration(
 
 
 def verify_experiment(
-    params: FlexRayParams,
+    params: SegmentGeometry,
     periodic: Optional[SignalSet] = None,
     aperiodic: Optional[SignalSet] = None,
     ber: float = 1e-7,
@@ -227,8 +226,8 @@ def verify_experiment(
 
     try:
         packing = pack_signals(workload, params)
-        table = build_dual_schedule(packing.static_frames(), params,
-                                    strategy=strategy)
+        table = params.build_schedule(packing.static_frames(),
+                                      strategy=strategy)
     except (ValueError, RuntimeError) as error:
         report.add(Diagnostic(
             rule_id="FRS107", severity=Severity.ERROR,

@@ -27,8 +27,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.mode_change import ModeChangeController
-from repro.flexray.params import FlexRayParams
-from repro.flexray.signal import Signal, SignalSet
+from repro.protocol.backend import ProtocolBackend, get_backend
+from repro.protocol.geometry import SegmentGeometry
+from repro.protocol.signal import Signal, SignalSet
 from repro.sim.rng import RngStream
 from repro.workloads.sae import sae_aperiodic_signals
 from repro.workloads.synthetic import synthetic_signals
@@ -47,11 +48,6 @@ _MINISLOT_CHOICES = (0, 16, 25, 40)
 _BER_CHOICES = (0.0, 1e-7, 1e-5, 1e-4, 1e-3)
 _DURATION_CHOICES_MS = (8.0, 16.0, 24.0)
 
-_SLOT_MT = 40
-_MINISLOT_MT = 8
-_NIT_MT = 40
-
-
 @dataclass(frozen=True)
 class GeneratedScenario:
     """One fully specified differential-test scenario.
@@ -63,7 +59,7 @@ class GeneratedScenario:
 
     seed: int
     name: str
-    params: FlexRayParams
+    params: SegmentGeometry
     scheduler: str
     periodic: SignalSet
     aperiodic: Optional[SignalSet]
@@ -90,27 +86,32 @@ class GeneratedScenario:
         )
 
 
-def _make_params(rng: RngStream) -> FlexRayParams:
+def _make_params(rng: RngStream, backend: ProtocolBackend) -> SegmentGeometry:
+    """Draw scenario geometry counts, realized by the backend.
+
+    Only the abstract *counts* (slots, minislots, pLatestTx, channels)
+    come from the RNG -- in a fixed draw order, independent of the
+    backend -- so one seed names the same abstract scenario on every
+    backend; the backend maps the counts onto its own window and
+    quantum lengths via
+    :meth:`~repro.protocol.backend.ProtocolBackend.scenario_geometry`.
+    """
     slots = rng.choice(_STATIC_SLOT_CHOICES)
     minislots = rng.choice(_MINISLOT_CHOICES)
-    cycle_mt = slots * _SLOT_MT + minislots * _MINISLOT_MT + _NIT_MT
     latest_tx = 0
     if minislots and rng.bernoulli(0.3):
         # A restrictive pLatestTx exercises the hold/late-start
         # arbitration branch of the dynamic segment.
         latest_tx = rng.randint(max(1, minislots // 2), minislots)
-    return FlexRayParams(
-        gd_cycle_mt=cycle_mt,
-        gd_static_slot_mt=_SLOT_MT,
-        g_number_of_static_slots=slots,
-        gd_minislot_mt=_MINISLOT_MT,
-        g_number_of_minislots=minislots,
+    return backend.scenario_geometry(
+        static_slots=slots,
+        minislots=minislots,
         p_latest_tx_minislot=latest_tx,
         channel_count=2 if rng.bernoulli(0.8) else 1,
     )
 
 
-def _make_periodic(rng: RngStream, params: FlexRayParams) -> SignalSet:
+def _make_periodic(rng: RngStream, params: SegmentGeometry) -> SignalSet:
     # At most slots - 2 messages: even a repetition-1 packing then fits
     # one channel, so every generated workload is schedulable and the
     # fuzz suite never wastes a seed on an admission failure.
@@ -123,7 +124,7 @@ def _make_periodic(rng: RngStream, params: FlexRayParams) -> SignalSet:
     )
 
 
-def _maybe_mode_change(rng: RngStream, params: FlexRayParams,
+def _maybe_mode_change(rng: RngStream, params: SegmentGeometry,
                        periodic: SignalSet) -> SignalSet:
     """Sometimes admit one extra signal through the admission service.
 
@@ -151,10 +152,19 @@ def _maybe_mode_change(rng: RngStream, params: FlexRayParams,
     return controller.signals if decision.admitted else periodic
 
 
-def generate_scenario(seed: int) -> GeneratedScenario:
-    """Deterministically expand ``seed`` into a runnable scenario."""
+def generate_scenario(seed: int,
+                      backend: str = "flexray") -> GeneratedScenario:
+    """Deterministically expand ``seed`` into a runnable scenario.
+
+    Args:
+        seed: Scenario seed; a pure function of ``(seed, backend)``.
+        backend: Protocol backend name; every RNG draw happens in the
+            same order regardless of it, so the same seed explores the
+            same abstract scenario (counts, workload, scheduler, fault
+            rate) on each backend.
+    """
     rng = RngStream(seed, scope="scenario-generator")
-    params = _make_params(rng)
+    params = _make_params(rng, get_backend(backend))
     periodic = _maybe_mode_change(rng, params, _make_periodic(rng, params))
     scheduler = rng.choice(SCHEDULER_CHOICES)
     ber = rng.choice(_BER_CHOICES)
@@ -180,7 +190,7 @@ def generate_scenario(seed: int) -> GeneratedScenario:
     if rng.bernoulli(0.5):
         policy_kwargs["drop_expired_dynamic"] = False
 
-    name = (f"gen-{seed}-{scheduler}"
+    name = (f"gen-{seed}-{type(params).protocol}-{scheduler}"
             f"-s{params.g_number_of_static_slots}"
             f"-m{params.g_number_of_minislots}"
             f"-{'complete' if completion_mode else 'horizon'}")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.flexray.signal import Signal, SignalSet
+from repro.protocol.signal import Signal, SignalSet
 from repro.sim.rng import RngStream
 
 __all__ = ["sae_aperiodic_signals"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.flexray.signal import Signal, SignalSet
+from repro.protocol.signal import Signal, SignalSet
 from repro.sim.rng import RngStream
 
 __all__ = ["uunifast_utilizations", "uunifast_signals"]
@@ -67,7 +67,7 @@ def uunifast_signals(
     Each message's size is ``U_i * period * bit_rate`` (clamped to the
     FlexRay payload range; clamping slightly perturbs the achieved
     total, reported via the returned set's
-    :meth:`~repro.flexray.signal.SignalSet.total_utilization`).
+    :meth:`~repro.protocol.signal.SignalSet.total_utilization`).
 
     Args:
         count: Number of messages.

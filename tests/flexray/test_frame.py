@@ -4,6 +4,7 @@ import pytest
 
 from repro.flexray.frame import Frame, FrameKind, PendingFrame, frame_duration_mt
 from repro.flexray.params import FRAME_OVERHEAD_BITS, MAX_PAYLOAD_BITS
+from repro.protocol.frame import HARD_MAX_PAYLOAD_BITS
 
 
 def make_frame(**overrides):
@@ -45,7 +46,7 @@ class TestFrameValidation:
     @pytest.mark.parametrize("overrides", [
         {"frame_id": 0},
         {"payload_bits": 0},
-        {"payload_bits": MAX_PAYLOAD_BITS + 1},
+        {"payload_bits": HARD_MAX_PAYLOAD_BITS + 1},
         {"cycle_repetition": 3},
         {"cycle_repetition": 128},
         {"base_cycle": 1},                     # >= repetition of 1

@@ -1,0 +1,76 @@
+"""Run identity across backends: same spec, different protocol, new key.
+
+Regression tests for the cache-poisoning bug this PR fixes: before the
+protocol identifier entered :func:`repro.experiments.cache.run_key`,
+two backends whose parameter sets serialized to the same field values
+could alias one cache entry (and one result-store run row), silently
+returning FlexRay results for a TTEthernet campaign.
+"""
+
+import dataclasses
+
+from repro.experiments.cache import cache_key, config_key, run_key
+from repro.protocol.backend import get_backend
+from repro.results.store import ResultStore
+from repro.workloads.synthetic import synthetic_signals
+
+
+def kwargs_for(backend):
+    """Identical experiment kwargs modulo the params' backend type."""
+    return dict(
+        params=get_backend(backend).scenario_geometry(
+            static_slots=10, minislots=20),
+        periodic=synthetic_signals(5, seed=3, max_size_bits=216),
+        aperiodic=None,
+        ber=1e-7,
+        duration_ms=50.0,
+        reliability_goal=1 - 1e-4,
+    )
+
+
+def identical_field_kwargs():
+    """Two backends' kwargs with *byte-identical* geometry field values.
+
+    The adversarial case: force the TTEthernet params to carry exactly
+    the FlexRay scenario geometry's field values, so only the protocol
+    tag distinguishes them.
+    """
+    flexray = kwargs_for("flexray")
+    shape = flexray["params"]
+    tte = dict(flexray)
+    tte["params"] = dataclasses.replace(
+        get_backend("ttethernet").scenario_geometry(
+            static_slots=10, minislots=20),
+        **{field.name: getattr(shape, field.name)
+           for field in dataclasses.fields(shape)})
+    shared = dataclasses.asdict(flexray["params"])
+    tte_fields = dataclasses.asdict(tte["params"])
+    assert {name: tte_fields[name] for name in shared} == shared
+    return flexray, tte
+
+
+class TestRunKeyBackendIdentity:
+    def test_backends_get_distinct_run_keys(self):
+        assert run_key("coefficient", 1, kwargs_for("flexray")) \
+            != run_key("coefficient", 1, kwargs_for("ttethernet"))
+
+    def test_identical_field_values_still_get_distinct_keys(self):
+        flexray, tte = identical_field_kwargs()
+        assert run_key("coefficient", 1, flexray) \
+            != run_key("coefficient", 1, tte)
+        assert cache_key("coefficient", 1, flexray) \
+            != cache_key("coefficient", 1, tte)
+
+    def test_config_key_separates_backends(self):
+        flexray, tte = identical_field_kwargs()
+        assert config_key("coefficient", flexray) \
+            != config_key("coefficient", tte)
+
+    def test_store_run_identity_separates_backends(self):
+        flexray, tte = identical_field_kwargs()
+        assert ResultStore.run_config_key("coefficient", 1, flexray) \
+            != ResultStore.run_config_key("coefficient", 1, tte)
+
+    def test_same_backend_keys_stay_stable(self):
+        assert run_key("coefficient", 1, kwargs_for("ttethernet")) \
+            == run_key("coefficient", 1, kwargs_for("ttethernet"))

@@ -7,8 +7,9 @@ canonical traces, identical policy counters and identical cycle counts.
 This suite enforces that claim on generated scenarios
 (:mod:`repro.workloads.generator`) instead of hand-picked ones:
 
-- a deterministic seed sweep (``REPRO_FUZZ_SCENARIOS``, default 200) so
-  every CI run covers the same ground,
+- a deterministic seed sweep (``REPRO_FUZZ_SCENARIOS``, default 200)
+  run once per protocol backend, so every CI run covers the same
+  ground on FlexRay *and* TTEthernet geometry,
 - a hypothesis-driven search over fresh seeds beyond the sweep range
   (profiles ``dev``/``ci`` via ``REPRO_HYPOTHESIS_PROFILE``),
 - directed boundary scans hypothesis is unlikely to hit by luck:
@@ -16,8 +17,9 @@ This suite enforces that claim on generated scenarios
   (the burst injector has no batch interface, so it also exercises the
   vectorized engine's scalar-oracle fault path).
 
-A failing case always prints the generator seed; rerun it with
-``generate_scenario(seed)`` -- no hypothesis database needed.
+A failing case always prints the generator seed and backend; rerun it
+with ``generate_scenario(seed, backend)`` -- no hypothesis database
+needed.
 """
 
 import os
@@ -41,6 +43,8 @@ from repro.workloads.sae import sae_aperiodic_signals
 from repro.workloads.synthetic import synthetic_signals
 
 ENGINES = ("interpreter", "stepper", "vectorized")
+
+BACKENDS = ("flexray", "ttethernet")
 
 #: Deterministic sweep width; CI pins it, local runs may widen it.
 SWEEP_SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "200"))
@@ -75,30 +79,56 @@ def assert_scenario_equivalent(scenario):
         assert fingerprint(results[mode]) == oracle, (
             f"{mode} diverged from the interpreter on seed "
             f"{scenario.seed} ({scenario.name})"
-        )
+        )  # the name embeds the backend: rerun generate_scenario(seed, backend)
     return results
 
 
 class TestGeneratedScenarioSweep:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("seed", range(SWEEP_SCENARIOS))
-    def test_three_way_equivalence(self, seed):
-        assert_scenario_equivalent(generate_scenario(seed))
+    def test_three_way_equivalence(self, seed, backend):
+        assert_scenario_equivalent(generate_scenario(seed, backend))
 
-    def test_generator_is_deterministic(self):
-        first, second = generate_scenario(13), generate_scenario(13)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_generator_is_deterministic(self, backend):
+        first = generate_scenario(13, backend)
+        second = generate_scenario(13, backend)
         assert first.name == second.name
         assert first.params == second.params
         assert [s.name for s in first.periodic] \
             == [s.name for s in second.periodic]
 
-    def test_sweep_covers_the_target_regimes(self):
+    def test_backends_share_the_abstract_scenario(self):
+        """One seed names the same abstract scenario on every backend.
+
+        The RNG draw order is backend-independent by design: the slot /
+        minislot counts, scheduler, fault rate and workload shape must
+        all agree, while the realized geometry (and hence the params
+        type) differs.
+        """
+        flexray = generate_scenario(29, "flexray")
+        tte = generate_scenario(29, "ttethernet")
+        assert type(flexray.params) is not type(tte.params)
+        assert type(flexray.params).protocol == "flexray"
+        assert type(tte.params).protocol == "ttethernet"
+        assert flexray.scheduler == tte.scheduler
+        assert flexray.ber == tte.ber
+        assert flexray.params.g_number_of_static_slots \
+            == tte.params.g_number_of_static_slots
+        assert flexray.params.g_number_of_minislots \
+            == tte.params.g_number_of_minislots
+        assert [s.name for s in flexray.periodic] \
+            == [s.name for s in tte.periodic]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sweep_covers_the_target_regimes(self, backend):
         """The fixed sweep must actually reach every engine path.
 
         If a generator change quietly stopped producing e.g.
         zero-minislot clusters, the sweep would still pass while testing
         less; this meta-check fails instead.
         """
-        scenarios = [generate_scenario(seed)
+        scenarios = [generate_scenario(seed, backend)
                      for seed in range(SWEEP_SCENARIOS)]
         assert {s.scheduler for s in scenarios} == set(SCHEDULER_CHOICES)
         assert any(s.params.g_number_of_minislots == 0 for s in scenarios)
@@ -114,9 +144,10 @@ class TestGeneratedScenarioSweep:
 
 class TestHypothesisSearch:
     @given(seed=st.integers(min_value=SWEEP_SCENARIOS,
-                            max_value=2**31 - 1))
-    def test_fresh_seeds_stay_equivalent(self, seed):
-        assert_scenario_equivalent(generate_scenario(seed))
+                            max_value=2**31 - 1),
+           backend=st.sampled_from(BACKENDS))
+    def test_fresh_seeds_stay_equivalent(self, seed, backend):
+        assert_scenario_equivalent(generate_scenario(seed, backend))
 
 
 class TestDynamicFillBoundaries:

@@ -15,6 +15,12 @@ together cover every behavioural regime the engine has:
 - a post-mode-change configuration produced by the admission
   controller.
 
+Every scenario runs on both protocol backends (FlexRay and
+TTEthernet): the equivalence contract is a property of the neutral
+engine, so it must hold for any registered geometry.  Three seeded
+TTEthernet scenarios are additionally pinned to golden trace digests,
+so a silent change to TTEthernet trace identity fails loudly.
+
 Equivalence is asserted on :func:`canonical_trace_bytes` -- deliberately
 stricter than metric equality -- plus the SHA-256 digest convenience.
 """
@@ -22,15 +28,30 @@ stricter than metric equality -- plus the SHA-256 digest convenience.
 import pytest
 
 from repro.core.mode_change import ModeChangeController
-from repro.experiments.figures import case_study_params
 from repro.experiments.runner import run_experiment
-from repro.flexray.signal import Signal
+from repro.protocol.backend import get_backend
+from repro.protocol.signal import Signal
 from repro.sim.engine import EngineMode
 from repro.sim.trace import canonical_trace_bytes, trace_digest
 from repro.workloads.acc import acc_signals
 from repro.workloads.bbw import bbw_signals
+from repro.workloads.generator import generate_scenario
 from repro.workloads.sae import sae_aperiodic_signals
 from repro.workloads.synthetic import synthetic_signals
+
+BACKENDS = ("flexray", "ttethernet")
+
+pytestmark = pytest.mark.parametrize("backend", BACKENDS)
+
+
+def case_study_params(backend, workload, **kwargs):
+    return get_backend(backend).case_study_params(workload, **kwargs)
+
+
+def small_geometry(backend, minislots=40):
+    """The backend's realization of the small 10-slot test cluster."""
+    return get_backend(backend).scenario_geometry(
+        static_slots=10, minislots=minislots, channel_count=2)
 
 
 def run_both(**kwargs):
@@ -67,7 +88,7 @@ def assert_equivalent(oracle, fast):
 
 class TestTraceEquivalence:
     @pytest.mark.parametrize("seed", (1, 7))
-    def test_bbw_faulty_completion(self, seed):
+    def test_bbw_faulty_completion(self, seed, backend):
         """Brake-by-wire under heavy faults, run to completion.
 
         Exercises the retransmission planner and the RNG-consuming
@@ -75,7 +96,7 @@ class TestTraceEquivalence:
         cycle would change ``cycles_run`` and the trace tail.
         """
         oracle, fast = run_both(
-            params=case_study_params("bbw"),
+            params=case_study_params(backend, "bbw"),
             scheduler="coefficient",
             periodic=bbw_signals(),
             ber=1e-4,
@@ -87,10 +108,10 @@ class TestTraceEquivalence:
         outcomes = {r.outcome.value for r in fast.cluster.trace}
         assert "corrupted" in outcomes, "fault injection never fired"
 
-    def test_acc_fspec_faulty(self):
+    def test_acc_fspec_faulty(self, backend):
         """Adaptive cruise control under FSPEC's feedback ARQ with faults."""
         oracle, fast = run_both(
-            params=case_study_params("acc"),
+            params=case_study_params(backend, "acc"),
             scheduler="fspec",
             periodic=acc_signals(),
             ber=1e-5,
@@ -99,7 +120,7 @@ class TestTraceEquivalence:
         )
         assert_equivalent(oracle, fast)
 
-    def test_synthetic_with_aperiodics(self, paper_params):
+    def test_synthetic_with_aperiodics(self, backend):
         """Mixed traffic through the dynamic segment, expired frames kept.
 
         ``drop_expired_dynamic=False`` keeps late frames queued, so the
@@ -107,7 +128,7 @@ class TestTraceEquivalence:
         stays busy for the whole horizon under both engines.
         """
         oracle, fast = run_both(
-            params=paper_params,
+            params=get_backend(backend).dynamic_preset(100),
             scheduler="dynamic-priority",
             periodic=synthetic_signals(12, seed=3, max_size_bits=216),
             aperiodic=sae_aperiodic_signals(count=16),
@@ -120,11 +141,11 @@ class TestTraceEquivalence:
         assert fast.cluster.trace.records_for_segment("dynamic"), \
             "dynamic segment never used"
 
-    def test_static_only_zero_minislots(self, small_params,
+    def test_static_only_zero_minislots(self, backend,
                                         tiny_periodic_signals):
         """A cycle with no dynamic segment at all: pure static TDMA."""
         oracle, fast = run_both(
-            params=small_params.with_minislots(0),
+            params=small_geometry(backend, minislots=0),
             scheduler="static-only",
             periodic=tiny_periodic_signals,
             ber=0.0,
@@ -133,7 +154,7 @@ class TestTraceEquivalence:
         )
         assert_equivalent(oracle, fast)
 
-    def test_post_mode_change_configuration(self, small_params,
+    def test_post_mode_change_configuration(self, backend,
                                             tiny_periodic_signals):
         """The workload an online mode change admits runs equivalently.
 
@@ -141,6 +162,7 @@ class TestTraceEquivalence:
         engines must agree on the *new* mode's schedule, not just the
         baseline one.
         """
+        small_params = small_geometry(backend)
         controller = ModeChangeController(small_params,
                                           tiny_periodic_signals)
         decision = controller.try_admit(
@@ -161,11 +183,11 @@ class TestTraceEquivalence:
 
 
 class TestFastPathEngagement:
-    def test_stepper_actually_engages(self, small_params,
+    def test_stepper_actually_engages(self, backend,
                                       tiny_periodic_signals):
         """Guard against vacuity: STEPPER mode must use the fast path."""
         fast = run_experiment(
-            params=small_params,
+            params=small_geometry(backend),
             scheduler="static-only",
             periodic=tiny_periodic_signals,
             ber=0.0,
@@ -175,10 +197,10 @@ class TestFastPathEngagement:
         )
         assert fast.cluster.stepper_active
 
-    def test_interpreter_never_engages(self, small_params,
+    def test_interpreter_never_engages(self, backend,
                                        tiny_periodic_signals):
         oracle = run_experiment(
-            params=small_params,
+            params=small_geometry(backend),
             scheduler="static-only",
             periodic=tiny_periodic_signals,
             ber=0.0,
@@ -187,3 +209,51 @@ class TestFastPathEngagement:
             engine_mode="interpreter",
         )
         assert not oracle.cluster.stepper_active
+
+
+#: Golden SHA-256 trace digests for three seeded generated scenarios
+#: per backend, pinned so trace identity (geometry realization,
+#: schedule placement, fault interleaving, the ``protocol=`` header)
+#: cannot drift silently.  Regenerate deliberately with
+#: ``trace_digest(run_experiment(engine_mode=mode,
+#: **generate_scenario(seed, backend).experiment_kwargs())
+#: .cluster.trace)`` after an intentional trace-identity change.
+GOLDEN_DIGESTS = {
+    "flexray": {
+        3: "69ed078ca86c2d04456da40b8c92807d65a7344d3f3238f6bbd4862b9f959e74",
+        11: "d5b6fe4699effd256619a0216001118272591fdc871157ae755ad0f5aa7591b8",
+        42: "7422e74e830167f4b63c8cbdd16e2b77b5885285ca342cc1b0e3b84f1c6bba7b",
+    },
+    "ttethernet": {
+        3: "9f265c23d172224ca4a036457a3c30bd4a474d2c67451f6aa654277bc33f361b",
+        11: "a0f9dbf157b1a31cf00de3add18931eecd1941149c347ed7ec2e0d7b97d5758c",
+        42: "bcd78bd5a99858cd7e215839cd6fa0e96be20e37bcd3316acc33fd4ea9725d3b",
+    },
+}
+
+
+class TestGoldenDigests:
+    @pytest.mark.parametrize("seed", sorted(GOLDEN_DIGESTS["flexray"]))
+    def test_all_engines_match_the_golden_digest(self, seed, backend):
+        scenario = generate_scenario(seed, backend)
+        digests = {
+            mode: trace_digest(run_experiment(
+                engine_mode=mode,
+                **scenario.experiment_kwargs()).cluster.trace)
+            for mode in ("interpreter", "stepper", "vectorized")
+        }
+        assert len(set(digests.values())) == 1, digests
+        assert digests["interpreter"] == GOLDEN_DIGESTS[backend][seed], \
+            f"{backend} trace identity drifted on seed {seed} " \
+            f"({scenario.name})"
+
+    def test_backends_never_share_a_digest(self, backend):
+        """The same abstract scenario digests differently per backend.
+
+        Geometry alone would usually guarantee this, but the
+        ``protocol=`` trace header makes it a hard invariant even for
+        coincidentally identical frame sequences.
+        """
+        other = [b for b in BACKENDS if b != backend][0]
+        assert not (set(GOLDEN_DIGESTS[backend].values())
+                    & set(GOLDEN_DIGESTS[other].values()))

@@ -1,0 +1,84 @@
+"""Unit tests for the TTEthernet integration-cycle parameter set."""
+
+import pytest
+
+from repro.protocol.frame import Frame, frame_duration_mt
+from repro.protocol.geometry import SegmentGeometry
+from repro.ttethernet.params import (
+    ETHERNET_MAX_PAYLOAD_BITS,
+    ETHERNET_OVERHEAD_BITS,
+    TTEthernetParams,
+    integration_dynamic_preset,
+    integration_static_preset,
+)
+
+
+class TestDefaults:
+    def test_is_a_segment_geometry(self):
+        assert isinstance(TTEthernetParams(), SegmentGeometry)
+
+    def test_protocol_tag(self):
+        assert TTEthernetParams.protocol == "ttethernet"
+
+    def test_ethernet_overhead_model(self):
+        # preamble+SFD (64) + MAC header (112) + FCS (32) + IFG (96).
+        assert ETHERNET_OVERHEAD_BITS == 304
+        assert ETHERNET_MAX_PAYLOAD_BITS == 12000
+        params = TTEthernetParams()
+        assert params.frame_overhead_bits == ETHERNET_OVERHEAD_BITS
+        assert params.max_payload_bits == ETHERNET_MAX_PAYLOAD_BITS
+
+    def test_window_capacity(self):
+        # A 16 us window at 100 Mbit/s, minus the 2 MT action-point
+        # offset and the Ethernet framing: (16 - 2) * 100 - 304.
+        assert TTEthernetParams().static_slot_capacity_bits == 1096
+
+    def test_rejects_negative_lag_bound(self):
+        with pytest.raises(ValueError):
+            TTEthernetParams(max_window_lag_mt=-1)
+
+    def test_inherited_geometry_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            TTEthernetParams(gd_cycle_mt=10)  # segments cannot fit
+
+
+class TestFrameSizing:
+    def test_full_ethernet_payload_fits(self):
+        params = integration_static_preset()
+        frame = Frame(frame_id=1, message_id="jumbo",
+                      payload_bits=ETHERNET_MAX_PAYLOAD_BITS,
+                      producer_ecu=0,
+                      overhead_bits=ETHERNET_OVERHEAD_BITS)
+        assert frame.total_bits == 12304
+        assert frame_duration_mt(ETHERNET_MAX_PAYLOAD_BITS, params) > 0
+
+    def test_oversize_payload_is_rejected_per_protocol(self):
+        params = TTEthernetParams()
+        with pytest.raises(ValueError):
+            frame_duration_mt(ETHERNET_MAX_PAYLOAD_BITS + 1, params)
+
+    def test_flexray_oversize_is_fine_here(self):
+        """A payload FlexRay rejects (> 254 B) is legal Ethernet."""
+        params = TTEthernetParams()
+        assert frame_duration_mt(254 * 8 + 8, params) > 0
+
+
+class TestPresets:
+    def test_dynamic_preset_shape(self):
+        params = integration_dynamic_preset(100)
+        assert params.g_number_of_static_slots == 25
+        assert params.gd_static_slot_mt == 16
+        assert params.g_number_of_minislots == 100
+        assert params.gd_cycle_mt == 25 * 16 + 100 * 8 + 10
+
+    def test_static_preset_shape(self):
+        params = integration_static_preset(80)
+        assert params.g_number_of_static_slots == 80
+        assert params.static_segment_mt == 80 * 16
+        assert params.g_number_of_minislots >= 100
+
+    def test_presets_validate(self):
+        for minislots in (0, 25, 200):
+            integration_dynamic_preset(minislots)
+        for slots in (10, 80, 200):
+            integration_static_preset(slots)

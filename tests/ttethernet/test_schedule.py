@@ -1,0 +1,104 @@
+"""Unit tests for jitter-constrained TT-window placement."""
+
+import pytest
+
+from repro.protocol.channel import Channel
+from repro.protocol.frame import Frame
+from repro.protocol.schedule import ScheduleInfeasibleError
+from repro.ttethernet.params import TTEthernetParams
+from repro.ttethernet.schedule import (
+    assign_release_phases,
+    build_tt_schedule,
+    window_lags,
+)
+
+
+def make_frame(frame_id, phase=None, **overrides):
+    fields = dict(frame_id=frame_id, message_id=f"s{frame_id}",
+                  payload_bits=256, producer_ecu=0,
+                  preferred_phase_mt=phase, overhead_bits=304)
+    fields.update(overrides)
+    return Frame(**fields)
+
+
+@pytest.fixture
+def params():
+    return TTEthernetParams()
+
+
+class TestAssignReleasePhases:
+    def test_declared_phases_are_untouched(self, params):
+        frames = [make_frame(1, phase=120), make_frame(2, phase=0)]
+        assert assign_release_phases(frames, params) == frames
+
+    def test_unphased_frames_spread_over_the_segment(self, params):
+        frames = [make_frame(i) for i in range(1, 5)]
+        phased = assign_release_phases(frames, params)
+        phases = [f.preferred_phase_mt for f in phased]
+        segment = params.static_segment_mt
+        assert phases == [(i * segment) // 4 for i in range(4)]
+        assert len(set(phases)) == 4
+
+    def test_mixed_input_only_fills_the_gaps(self, params):
+        frames = [make_frame(1), make_frame(2, phase=64), make_frame(3)]
+        phased = assign_release_phases(frames, params)
+        assert phased[1].preferred_phase_mt == 64
+        assert phased[0].preferred_phase_mt is not None
+        assert phased[2].preferred_phase_mt is not None
+
+    def test_is_deterministic(self, params):
+        frames = [make_frame(i) for i in range(1, 6)]
+        assert assign_release_phases(frames, params) \
+            == assign_release_phases(frames, params)
+
+
+class TestWindowLags:
+    def test_lag_measures_phase_to_action_point(self, params):
+        # A frame whose release phase equals its window's action point
+        # has zero lag; one released just after waits ~a full cycle.
+        frames = [make_frame(1, phase=0)]
+        table = build_tt_schedule(frames, params)
+        lags = window_lags(table, params)
+        assert set(lags) == {"s1"}
+        slot = table.assignments(Channel.A)[0].slot_id
+        action = (slot - 1) * params.gd_static_slot_mt \
+            + params.gd_action_point_offset_mt
+        assert lags["s1"] == action % params.gd_cycle_mt
+
+    def test_unphased_frames_have_no_lag_entry(self, params):
+        # Phases are assigned during build, so lags exist after build;
+        # raw tables from unphased frames measure nothing.
+        from repro.protocol.schedule import build_dual_schedule
+
+        table = build_dual_schedule([make_frame(1)], params, "distribute")
+        assert window_lags(table, params) == {}
+
+
+class TestBuildTTSchedule:
+    def test_placement_honours_assigned_phases(self, params):
+        frames = [make_frame(i) for i in range(1, 5)]
+        table = build_tt_schedule(frames, params)
+        lags = window_lags(table, params)
+        # The allocator places each window at or after its target
+        # phase, so every lag is small relative to the cycle.
+        assert lags
+        assert all(lag < params.gd_cycle_mt // 2 for lag in lags.values())
+
+    def test_lag_bound_disabled_by_default(self, params):
+        assert params.max_window_lag_mt == 0
+        build_tt_schedule([make_frame(1, phase=390)], params)
+
+    def test_tight_lag_bound_rejects_late_windows(self):
+        params = TTEthernetParams(max_window_lag_mt=1)
+        # Released just past the last window's action point: the value
+        # cannot ship until the next cycle, a lag far beyond 1 MT.
+        frames = [make_frame(1, phase=params.static_segment_mt - 1)]
+        with pytest.raises(ScheduleInfeasibleError, match="window lag"):
+            build_tt_schedule(frames, params)
+
+    def test_generous_lag_bound_accepts(self):
+        params = TTEthernetParams(max_window_lag_mt=10_000)
+        frames = [make_frame(i) for i in range(1, 4)]
+        table = build_tt_schedule(frames, params)
+        assert len(table.assignments(Channel.A)) \
+            + len(table.assignments(Channel.B)) >= 3

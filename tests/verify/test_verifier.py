@@ -105,7 +105,7 @@ class TestVerifyConfiguration:
         }
 
     def test_schedule_without_params_instance_raises(self):
-        with pytest.raises(ValueError, match="FlexRayParams"):
+        with pytest.raises(ValueError, match="SegmentGeometry"):
             verify_configuration(params={"gd_cycle_mt": 5000},
                                  schedule={})
 
